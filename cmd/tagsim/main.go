@@ -1,0 +1,407 @@
+// Command tagsim runs the paper's benchmark programs on the MIPS-X-like
+// simulator under any tag-scheme / hardware / checking configuration, and
+// regenerates the evaluation tables and figures.
+//
+// Usage:
+//
+//	tagsim -list                                  # show the ten programs
+//	tagsim -program boyer -checking               # run one program
+//	tagsim -program trav -scheme low3 -hw mem,tbr # pick scheme and hardware
+//	tagsim -table 1|2|3                           # regenerate a table
+//	tagsim -figure 1|2                            # regenerate a figure
+//	tagsim -ablation arith|preshift|lowtag|dispatch
+//	tagsim -all                                   # everything (slow)
+//	tagsim -disasm inter                          # dump compiled code
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mipsx"
+	"repro/internal/programs"
+	"repro/internal/rt"
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list benchmark programs")
+		progName = flag.String("program", "", "run one benchmark program")
+		scheme   = flag.String("scheme", "high5", "tag scheme: high5, high6, low3, low2")
+		checking = flag.Bool("checking", false, "enable full run-time type checking")
+		hwFlags  = flag.String("hw", "", "hardware: comma list of mem,tbr,atrap,pclist,pcall,preshift,shadow")
+		table    = flag.Int("table", 0, "regenerate paper table (1, 2 or 3)")
+		figure   = flag.Int("figure", 0, "regenerate paper figure (1 or 2)")
+		ablation = flag.String("ablation", "", "run an ablation: arith, preshift, lowtag, dispatch")
+		all      = flag.Bool("all", false, "regenerate every table, figure and ablation")
+		disasm   = flag.String("disasm", "", "print the compiled code of a program")
+		profile  = flag.Bool("profile", false, "with -program: per-function cycle profile")
+		trace    = flag.Int("trace", 0, "with -program: print the first N executed instructions")
+		repl     = flag.Bool("repl", false, "interactive read-eval-print loop on the simulated machine")
+		t2row    = flag.String("table2-row", "", "per-program detail for one Table 2 row (1-7 or SPUR)")
+	)
+	flag.Parse()
+
+	if err := run(*list, *progName, *scheme, *checking, *hwFlags, *table, *figure, *ablation, *all, *disasm, *profile, *trace, *repl, *t2row); err != nil {
+		fmt.Fprintln(os.Stderr, "tagsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, progName, scheme string, checking bool, hwFlags string,
+	table, figure int, ablation string, all bool, disasm string, profile bool, trace int, repl bool, t2row string) error {
+
+	if list {
+		for _, p := range programs.All() {
+			fmt.Printf("%-8s %s\n", p.Name, p.Description)
+		}
+		return nil
+	}
+
+	kind, err := parseScheme(scheme)
+	if err != nil {
+		return err
+	}
+	hw, err := parseHW(hwFlags)
+	if err != nil {
+		return err
+	}
+
+	if repl {
+		return runRepl(kind, hw, checking)
+	}
+
+	if disasm != "" {
+		p, ok := programs.ByName(disasm)
+		if !ok {
+			return fmt.Errorf("unknown program %q", disasm)
+		}
+		img, err := rt.Build(p.Source, rt.BuildOptions{
+			Scheme: kind, HW: hw, Checking: checking, HeapWords: p.HeapWords,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(mipsx.DisasmProgram(img.Prog))
+		return nil
+	}
+
+	if progName != "" {
+		cfg := core.Config{Scheme: kind, HW: hw, Checking: checking}
+		if trace > 0 {
+			return runTrace(progName, cfg, trace)
+		}
+		return runOne(progName, cfg, profile)
+	}
+
+	r := core.NewRunner()
+	ran := false
+	if t2row != "" {
+		for _, row := range core.Table2Rows {
+			if row.ID == t2row {
+				d, err := core.BuildTable2Detail(r, row)
+				if err != nil {
+					return err
+				}
+				fmt.Println(d)
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown Table 2 row %q", t2row)
+	}
+	if table == 1 || all {
+		t, err := core.BuildTable1(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		ran = true
+	}
+	if table == 2 || all {
+		t, err := core.BuildTable2(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		ran = true
+	}
+	if table == 3 || all {
+		t, err := core.BuildTable3(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		ran = true
+	}
+	if figure == 1 || all {
+		f, err := core.BuildFigure1(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f)
+		ran = true
+	}
+	if figure == 2 || all {
+		f, err := core.BuildFigure2(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f)
+		ran = true
+	}
+	if ablation == "arith" || all {
+		a, err := core.BuildArithEncoding(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a)
+		ran = true
+	}
+	if ablation == "preshift" || all {
+		p, err := core.BuildPreshift(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(p)
+		ran = true
+	}
+	if ablation == "lowtag" || all {
+		rows, err := core.BuildLowTag(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.FormatLowTag(rows))
+		ran = true
+	}
+	if ablation == "dispatch" || all {
+		d, err := core.BuildDispatchStress()
+		if err != nil {
+			return err
+		}
+		fmt.Println(d)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+	}
+	return nil
+}
+
+func parseScheme(s string) (tags.Kind, error) {
+	switch s {
+	case "high5":
+		return tags.High5, nil
+	case "high6":
+		return tags.High6, nil
+	case "low3":
+		return tags.Low3, nil
+	case "low2":
+		return tags.Low2, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func parseHW(s string) (tags.HW, error) {
+	var hw tags.HW
+	if s == "" {
+		return hw, nil
+	}
+	for _, f := range strings.Split(s, ",") {
+		switch strings.TrimSpace(f) {
+		case "mem":
+			hw.MemIgnoresTags = true
+		case "tbr":
+			hw.TagBranch = true
+		case "atrap":
+			hw.ArithTrap = true
+		case "pclist":
+			hw.ParallelCheckList = true
+		case "pcall":
+			hw.ParallelCheckAll = true
+		case "preshift":
+			hw.PreshiftedPairTag = true
+		case "shadow":
+			hw.ShadowRegisters = true
+		default:
+			return hw, fmt.Errorf("unknown hardware flag %q", f)
+		}
+	}
+	return hw, nil
+}
+
+func runOne(name string, cfg core.Config, profile bool) error {
+	p, ok := programs.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown program %q (try -list)", name)
+	}
+	if profile {
+		return runProfiled(p, cfg)
+	}
+	r := core.NewRunner()
+	res, err := r.Run(p, cfg)
+	if err != nil {
+		return err
+	}
+	s := &res.Stats
+	fmt.Printf("program  %s (%s)\n", p.Name, p.Description)
+	fmt.Printf("config   %s\n", cfg)
+	fmt.Printf("result   %s\n", res.Value)
+	if res.Output != "" {
+		fmt.Printf("output   %q\n", res.Output)
+	}
+	fmt.Printf("cycles   %d (%d instructions, %d stalls, %d squashed, %d traps, %d GCs)\n",
+		s.Cycles, s.Instrs, s.Stalls, s.Squashed, s.Traps, s.GCs)
+	fmt.Printf("tag handling: %.2f%% of cycles\n", mipsx.Pct(s.TagCycles(), s.Cycles))
+	for c := mipsx.CatWork; c < mipsx.NumCat; c++ {
+		if s.ByCat[c] == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %10d cycles  %6.2f%%\n", c, s.ByCat[c], s.CatPct(c))
+	}
+	if cfg.Checking {
+		fmt.Printf("run-time checking cost by cause:\n")
+		for sub := mipsx.SubCat(0); sub < mipsx.NumSub; sub++ {
+			if s.ByRTSub[sub] == 0 {
+				continue
+			}
+			fmt.Printf("  %-10s %10d cycles  %6.2f%%\n", sub, s.ByRTSub[sub],
+				mipsx.Pct(s.ByRTSub[sub], s.Cycles))
+		}
+	}
+	return nil
+}
+
+// runRepl evaluates forms interactively. Each input is compiled together
+// with everything defined so far into a fresh image and executed on a fresh
+// machine — definitions persist, heap state does not (the image model has
+// no incremental loader, like a batch PSL).
+func runRepl(kind tags.Kind, hw tags.HW, checking bool) error {
+	fmt.Printf("tagsim repl — scheme %s, checking %v; definitions persist, heap state does not\n", kind, checking)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var defs strings.Builder
+	var pending strings.Builder
+	depth := 0
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := sc.Text()
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		for _, ch := range line {
+			switch ch {
+			case '(':
+				depth++
+			case ')':
+				depth--
+			case ';':
+				goto scanDone
+			}
+		}
+	scanDone:
+		if depth > 0 {
+			fmt.Print(". ")
+			continue
+		}
+		depth = 0
+		form := strings.TrimSpace(pending.String())
+		pending.Reset()
+		if form == "" {
+			fmt.Print("> ")
+			continue
+		}
+		src := defs.String() + "\n" + form
+		img, err := rt.Build(src, rt.BuildOptions{Scheme: kind, HW: hw, Checking: checking})
+		if err != nil {
+			fmt.Println("error:", err)
+			fmt.Print("> ")
+			continue
+		}
+		m := img.NewMachine()
+		m.MaxCycles = 2_000_000_000
+		if err := m.Run(); err != nil {
+			fmt.Println("error:", err)
+			fmt.Print("> ")
+			continue
+		}
+		if out := m.Output.String(); out != "" {
+			fmt.Print(out)
+		}
+		fmt.Printf("%s   ; %d cycles, %.1f%% tag handling\n",
+			sexpr.String(img.DecodeItem(m.Mem, m.Regs[mipsx.RRet])),
+			m.Stats.Cycles, mipsx.Pct(m.Stats.TagCycles(), m.Stats.Cycles))
+		// Keep definition forms for subsequent inputs.
+		if strings.HasPrefix(form, "(defun") || strings.HasPrefix(form, "(defvar") ||
+			strings.HasPrefix(form, "(put") {
+			defs.WriteString(form)
+			defs.WriteByte('\n')
+		}
+		fmt.Print("> ")
+	}
+	fmt.Println()
+	return sc.Err()
+}
+
+// runTrace single-steps the first n instructions, showing the disassembly
+// and the register each writes.
+func runTrace(name string, cfg core.Config, n int) error {
+	p, ok := programs.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown program %q (try -list)", name)
+	}
+	img, err := rt.Build(p.Source, rt.BuildOptions{
+		Scheme: cfg.Scheme, HW: cfg.HW, Checking: cfg.Checking, HeapWords: p.HeapWords,
+	})
+	if err != nil {
+		return err
+	}
+	byIndex := make(map[int]string, len(img.Prog.Labels))
+	for lname, idx := range img.Prog.Labels {
+		if prev, seen := byIndex[idx]; !seen || lname < prev {
+			byIndex[idx] = lname
+		}
+	}
+	m := img.NewMachine()
+	m.MaxCycles = 2_000_000_000
+	for i := 0; i < n && !m.Halted(); i++ {
+		pc := m.PC
+		in := img.Prog.Instrs[pc]
+		if lbl, okL := byIndex[pc]; okL {
+			fmt.Printf("%s:\n", lbl)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+		line := fmt.Sprintf("%8d  %6d  %s", m.Stats.Cycles, pc, mipsx.Disasm(&in, byIndex))
+		fmt.Println(line)
+	}
+	fmt.Printf("... stopped after %d instructions (%d cycles)\n", m.Stats.Instrs, m.Stats.Cycles)
+	return nil
+}
+
+// runProfiled attributes cycles to functions.
+func runProfiled(p *programs.Program, cfg core.Config) error {
+	img, err := rt.Build(p.Source, rt.BuildOptions{
+		Scheme: cfg.Scheme, HW: cfg.HW, Checking: cfg.Checking, HeapWords: p.HeapWords,
+	})
+	if err != nil {
+		return err
+	}
+	m := img.NewMachine()
+	m.MaxCycles = 2_000_000_000
+	prof := mipsx.NewProfile(img.Prog, func(name string) bool {
+		return strings.HasPrefix(name, "fn:") || strings.HasPrefix(name, "sys:") ||
+			name == "__start"
+	})
+	if err := m.RunProfiled(prof); err != nil {
+		return err
+	}
+	fmt.Printf("program  %s (%s), %d cycles\n", p.Name, cfg, m.Stats.Cycles)
+	fmt.Printf("hottest functions:\n%s", prof.Format(20, m.Stats.Cycles))
+	return nil
+}

@@ -1,0 +1,56 @@
+// gcdemo: run a cons-heavy workload against deliberately tiny semispaces and
+// watch the Lisp-coded Cheney collector keep it alive — the dedgc scenario
+// (the paper's program that spends ~50% of its time collecting).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mipsx"
+	"repro/internal/rt"
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+const program = `
+(defvar keep nil)
+
+(defun nqueens-ish (n)
+  ;; Build and discard association structure, keeping only a summary, so
+  ;; nearly everything consed is garbage by the next collection.
+  (let ((total 0))
+    (dotimes (i n)
+      (let ((row nil))
+        (dotimes (j 24)
+          (setq row (cons (cons j (* j j)) row)))
+        (setq keep (cons (length row) nil))
+        (setq total (+ total (cdar row)))))
+    total))
+
+(nqueens-ish 2000)
+`
+
+func main() {
+	for _, words := range []int{2 << 10, 8 << 10, 64 << 10} {
+		img, err := rt.Build(program, rt.BuildOptions{
+			Scheme:    tags.Low3, // low tags: the GC must honor the odd-word alignment
+			Checking:  true,
+			HeapWords: words,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := img.NewMachine()
+		m.MaxCycles = 2_000_000_000
+		if err := m.Run(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("semispace %4d KB: %3d collections, %8d words copied, %9d cycles, value %s\n",
+			words*4/1024, m.Stats.GCs, m.Stats.GCWords, m.Stats.Cycles,
+			sexpr.String(img.DecodeItem(m.Mem, m.Regs[mipsx.RRet])))
+	}
+	fmt.Println("\nsmaller semispaces collect more but copy little (the live set is tiny);")
+	fmt.Println("the collector itself is Lisp compiled by the same compiler, so its tag")
+	fmt.Println("operations are part of the measured cycles, as in PSL.")
+}

@@ -1,0 +1,56 @@
+// Quickstart: compile a small Lisp program for the simulated MIPS-X-like
+// processor, run it, and read back both its value and the tag-handling cost
+// breakdown that is the subject of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mipsx"
+	"repro/internal/rt"
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+const program = `
+(defun fib (n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+
+(defun squares (n)
+  (let ((l nil))
+    (dotimes (i n)
+      (setq l (cons (* i i) l)))
+    (reverse l)))
+
+(print (fib 18))
+(print (squares 8))
+(cons (fib 18) (length (squares 8)))
+`
+
+func main() {
+	// Build an image: tag scheme + checking mode are compile-time
+	// choices, exactly as in PSL.
+	img, err := rt.Build(program, rt.BuildOptions{
+		Scheme:   tags.High5, // the paper's baseline: 5-bit tag up top
+		Checking: true,       // full run-time type checking
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := img.NewMachine()
+	m.MaxCycles = 100_000_000
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(m.Output.String())
+	fmt.Println("value:", sexpr.String(img.DecodeItem(m.Mem, m.Regs[mipsx.RRet])))
+	fmt.Printf("cycles: %d\n", m.Stats.Cycles)
+	fmt.Printf("tag handling: %.1f%% of execution time\n",
+		mipsx.Pct(m.Stats.TagCycles(), m.Stats.Cycles))
+	for c := mipsx.CatTagInsert; c <= mipsx.CatTagCheck; c++ {
+		fmt.Printf("  %-8s %6.2f%%\n", c, m.Stats.CatPct(c))
+	}
+}

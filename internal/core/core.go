@@ -1,0 +1,202 @@
+// Package core is the experiment harness: it runs the ten benchmark
+// programs under tag-scheme / hardware / checking configurations and
+// regenerates every table and figure of the paper's evaluation —
+// Table 1 (cost of adding run-time checking), Figure 1 (time per tag
+// operation), Figure 2 (instruction-frequency changes when masking is
+// eliminated), Table 2 (cycles eliminated per degree of hardware support),
+// Table 3 (program sizes) — plus the §4.2 tag-encoding ablation, the §3.1
+// pre-shifted-tag ablation, the §6.2.2 dispatch-stress estimate and the §7
+// SPUR comparison.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/lispc"
+	"repro/internal/mipsx"
+	"repro/internal/programs"
+	"repro/internal/rt"
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+// Config selects one simulated machine configuration.
+type Config struct {
+	Scheme   tags.Kind
+	HW       tags.HW
+	Checking bool
+}
+
+// String identifies the configuration compactly.
+func (c Config) String() string {
+	s := c.Scheme.String()
+	if c.Checking {
+		s += "+check"
+	}
+	hw := c.HW
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{
+		{hw.MemIgnoresTags, "mem"},
+		{hw.TagBranch, "tbr"},
+		{hw.ArithTrap, "atrap"},
+		{hw.ParallelCheckAll, "pcall"},
+		{hw.ParallelCheckList && !hw.ParallelCheckAll, "pclist"},
+		{hw.PreshiftedPairTag, "preshift"},
+	} {
+		if f.on {
+			s += "+" + f.name
+		}
+	}
+	return s
+}
+
+// Result is one program execution under one configuration.
+type Result struct {
+	Program string
+	Config  Config
+	Stats   mipsx.Stats
+	Units   map[string]lispc.UnitStats
+	Value   string
+	Output  string
+}
+
+// Runner executes and memoizes benchmark runs. Safe for concurrent use.
+type Runner struct {
+	mu    sync.Mutex
+	cache map[string]*Result
+	// MaxCycles bounds each run (default 2e9).
+	MaxCycles uint64
+}
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner {
+	return &Runner{cache: make(map[string]*Result), MaxCycles: 2_000_000_000}
+}
+
+// Run executes program p under cfg (memoized).
+func (r *Runner) Run(p *programs.Program, cfg Config) (*Result, error) {
+	key := p.Name + "/" + cfg.String()
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	img, err := rt.Build(p.Source, rt.BuildOptions{
+		Scheme:    cfg.Scheme,
+		HW:        cfg.HW,
+		Checking:  cfg.Checking,
+		HeapWords: p.HeapWords,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: build: %w", key, err)
+	}
+	m := img.NewMachine()
+	m.MaxCycles = r.MaxCycles
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("%s: run: %w", key, err)
+	}
+	value := sexpr.String(img.DecodeItem(m.Mem, m.Regs[mipsx.RRet]))
+	if p.Expected != "" && value != p.Expected {
+		return nil, fmt.Errorf("%s: result %s, want %s (configuration broke program semantics)",
+			key, value, p.Expected)
+	}
+	res := &Result{
+		Program: p.Name,
+		Config:  cfg,
+		Stats:   m.Stats,
+		Units:   img.Units,
+		Value:   value,
+		Output:  m.Output.String(),
+	}
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// Prewarm fills the cache for every (program, config) pair concurrently;
+// the table builders call it so sweeps use all cores. The first error (if
+// any) is returned; successfully completed runs stay cached either way.
+func (r *Runner) Prewarm(ps []*programs.Program, cfgs []Config) error {
+	type job struct {
+		p   *programs.Program
+		cfg Config
+	}
+	jobs := make(chan job)
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if _, err := r.Run(j.p, j.cfg); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for _, p := range ps {
+		for _, cfg := range cfgs {
+			jobs <- job{p, cfg}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// MustRun is Run for harness internals that treat failure as fatal.
+func (r *Runner) MustRun(p *programs.Program, cfg Config) *Result {
+	res, err := r.Run(p, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Baseline is the straightforward PSL tag implementation of §2.1: a 5-bit
+// tag in the most significant bits, all tag handling in software.
+func Baseline(checking bool) Config {
+	return Config{Scheme: tags.High5, Checking: checking}
+}
+
+// HWRow names one degree of hardware support from Table 2.
+type HWRow struct {
+	ID    string
+	Label string
+	HW    tags.HW
+}
+
+// Table2Rows are the seven rows of Table 2 plus the SPUR-like subset
+// discussed in §7.
+var Table2Rows = []HWRow{
+	{"1", "avoid tag masking", tags.HW{MemIgnoresTags: true}},
+	{"2", "avoid tag extraction", tags.HW{TagBranch: true}},
+	{"3", "avoid masking and extraction", tags.HW{MemIgnoresTags: true, TagBranch: true}},
+	{"4", "support generic arithmetic", tags.HW{ArithTrap: true}},
+	{"5", "avoid tag checking on list ops", tags.HW{ParallelCheckList: true}},
+	{"6", "avoid tag checking (lists+vectors)", tags.HW{ParallelCheckAll: true}},
+	{"7", "all of rows 1+2+4+6", tags.HW{
+		MemIgnoresTags: true, TagBranch: true, ArithTrap: true, ParallelCheckAll: true}},
+	{"SPUR", "rows 1+2+4+5 (SPUR-like)", tags.HW{
+		MemIgnoresTags: true, TagBranch: true, ArithTrap: true, ParallelCheckList: true}},
+}

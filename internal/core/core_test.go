@@ -1,0 +1,308 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/programs"
+	"repro/internal/tags"
+)
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := NewRunner()
+	p := programs.MustByName("inter")
+	a, err := r.Run(p, Baseline(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(p, Baseline(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second run not served from cache")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := Config{Scheme: tags.High5, Checking: true, HW: tags.HW{MemIgnoresTags: true, TagBranch: true}}
+	s := c.String()
+	for _, want := range []string{"high5", "check", "mem", "tbr"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Config.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := NewRunner()
+	tb, err := BuildTable1(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 10 {
+		t.Fatalf("table 1 has %d rows", len(tb.Rows))
+	}
+	// The paper's headline: checking adds ~25% on average with a wide
+	// per-program spread; list checks dominate.
+	if tb.Average.Total < 8 || tb.Average.Total > 60 {
+		t.Errorf("average slowdown %.1f%% far from the paper's ~25%%", tb.Average.Total)
+	}
+	if tb.Average.List <= tb.Average.Arith || tb.Average.List <= tb.Average.Vector {
+		t.Errorf("list checking (%.1f%%) should dominate arith (%.1f%%) and vector (%.1f%%) on average",
+			tb.Average.List, tb.Average.Arith, tb.Average.Vector)
+	}
+	byName := map[string]Table1Row{}
+	var minTotal, maxTotal = tb.Rows[0].Total, tb.Rows[0].Total
+	for _, row := range tb.Rows {
+		byName[row.Program] = row
+		if row.Total < minTotal {
+			minTotal = row.Total
+		}
+		if row.Total > maxTotal {
+			maxTotal = row.Total
+		}
+		if row.Total < 0 {
+			t.Errorf("%s: negative slowdown %.1f", row.Program, row.Total)
+		}
+	}
+	// Wide spread (paper: 6%..88%).
+	if maxTotal < 2*minTotal {
+		t.Errorf("per-program spread too narrow: %.1f..%.1f", minTotal, maxTotal)
+	}
+	// trav and opt are the vector-heavy programs.
+	if byName["trav"].Vector < byName["inter"].Vector {
+		t.Error("trav should have a larger vector component than inter")
+	}
+	// rat has the largest arithmetic component.
+	for _, other := range []string{"inter", "boyer", "brow", "frl"} {
+		if byName["rat"].Arith < byName[other].Arith {
+			t.Errorf("rat arith %.2f%% should exceed %s arith %.2f%%",
+				byName["rat"].Arith, other, byName[other].Arith)
+		}
+	}
+	// dedgc: the GC is unchecked system code, so checking hurts least
+	// among the list-heavy programs (paper: 6.6% vs 12.4% for deduce).
+	if byName["dedgc"].Total >= byName["deduce"].Total {
+		t.Errorf("dedgc slowdown %.1f%% should be below deduce %.1f%%",
+			byName["dedgc"].Total, byName["deduce"].Total)
+	}
+	t.Log("\n" + tb.String())
+}
+
+func TestFigure1Shape(t *testing.T) {
+	r := NewRunner()
+	f, err := BuildFigure1(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f.String())
+	by := map[string]Figure1Bar{}
+	for _, b := range f.Bars {
+		by[b.Op] = b
+	}
+	// Paper: insertion ~1.5%, removal ~8.7% (dropping to ~7% with
+	// checking), checking 11% -> 24%; totals 22% -> 32%.
+	if ins := by["insertion"].Without; ins < 0.3 || ins > 6 {
+		t.Errorf("insertion %.2f%% far from ~1.5%%", ins)
+	}
+	if rem := by["removal"].Without; rem < 3 || rem > 16 {
+		t.Errorf("removal %.2f%% far from ~8.7%%", rem)
+	}
+	if by["removal"].With >= by["removal"].Without {
+		t.Error("removal share should fall when checking inflates total time")
+	}
+	if by["checking"].With <= by["checking"].Without {
+		t.Error("checking share should rise with run-time checking")
+	}
+	if f.TotalWithout < 10 || f.TotalWithout > 40 {
+		t.Errorf("total tag handling without checking %.1f%% far from ~22%%", f.TotalWithout)
+	}
+	if f.TotalWith <= f.TotalWithout {
+		t.Error("total tag handling must grow with checking")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	r := NewRunner()
+	f, err := BuildFigure2(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + f.String())
+	// Paper: 'and' drops sharply; noops rise slightly (fewer fillers);
+	// total falls ~5.7%.
+	if f.And >= 0 {
+		t.Errorf("and-count change %.2f%% should be negative", f.And)
+	}
+	if f.Total >= 0 {
+		t.Errorf("total instruction change %.2f%% should be negative", f.Total)
+	}
+	if f.Noop < 0 {
+		t.Errorf("noop change %.2f%% expected non-negative (fewer slot fillers)", f.Noop)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := NewRunner()
+	tb, err := BuildTable2(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	by := map[string]Table2Row{}
+	for _, row := range tb.Rows {
+		by[row.ID] = row
+	}
+	// Row 1: masking elimination helps both modes (paper 5.7% / 4.6%).
+	if by["1"].NoChecking < 1 || by["1"].WithChecking < 1 {
+		t.Errorf("row 1 speedups %.1f/%.1f should both be positive", by["1"].NoChecking, by["1"].WithChecking)
+	}
+	// Row 2: tag branches help more with checking than without (3.6/9.3).
+	if by["2"].WithChecking <= by["2"].NoChecking {
+		t.Errorf("row 2: checking speedup %.1f should exceed no-checking %.1f",
+			by["2"].WithChecking, by["2"].NoChecking)
+	}
+	// Row 3 combines rows 1+2.
+	if by["3"].WithChecking <= by["2"].WithChecking || by["3"].NoChecking <= by["1"].NoChecking-0.5 {
+		t.Error("row 3 should dominate its components")
+	}
+	// Rows 4,5,6 buy nothing without checking (paper: 0%).
+	for _, id := range []string{"4", "5", "6"} {
+		if by[id].NoChecking > 1 || by[id].NoChecking < -1 {
+			t.Errorf("row %s no-checking speedup %.1f should be ~0", id, by[id].NoChecking)
+		}
+	}
+	// Row 6 extends row 5.
+	if by["6"].WithChecking < by["5"].WithChecking {
+		t.Error("row 6 should not trail row 5")
+	}
+	// Row 7 is the maximum configuration (paper 9.3%/22.1%).
+	if by["7"].WithChecking < by["6"].WithChecking || by["7"].WithChecking < by["3"].WithChecking {
+		t.Error("row 7 should dominate rows 3 and 6")
+	}
+	// SPUR sits between rows 5-ish and 7 with checking.
+	if by["SPUR"].WithChecking > by["7"].WithChecking+0.5 {
+		t.Error("SPUR subset should not beat the full row 7")
+	}
+}
+
+func TestArithEncodingAblation(t *testing.T) {
+	r := NewRunner()
+	a, err := BuildArithEncoding(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + a.String())
+	// §4.2: the special encoding reduces generic-arithmetic time (2% ->
+	// 1.6% in the paper) and buys the most for rat.
+	if a.Average.High6Pct >= a.Average.High5Pct {
+		t.Errorf("high6 arith share %.2f%% should be below high5 %.2f%%",
+			a.Average.High6Pct, a.Average.High5Pct)
+	}
+	var rat ArithEncodingRow
+	for _, row := range a.Rows {
+		if row.Program == "rat" {
+			rat = row
+		}
+	}
+	if rat.SpeedupTotal <= 0 {
+		t.Errorf("rat should speed up under high6, got %.2f%%", rat.SpeedupTotal)
+	}
+}
+
+func TestPreshiftAblation(t *testing.T) {
+	r := NewRunner()
+	p, err := BuildPreshift(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + p.String())
+	// §3.1: the paper estimates ~0.5%; ours must be small and positive.
+	if p.AverageSpeedup < 0 || p.AverageSpeedup > 3 {
+		t.Errorf("preshift speedup %.2f%% out of the expected small band", p.AverageSpeedup)
+	}
+	if p.InsertPctOpt > p.InsertPctBase {
+		t.Error("insertion share should not grow with a preshifted tag")
+	}
+}
+
+func TestLowTagSchemes(t *testing.T) {
+	r := NewRunner()
+	rows, err := BuildLowTag(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatLowTag(rows))
+	// §5.2: software low tags approximate row 1's masking elimination
+	// without checking. (Low2 pays extra header checks when checking.)
+	t2, err := BuildTable2(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row1 := t2.Rows[0]
+	for _, lr := range rows {
+		if lr.NoChecking < row1.NoChecking-4 {
+			t.Errorf("%s no-checking speedup %.1f%% too far below hardware row 1 (%.1f%%)",
+				lr.Scheme, lr.NoChecking, row1.NoChecking)
+		}
+	}
+}
+
+func TestDispatchStress(t *testing.T) {
+	d, err := BuildDispatchStress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + d.String())
+	if d.SoftwareOverhead <= 0 {
+		t.Error("wrong-bias software dispatch must cost something")
+	}
+	if d.TrapOverhead <= d.SoftwareOverhead {
+		t.Error("§6.2.2: trap-based dispatch should cost more than software dispatch when the bias always fails")
+	}
+}
+
+func TestShadowRegistersReduceTrapCost(t *testing.T) {
+	d, err := BuildDispatchStress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FloatShadowCycles >= d.FloatTrapCycles {
+		t.Errorf("shadow registers should cut trap cost: %d vs %d",
+			d.FloatShadowCycles, d.FloatTrapCycles)
+	}
+	if d.ShadowOverhead <= 0 {
+		t.Error("even with shadow registers a wrong bias must cost something")
+	}
+}
+
+func TestFigure1Stddev(t *testing.T) {
+	r := NewRunner()
+	f, err := BuildFigure1(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.5: the tag-handling total is "fairly constant" across widely
+	// different programs (paper: sigma 5.6% / 7.5%).
+	if f.StddevWithout <= 0 || f.StddevWithout > 12 {
+		t.Errorf("stddev without checking = %.2f, expected a modest spread", f.StddevWithout)
+	}
+	if f.StddevWith <= 0 || f.StddevWith > 14 {
+		t.Errorf("stddev with checking = %.2f", f.StddevWith)
+	}
+}
+
+func TestTable2Detail(t *testing.T) {
+	r := NewRunner()
+	d, err := BuildTable2Detail(r, Table2Rows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Programs) != 10 || len(d.Off) != 10 || len(d.On) != 10 {
+		t.Fatalf("detail has %d/%d/%d entries", len(d.Programs), len(d.Off), len(d.On))
+	}
+	if s := d.String(); !strings.Contains(s, "inter") {
+		t.Errorf("render missing program rows: %s", s)
+	}
+}

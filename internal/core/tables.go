@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/mipsx"
+	"repro/internal/programs"
+	"repro/internal/tags"
+)
+
+// --- Table 1: percentage increase in execution time when run-time checking
+// is added, split into arithmetic / vector / list contributions -------------
+
+// Table1Row is one program's entry.
+type Table1Row struct {
+	Program string
+	Arith   float64 // generic-arithmetic checking, % of unchecked time
+	Vector  float64 // vector type/index/bounds checking
+	List    float64 // car/cdr (and symbol-cell) checking
+	Total   float64 // total slowdown from enabling checking
+}
+
+// Table1 holds all rows plus the average.
+type Table1 struct {
+	Rows    []Table1Row
+	Average Table1Row
+}
+
+// BuildTable1 runs every program with checking off and on under the
+// baseline scheme and attributes the added cycles by cause.
+func BuildTable1(r *Runner) (*Table1, error) {
+	if err := r.Prewarm(programs.All(), []Config{Baseline(false), Baseline(true)}); err != nil {
+		return nil, err
+	}
+	t := &Table1{}
+	for _, p := range programs.All() {
+		off, err := r.Run(p, Baseline(false))
+		if err != nil {
+			return nil, err
+		}
+		on, err := r.Run(p, Baseline(true))
+		if err != nil {
+			return nil, err
+		}
+		base := float64(off.Stats.Cycles)
+		row := Table1Row{
+			Program: p.Name,
+			Arith:   100 * float64(on.Stats.ByRTSub[mipsx.SubArith]) / base,
+			Vector:  100 * float64(on.Stats.ByRTSub[mipsx.SubVector]) / base,
+			List: 100 * float64(on.Stats.ByRTSub[mipsx.SubList]+
+				on.Stats.ByRTSub[mipsx.SubSymbol]) / base,
+			Total: 100 * (float64(on.Stats.Cycles) - base) / base,
+		}
+		t.Rows = append(t.Rows, row)
+		t.Average.Arith += row.Arith
+		t.Average.Vector += row.Vector
+		t.Average.List += row.List
+		t.Average.Total += row.Total
+	}
+	n := float64(len(t.Rows))
+	t.Average.Program = "average"
+	t.Average.Arith /= n
+	t.Average.Vector /= n
+	t.Average.List /= n
+	t.Average.Total /= n
+	return t, nil
+}
+
+func (t *Table1) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: %% increase in execution time when run-time checking is added\n")
+	fmt.Fprintf(&b, "%-8s %8s %8s %8s %8s\n", "", "arith", "vector", "list", "total")
+	for _, r := range append(t.Rows, t.Average) {
+		fmt.Fprintf(&b, "%-8s %8.2f %8.2f %8.2f %8.2f\n", r.Program, r.Arith, r.Vector, r.List, r.Total)
+	}
+	return b.String()
+}
+
+// --- Figure 1: time spent on each tag-handling operation -------------------
+
+// Figure1Bar is one operation's three bars.
+type Figure1Bar struct {
+	Op      string
+	Without float64 // % of unchecked execution time
+	Added   float64 // checking-only part, % of checked execution time
+	With    float64 // % of checked execution time
+}
+
+// Figure1 holds the four operation groups, averaged over the programs, plus
+// the totals line and the cross-program standard deviations reported in
+// §3.5 (the paper: 5.6%% and 7.5%% — "fairly constant across all programs").
+type Figure1 struct {
+	Bars          []Figure1Bar
+	TotalWithout  float64
+	TotalWith     float64
+	StddevWithout float64
+	StddevWith    float64
+}
+
+// BuildFigure1 averages the per-category shares over the ten programs. Per
+// the paper's costing, "checking" includes extraction and the unused delay
+// slots of check branches; extraction is also shown separately.
+func BuildFigure1(r *Runner) (*Figure1, error) {
+	type acc struct{ without, added, with float64 }
+	cats := []mipsx.Category{mipsx.CatTagInsert, mipsx.CatTagRemove, mipsx.CatTagExtract, mipsx.CatTagCheck}
+	names := []string{"insertion", "removal", "extraction", "checking"}
+	sums := make([]acc, len(cats))
+	var totalWithout, totalWith float64
+	var perProgOff, perProgOn []float64
+	all := programs.All()
+	if err := r.Prewarm(all, []Config{Baseline(false), Baseline(true)}); err != nil {
+		return nil, err
+	}
+	for _, p := range all {
+		off, err := r.Run(p, Baseline(false))
+		if err != nil {
+			return nil, err
+		}
+		on, err := r.Run(p, Baseline(true))
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range cats {
+			offCyc := off.Stats.ByCat[c]
+			onCyc := on.Stats.ByCat[c]
+			// The paper folds extraction into the checking bar; report
+			// the combined figure for "checking".
+			if c == mipsx.CatTagCheck {
+				offCyc += off.Stats.ByCat[mipsx.CatTagExtract]
+				onCyc += on.Stats.ByCat[mipsx.CatTagExtract]
+			}
+			sums[i].without += mipsx.Pct(offCyc, off.Stats.Cycles)
+			sums[i].with += mipsx.Pct(onCyc, on.Stats.Cycles)
+			added := int64(onCyc) - int64(offCyc)
+			if added < 0 {
+				added = 0
+			}
+			sums[i].added += mipsx.Pct(uint64(added), on.Stats.Cycles)
+		}
+		offPct := mipsx.Pct(off.Stats.TagCycles(), off.Stats.Cycles)
+		onPct := mipsx.Pct(on.Stats.TagCycles(), on.Stats.Cycles)
+		totalWithout += offPct
+		totalWith += onPct
+		perProgOff = append(perProgOff, offPct)
+		perProgOn = append(perProgOn, onPct)
+	}
+	n := float64(len(all))
+	f := &Figure1{
+		TotalWithout:  totalWithout / n,
+		TotalWith:     totalWith / n,
+		StddevWithout: stddev(perProgOff),
+		StddevWith:    stddev(perProgOn),
+	}
+	for i := range cats {
+		f.Bars = append(f.Bars, Figure1Bar{
+			Op:      names[i],
+			Without: sums[i].without / n,
+			Added:   sums[i].added / n,
+			With:    sums[i].with / n,
+		})
+	}
+	return f, nil
+}
+
+func stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+func (f *Figure1) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: %% of time spent on tag handling operations (average of 10 programs)\n")
+	fmt.Fprintf(&b, "%-12s %14s %14s %14s\n", "", "w/o checking", "added by chk", "with checking")
+	for _, bar := range f.Bars {
+		fmt.Fprintf(&b, "%-12s %14.2f %14.2f %14.2f\n", bar.Op, bar.Without, bar.Added, bar.With)
+	}
+	fmt.Fprintf(&b, "%-12s %14.2f %14s %14.2f   (insert+removal+checking)\n",
+		"total", f.TotalWithout, "", f.TotalWith)
+	fmt.Fprintf(&b, "%-12s %14.2f %14s %14.2f   (cross-program spread, §3.5)\n",
+		"stddev", f.StddevWithout, "", f.StddevWith)
+	return b.String()
+}
+
+// --- Figure 2: change in instruction frequencies when masking is
+// eliminated (checking off, baseline vs tag-ignoring memory) ----------------
+
+// Figure2 reports deltas as a percentage of the baseline instruction count,
+// averaged over the programs. Negative means fewer.
+type Figure2 struct {
+	And    float64
+	Move   float64
+	Noop   float64
+	Squash float64
+	Total  float64
+}
+
+// BuildFigure2 compares executed-instruction mixes.
+func BuildFigure2(r *Runner) (*Figure2, error) {
+	f := &Figure2{}
+	all := programs.All()
+	if err := r.Prewarm(all, []Config{Baseline(false),
+		{Scheme: tags.High5, HW: tags.HW{MemIgnoresTags: true}}}); err != nil {
+		return nil, err
+	}
+	for _, p := range all {
+		base, err := r.Run(p, Baseline(false))
+		if err != nil {
+			return nil, err
+		}
+		noMask, err := r.Run(p, Config{Scheme: tags.High5, HW: tags.HW{MemIgnoresTags: true}})
+		if err != nil {
+			return nil, err
+		}
+		tot := float64(base.Stats.Instrs)
+		count := func(s *mipsx.Stats, ops ...mipsx.Op) float64 {
+			var n uint64
+			for _, op := range ops {
+				n += s.ByOp[op] // single-cycle ops: cycles == executions
+			}
+			return float64(n)
+		}
+		f.And += 100 * (count(&noMask.Stats, mipsx.AND, mipsx.ANDI) -
+			count(&base.Stats, mipsx.AND, mipsx.ANDI)) / tot
+		f.Move += 100 * (count(&noMask.Stats, mipsx.MOV) - count(&base.Stats, mipsx.MOV)) / tot
+		f.Noop += 100 * (count(&noMask.Stats, mipsx.NOP) - count(&base.Stats, mipsx.NOP)) / tot
+		f.Squash += 100 * (float64(noMask.Stats.Squashed) - float64(base.Stats.Squashed)) / tot
+		f.Total += 100 * (float64(noMask.Stats.Instrs) - tot) / tot
+	}
+	n := float64(len(all))
+	f.And /= n
+	f.Move /= n
+	f.Noop /= n
+	f.Squash /= n
+	f.Total /= n
+	return f, nil
+}
+
+func (f *Figure2) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: change in instruction frequencies when tag removal is eliminated\n")
+	fmt.Fprintf(&b, "(%% of baseline instruction count, checking off; negative = fewer)\n")
+	fmt.Fprintf(&b, "%-8s %8.2f\n", "and", f.And)
+	fmt.Fprintf(&b, "%-8s %8.2f\n", "move", f.Move)
+	fmt.Fprintf(&b, "%-8s %8.2f\n", "noop", f.Noop)
+	fmt.Fprintf(&b, "%-8s %8.2f\n", "squash", f.Squash)
+	fmt.Fprintf(&b, "%-8s %8.2f\n", "total", f.Total)
+	return b.String()
+}
+
+// --- Table 2: speedup for different degrees of hardware support ------------
+
+// Table2Row is one hardware row: percent of cycles eliminated relative to
+// the software baseline, averaged over the programs, with the tag-removal
+// and tag-checking components broken out.
+type Table2Row struct {
+	ID            string
+	Label         string
+	NoChecking    float64
+	WithChecking  float64
+	CheckSavedChk float64 // checking-mode savings attributable to checks
+	MaskSavedChk  float64 // checking-mode savings attributable to masking
+}
+
+// Table2 is the full grid.
+type Table2 struct {
+	Rows []Table2Row
+}
+
+// BuildTable2 measures each hardware row against the software baseline.
+func BuildTable2(r *Runner) (*Table2, error) {
+	t := &Table2{}
+	all := programs.All()
+	cfgs := []Config{Baseline(false), Baseline(true)}
+	for _, row := range Table2Rows {
+		cfgs = append(cfgs,
+			Config{Scheme: tags.High5, HW: row.HW},
+			Config{Scheme: tags.High5, HW: row.HW, Checking: true})
+	}
+	if err := r.Prewarm(all, cfgs); err != nil {
+		return nil, err
+	}
+	for _, row := range Table2Rows {
+		out := Table2Row{ID: row.ID, Label: row.Label}
+		for _, p := range all {
+			for _, chk := range []bool{false, true} {
+				base, err := r.Run(p, Baseline(chk))
+				if err != nil {
+					return nil, err
+				}
+				cfg, err := r.Run(p, Config{Scheme: tags.High5, HW: row.HW, Checking: chk})
+				if err != nil {
+					return nil, err
+				}
+				speedup := 100 * (float64(base.Stats.Cycles) - float64(cfg.Stats.Cycles)) /
+					float64(base.Stats.Cycles)
+				if chk {
+					out.WithChecking += speedup
+					out.MaskSavedChk += 100 * (float64(base.Stats.ByCat[mipsx.CatTagRemove]) -
+						float64(cfg.Stats.ByCat[mipsx.CatTagRemove])) / float64(base.Stats.Cycles)
+					chkBase := base.Stats.ByCat[mipsx.CatTagCheck] + base.Stats.ByCat[mipsx.CatTagExtract]
+					chkCfg := cfg.Stats.ByCat[mipsx.CatTagCheck] + cfg.Stats.ByCat[mipsx.CatTagExtract]
+					out.CheckSavedChk += 100 * (float64(chkBase) - float64(chkCfg)) /
+						float64(base.Stats.Cycles)
+				} else {
+					out.NoChecking += speedup
+				}
+			}
+		}
+		n := float64(len(all))
+		out.NoChecking /= n
+		out.WithChecking /= n
+		out.CheckSavedChk /= n
+		out.MaskSavedChk /= n
+		t.Rows = append(t.Rows, out)
+	}
+	return t, nil
+}
+
+func (t *Table2) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: %% of cycles eliminated for different degrees of hardware support\n")
+	fmt.Fprintf(&b, "%-4s %-36s %12s %12s %10s %10s\n",
+		"row", "", "no checking", "checking", "(check)", "(mask)")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-4s %-36s %12.1f %12.1f %10.1f %10.1f\n",
+			r.ID, r.Label, r.NoChecking, r.WithChecking, r.CheckSavedChk, r.MaskSavedChk)
+	}
+	return b.String()
+}
+
+// --- Table 3: program information ------------------------------------------
+
+// Table3Row describes one program's static size. Like the paper, the
+// library code a program links against is counted with it.
+type Table3Row struct {
+	Program    string
+	Procedures int
+	Lines      int
+	Words      int
+}
+
+// Table3 is the program-size table.
+type Table3 struct {
+	Rows []Table3Row
+}
+
+// BuildTable3 compiles each program once and reports sizes.
+func BuildTable3(r *Runner) (*Table3, error) {
+	t := &Table3{}
+	for _, p := range programs.All() {
+		res, err := r.Run(p, Baseline(false))
+		if err != nil {
+			return nil, err
+		}
+		prog := res.Units["program"]
+		lib := res.Units["lib"]
+		t.Rows = append(t.Rows, Table3Row{
+			Program:    p.Name,
+			Procedures: prog.Procedures + lib.Procedures,
+			Lines:      prog.SourceLines + lib.SourceLines,
+			Words:      prog.ObjectWords + lib.ObjectWords,
+		})
+	}
+	return t, nil
+}
+
+func (t *Table3) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: information on the 10 test programs (user program + library)\n")
+	fmt.Fprintf(&b, "%-8s %12s %10s %12s\n", "", "procedures", "lines", "object words")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-8s %12d %10d %12d\n", r.Program, r.Procedures, r.Lines, r.Words)
+	}
+	return b.String()
+}
+
+// --- Table 2 detail: per-program speedups for one hardware row --------------
+
+// Table2Detail breaks one hardware row down by program.
+type Table2Detail struct {
+	Row      HWRow
+	Programs []string
+	Off, On  []float64
+}
+
+// BuildTable2Detail measures one hardware row per program.
+func BuildTable2Detail(r *Runner, row HWRow) (*Table2Detail, error) {
+	all := programs.All()
+	if err := r.Prewarm(all, []Config{
+		Baseline(false), Baseline(true),
+		{Scheme: tags.High5, HW: row.HW},
+		{Scheme: tags.High5, HW: row.HW, Checking: true},
+	}); err != nil {
+		return nil, err
+	}
+	d := &Table2Detail{Row: row}
+	for _, p := range all {
+		d.Programs = append(d.Programs, p.Name)
+		for _, chk := range []bool{false, true} {
+			base, err := r.Run(p, Baseline(chk))
+			if err != nil {
+				return nil, err
+			}
+			cfg, err := r.Run(p, Config{Scheme: tags.High5, HW: row.HW, Checking: chk})
+			if err != nil {
+				return nil, err
+			}
+			speedup := 100 * (float64(base.Stats.Cycles) - float64(cfg.Stats.Cycles)) /
+				float64(base.Stats.Cycles)
+			if chk {
+				d.On = append(d.On, speedup)
+			} else {
+				d.Off = append(d.Off, speedup)
+			}
+		}
+	}
+	return d, nil
+}
+
+func (d *Table2Detail) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 row %s (%s): %% cycles eliminated per program\n", d.Row.ID, d.Row.Label)
+	fmt.Fprintf(&b, "%-8s %12s %12s\n", "", "no checking", "checking")
+	for i, p := range d.Programs {
+		fmt.Fprintf(&b, "%-8s %12.1f %12.1f\n", p, d.Off[i], d.On[i])
+	}
+	return b.String()
+}

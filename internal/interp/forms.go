@@ -1,0 +1,277 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/sexpr"
+)
+
+func headName(cell *sexpr.Cell) (*sexpr.Sym, []sexpr.Value) {
+	head, ok := cell.Car.(*sexpr.Sym)
+	if !ok {
+		panic(fmt.Errorf("interp: call head is not a symbol: %s", sexpr.String(cell)))
+	}
+	args, err := sexpr.ListVals(cell.Cdr)
+	if err != nil {
+		panic(err)
+	}
+	return head, args
+}
+
+func (ip *Interp) evalForm(cell *sexpr.Cell, en *env) Value {
+	head, args := headName(cell)
+	switch head.Name {
+	case "quote":
+		// Quoted structure is shared by printed form, matching the
+		// image builder's constant pool: (eq '(a) '(a)) is true.
+		if _, isCell := args[0].(*sexpr.Cell); !isCell {
+			return args[0]
+		}
+		key := sexpr.String(args[0])
+		if v, ok := ip.quotes[key]; ok {
+			return v
+		}
+		ip.quotes[key] = args[0]
+		return args[0]
+
+	case "if":
+		if truthy(ip.eval(args[0], en)) {
+			return ip.eval(args[1], en)
+		}
+		if len(args) > 2 {
+			return ip.eval(args[2], en)
+		}
+		return nil
+
+	case "cond":
+		for _, clause := range args {
+			cl, err := sexpr.ListVals(clause)
+			if err != nil || len(cl) == 0 {
+				panic(fmt.Errorf("interp: bad cond clause %s", sexpr.String(clause)))
+			}
+			v := ip.eval(cl[0], en)
+			if truthy(v) {
+				if len(cl) == 1 {
+					return v
+				}
+				return ip.evalBody(cl[1:], en)
+			}
+		}
+		return nil
+
+	case "when":
+		if truthy(ip.eval(args[0], en)) {
+			return ip.evalBody(args[1:], en)
+		}
+		return nil
+
+	case "unless":
+		if !truthy(ip.eval(args[0], en)) {
+			return ip.evalBody(args[1:], en)
+		}
+		return nil
+
+	case "progn":
+		return ip.evalBody(args, en)
+
+	case "let", "let*":
+		binds, err := sexpr.ListVals(args[0])
+		if err != nil {
+			panic(err)
+		}
+		inner := en
+		for _, b := range binds {
+			var sym *sexpr.Sym
+			var init sexpr.Value
+			switch bv := b.(type) {
+			case *sexpr.Sym:
+				sym = bv
+			case *sexpr.Cell:
+				parts, err := sexpr.ListVals(b)
+				if err != nil || len(parts) == 0 {
+					panic(fmt.Errorf("interp: bad binding %s", sexpr.String(b)))
+				}
+				sym = parts[0].(*sexpr.Sym)
+				if len(parts) > 1 {
+					init = parts[1]
+				}
+			}
+			evalEnv := en
+			if head.Name == "let*" {
+				evalEnv = inner
+			}
+			var v Value
+			if init != nil {
+				v = ip.eval(init, evalEnv)
+			}
+			inner = &env{sym: sym, val: v, parent: inner}
+		}
+		return ip.evalBody(args[1:], inner)
+
+	case "setq":
+		var v Value
+		for i := 0; i+1 < len(args); i += 2 {
+			sym := args[i].(*sexpr.Sym)
+			v = ip.eval(args[i+1], en)
+			if b, ok := en.lookup(sym); ok {
+				b.val = v
+			} else {
+				ip.globals[sym] = v
+			}
+		}
+		return v
+
+	case "defvar":
+		sym := args[0].(*sexpr.Sym)
+		if len(args) > 1 {
+			ip.globals[sym] = ip.eval(args[1], en)
+		}
+		return sym
+
+	case "defun":
+		name := args[0].(*sexpr.Sym)
+		plist, err := sexpr.ListVals(args[1])
+		if err != nil {
+			panic(err)
+		}
+		params := make([]*sexpr.Sym, len(plist))
+		for i, p := range plist {
+			params[i] = p.(*sexpr.Sym)
+		}
+		ip.funcs[name] = &fn{name: name, params: params, body: args[2:]}
+		return name
+
+	case "while":
+		for truthy(ip.eval(args[0], en)) {
+			ip.evalBody(args[1:], en)
+		}
+		return nil
+
+	case "dotimes":
+		// Matches the compiler's desugaring exactly: the bound counter
+		// is an ordinary mutable variable re-read by the loop test, so
+		// a body that assigns it changes the iteration.
+		spec, err := sexpr.ListVals(args[0])
+		if err != nil || len(spec) != 2 {
+			panic(fmt.Errorf("interp: bad dotimes spec"))
+		}
+		sym := spec[0].(*sexpr.Sym)
+		n := ip.wantInt(ip.eval(spec[1], en))
+		inner := &env{sym: sym, val: sexpr.Int(0), parent: en}
+		for {
+			i := ip.wantInt(inner.val)
+			if i >= n {
+				return nil
+			}
+			ip.evalBody(args[1:], inner)
+			inner.val = sexpr.Int(ip.wantInt(inner.val) + 1)
+		}
+
+	case "and":
+		var v Value = ip.t()
+		for _, a := range args {
+			v = ip.eval(a, en)
+			if !truthy(v) {
+				return nil
+			}
+		}
+		return v
+
+	case "or":
+		for _, a := range args {
+			if v := ip.eval(a, en); truthy(v) {
+				return v
+			}
+		}
+		return nil
+
+	case "funcall":
+		vals := make([]Value, len(args))
+		for i, a := range args {
+			vals[i] = ip.eval(a, en)
+		}
+		sym, ok := vals[0].(*sexpr.Sym)
+		if !ok {
+			ip.fail(8, vals[0])
+		}
+		f, ok := ip.funcs[sym]
+		if !ok {
+			ip.fail(8, sym)
+		}
+		return ip.apply(f, vals[1:])
+
+	case "error":
+		code := 9
+		var item Value
+		if len(args) >= 1 {
+			if n, ok := args[0].(sexpr.Int); ok {
+				code = int(n)
+			} else {
+				item = ip.eval(args[0], en)
+			}
+		}
+		if len(args) >= 2 {
+			item = ip.eval(args[1], en)
+		}
+		ip.fail(code, item)
+		return nil
+	}
+
+	// Primitives, then user functions.
+	if h, ok := primitives[head.Name]; ok {
+		return h(ip, ip.evalArgs(cell.Cdr, en))
+	}
+	if isCxr(head.Name) {
+		v := ip.eval(args[0], en)
+		mid := head.Name[1 : len(head.Name)-1]
+		for i := len(mid) - 1; i >= 0; i-- {
+			pair, ok := v.(*sexpr.Cell)
+			if !ok {
+				ip.fail(1, v)
+			}
+			if mid[i] == 'a' {
+				v = unwrap(pair.Car)
+			} else {
+				v = unwrap(pair.Cdr)
+			}
+		}
+		return v
+	}
+	f, ok := ip.funcs[head]
+	if !ok {
+		panic(fmt.Errorf("interp: undefined function %q", head.Name))
+	}
+	return ip.apply(f, ip.evalArgs(cell.Cdr, en))
+}
+
+func isCxr(name string) bool {
+	if len(name) < 3 || name[0] != 'c' || name[len(name)-1] != 'r' {
+		return false
+	}
+	mid := name[1 : len(name)-1]
+	for i := 0; i < len(mid); i++ {
+		if mid[i] != 'a' && mid[i] != 'd' {
+			return false
+		}
+	}
+	return len(mid) >= 1
+}
+
+func (ip *Interp) apply(f *fn, args []Value) Value {
+	if len(args) != len(f.params) {
+		panic(fmt.Errorf("interp: %s wants %d args, got %d", f.name, len(f.params), len(args)))
+	}
+	var en *env
+	for i, p := range f.params {
+		en = &env{sym: p, val: args[i], parent: en}
+	}
+	return ip.evalBody(f.body, en)
+}
+
+func (ip *Interp) wantInt(v Value) int64 {
+	n, ok := v.(sexpr.Int)
+	if !ok {
+		ip.fail(4, v)
+	}
+	return int64(n)
+}

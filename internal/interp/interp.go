@@ -1,0 +1,255 @@
+// Package interp is a reference interpreter for the Lisp dialect of
+// internal/lispc, written directly over S-expressions. It exists as a
+// differential oracle: a benchmark program must compute the same result
+// interpreted here and compiled through internal/lispc onto the simulated
+// machine — two implementations that share nothing beyond the reader.
+//
+// The interpreter covers the surface dialect (special forms, the inline
+// primitives, the library functions that internal/rt provides in Lisp) but
+// none of the % sub-primitives, which exist only for the runtime system.
+package interp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sexpr"
+)
+
+// Value is an interpreter value: nil, sexpr.Int, sexpr.Str, *sexpr.Sym,
+// *sexpr.Cell (mutable pairs), *Vector, or Float.
+type Value = any
+
+// Vector is a Lisp vector.
+type Vector struct {
+	Elems []Value
+}
+
+// Float is an IEEE single value (the compiled runtime boxes float32).
+type Float float32
+
+// Err is a Lisp-level error (the analogue of SysError).
+type Err struct {
+	Code int
+	Item Value
+}
+
+func (e *Err) Error() string {
+	return fmt.Sprintf("lisp error %d: %s", e.Code, String(e.Item))
+}
+
+// String renders a value in the same notation the simulated printer and
+// image decoder use.
+func String(v Value) string {
+	var sb strings.Builder
+	writeValue(&sb, v)
+	return sb.String()
+}
+
+func writeValue(sb *strings.Builder, v Value) {
+	switch x := v.(type) {
+	case nil:
+		sb.WriteString("()")
+	case sexpr.Int:
+		sb.WriteString(strconv.FormatInt(int64(x), 10))
+	case sexpr.Str:
+		fmt.Fprintf(sb, "%q", string(x))
+	case *sexpr.Sym:
+		sb.WriteString(x.Name)
+	case Float:
+		fmt.Fprintf(sb, "#float")
+	case *Vector:
+		sb.WriteString("(vector")
+		for _, e := range x.Elems {
+			sb.WriteByte(' ')
+			writeValue(sb, e)
+		}
+		sb.WriteByte(')')
+	case *sexpr.Cell:
+		sb.WriteByte('(')
+		for {
+			writeCar(sb, x.Car)
+			switch cdr := x.Cdr.(type) {
+			case nil:
+				sb.WriteByte(')')
+				return
+			case *sexpr.Cell:
+				sb.WriteByte(' ')
+				x = cdr
+			default:
+				sb.WriteString(" . ")
+				writeCar(sb, cdr)
+				sb.WriteByte(')')
+				return
+			}
+		}
+	default:
+		fmt.Fprintf(sb, "#?%v", v)
+	}
+}
+
+func writeCar(sb *strings.Builder, v sexpr.Value) {
+	// Cells hold sexpr.Value fields; vectors and floats never appear
+	// inside reader-built cells, but interpreter-built cells may hold
+	// them through the any-compatible sexpr.Value interface only if they
+	// implement it — they do not, so mutation stores wrap them (below).
+	writeValue(sb, unwrap(v))
+}
+
+// box adapts an interpreter value for storage in a *sexpr.Cell field, which
+// is typed sexpr.Value. Reader types store directly; vectors and floats are
+// wrapped.
+func box(v Value) sexpr.Value {
+	switch x := v.(type) {
+	case nil:
+		return nil
+	case sexpr.Int, sexpr.Str, *sexpr.Sym, *sexpr.Cell:
+		return x.(sexpr.Value)
+	default:
+		return wrapped{v}
+	}
+}
+
+// wrapped lets non-reader values (vectors, floats) live inside cons cells.
+type wrapped struct{ v Value }
+
+// Write satisfies sexpr.Value.
+func (w wrapped) Write(sb *strings.Builder) { writeValue(sb, w.v) }
+
+func unwrap(v sexpr.Value) Value {
+	if w, ok := v.(wrapped); ok {
+		return w.v
+	}
+	return v
+}
+
+// Interp interprets programs.
+type Interp struct {
+	in      *sexpr.Interner
+	funcs   map[*sexpr.Sym]*fn
+	globals map[*sexpr.Sym]Value
+	plists  map[*sexpr.Sym]Value
+	quotes  map[string]Value // quoted structure, shared by printed form
+	Out     strings.Builder
+	// Steps bounds evaluation to catch runaway programs.
+	Steps int
+}
+
+type fn struct {
+	name   *sexpr.Sym
+	params []*sexpr.Sym
+	body   []sexpr.Value
+}
+
+// New returns an interpreter with the built-in library available.
+func New() *Interp {
+	return &Interp{
+		in:      sexpr.NewInterner(),
+		funcs:   make(map[*sexpr.Sym]*fn),
+		globals: make(map[*sexpr.Sym]Value),
+		plists:  make(map[*sexpr.Sym]Value),
+		quotes:  make(map[string]Value),
+		Steps:   500_000_000,
+	}
+}
+
+// Run evaluates src (defining its functions) and returns the final
+// top-level value.
+func (ip *Interp) Run(src string) (v Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	forms, rerr := sexpr.NewReader(ip.in, src).ReadAll()
+	if rerr != nil {
+		return nil, rerr
+	}
+	for _, f := range forms {
+		v = ip.eval(f, nil)
+	}
+	return v, nil
+}
+
+type env struct {
+	sym    *sexpr.Sym
+	val    Value
+	parent *env
+}
+
+func (e *env) lookup(s *sexpr.Sym) (*env, bool) {
+	for ; e != nil; e = e.parent {
+		if e.sym == s {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+func (ip *Interp) fail(code int, item Value) {
+	panic(&Err{Code: code, Item: item})
+}
+
+func (ip *Interp) t() Value { return ip.in.Intern("t") }
+
+func (ip *Interp) bool2v(b bool) Value {
+	if b {
+		return ip.t()
+	}
+	return nil
+}
+
+func truthy(v Value) bool { return v != nil }
+
+func (ip *Interp) eval(e sexpr.Value, en *env) Value {
+	ip.Steps--
+	if ip.Steps < 0 {
+		panic(fmt.Errorf("interp: step budget exhausted"))
+	}
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case sexpr.Int, sexpr.Str:
+		return v
+	case *sexpr.Sym:
+		if v.Name == "nil" {
+			return nil
+		}
+		if v.Name == "t" {
+			return v
+		}
+		if b, ok := en.lookup(v); ok {
+			return b.val
+		}
+		// Unset globals read as nil, matching the machine's value cells.
+		return ip.globals[v]
+	case *sexpr.Cell:
+		return ip.evalForm(v, en)
+	}
+	panic(fmt.Errorf("interp: cannot evaluate %s", sexpr.String(e)))
+}
+
+func (ip *Interp) evalArgs(l sexpr.Value, en *env) []Value {
+	items, err := sexpr.ListVals(l)
+	if err != nil {
+		panic(err)
+	}
+	out := make([]Value, len(items))
+	for i, a := range items {
+		out[i] = ip.eval(a, en)
+	}
+	return out
+}
+
+func (ip *Interp) evalBody(body []sexpr.Value, en *env) Value {
+	var v Value
+	for _, b := range body {
+		v = ip.eval(b, en)
+	}
+	return v
+}

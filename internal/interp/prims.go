@@ -1,0 +1,483 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sexpr"
+)
+
+type primitive func(ip *Interp, args []Value) Value
+
+var primitives map[string]primitive
+
+func init() {
+	primitives = map[string]primitive{
+		"cons": func(ip *Interp, a []Value) Value {
+			return &sexpr.Cell{Car: box(a[0]), Cdr: box(a[1])}
+		},
+		"list": func(ip *Interp, a []Value) Value {
+			var out Value
+			for i := len(a) - 1; i >= 0; i-- {
+				out = &sexpr.Cell{Car: box(a[i]), Cdr: box(out)}
+			}
+			return out
+		},
+		"rplaca": func(ip *Interp, a []Value) Value {
+			p := wantPair(ip, a[0])
+			p.Car = box(a[1])
+			return p
+		},
+		"rplacd": func(ip *Interp, a []Value) Value {
+			p := wantPair(ip, a[0])
+			p.Cdr = box(a[1])
+			return p
+		},
+		"eq":  func(ip *Interp, a []Value) Value { return ip.bool2v(eqv(a[0], a[1])) },
+		"neq": func(ip *Interp, a []Value) Value { return ip.bool2v(!eqv(a[0], a[1])) },
+		"equal": func(ip *Interp, a []Value) Value {
+			return ip.bool2v(structEqual(a[0], a[1]))
+		},
+		"consp": func(ip *Interp, a []Value) Value { _, ok := a[0].(*sexpr.Cell); return ip.bool2v(ok) },
+		"pairp": func(ip *Interp, a []Value) Value { _, ok := a[0].(*sexpr.Cell); return ip.bool2v(ok) },
+		"atom":  func(ip *Interp, a []Value) Value { _, ok := a[0].(*sexpr.Cell); return ip.bool2v(!ok) },
+		"null":  func(ip *Interp, a []Value) Value { return ip.bool2v(a[0] == nil) },
+		"not":   func(ip *Interp, a []Value) Value { return ip.bool2v(a[0] == nil) },
+		"symbolp": func(ip *Interp, a []Value) Value {
+			_, ok := a[0].(*sexpr.Sym)
+			return ip.bool2v(ok || a[0] == nil)
+		},
+		"intp":    func(ip *Interp, a []Value) Value { _, ok := a[0].(sexpr.Int); return ip.bool2v(ok) },
+		"fixp":    func(ip *Interp, a []Value) Value { _, ok := a[0].(sexpr.Int); return ip.bool2v(ok) },
+		"stringp": func(ip *Interp, a []Value) Value { _, ok := a[0].(sexpr.Str); return ip.bool2v(ok) },
+		"vectorp": func(ip *Interp, a []Value) Value { _, ok := a[0].(*Vector); return ip.bool2v(ok) },
+		"floatp":  func(ip *Interp, a []Value) Value { _, ok := a[0].(Float); return ip.bool2v(ok) },
+		"numberp": func(ip *Interp, a []Value) Value {
+			switch a[0].(type) {
+			case sexpr.Int, Float:
+				return ip.t()
+			}
+			return nil
+		},
+
+		"+":         arith2(func(x, y int64) int64 { return x + y }),
+		"-":         arith2(func(x, y int64) int64 { return x - y }),
+		"*":         arith2(func(x, y int64) int64 { return x * y }),
+		"quotient":  arithDiv(false),
+		"remainder": arithDiv(true),
+		"1+": func(ip *Interp, a []Value) Value {
+			return sexpr.Int(ip.wantInt(a[0]) + 1)
+		},
+		"1-": func(ip *Interp, a []Value) Value {
+			return sexpr.Int(ip.wantInt(a[0]) - 1)
+		},
+		"minus": func(ip *Interp, a []Value) Value { return sexpr.Int(-ip.wantInt(a[0])) },
+		"abs": func(ip *Interp, a []Value) Value {
+			n := ip.wantInt(a[0])
+			if n < 0 {
+				n = -n
+			}
+			return sexpr.Int(n)
+		},
+		"min": func(ip *Interp, a []Value) Value {
+			x, y := ip.wantInt(a[0]), ip.wantInt(a[1])
+			if x < y {
+				return sexpr.Int(x)
+			}
+			return sexpr.Int(y)
+		},
+		"max": func(ip *Interp, a []Value) Value {
+			x, y := ip.wantInt(a[0]), ip.wantInt(a[1])
+			if x > y {
+				return sexpr.Int(x)
+			}
+			return sexpr.Int(y)
+		},
+		"logand": arith2(func(x, y int64) int64 { return x & y }),
+		"logor":  arith2(func(x, y int64) int64 { return x | y }),
+		"logxor": arith2(func(x, y int64) int64 { return x ^ y }),
+		"=":      cmp2(func(x, y int64) bool { return x == y }),
+		"<":      cmp2(func(x, y int64) bool { return x < y }),
+		">":      cmp2(func(x, y int64) bool { return x > y }),
+		"<=":     cmp2(func(x, y int64) bool { return x <= y }),
+		">=":     cmp2(func(x, y int64) bool { return x >= y }),
+		"float": func(ip *Interp, a []Value) Value {
+			if f, ok := a[0].(Float); ok {
+				return f
+			}
+			return Float(ip.wantInt(a[0]))
+		},
+
+		"length": func(ip *Interp, a []Value) Value {
+			n := int64(0)
+			for l := a[0]; ; {
+				c, ok := l.(*sexpr.Cell)
+				if !ok {
+					break
+				}
+				n++
+				l = unwrap(c.Cdr)
+			}
+			return sexpr.Int(n)
+		},
+		"append": func(ip *Interp, a []Value) Value {
+			items := listItems(a[0])
+			out := box(a[1])
+			for i := len(items) - 1; i >= 0; i-- {
+				out = &sexpr.Cell{Car: items[i], Cdr: out}
+			}
+			return unwrap(out)
+		},
+		"reverse": func(ip *Interp, a []Value) Value {
+			var out sexpr.Value
+			for l := a[0]; ; {
+				c, ok := l.(*sexpr.Cell)
+				if !ok {
+					break
+				}
+				out = &sexpr.Cell{Car: c.Car, Cdr: out}
+				l = unwrap(c.Cdr)
+			}
+			return unwrap(out)
+		},
+		"nconc": func(ip *Interp, a []Value) Value {
+			if a[0] == nil {
+				return a[1]
+			}
+			p := wantPair(ip, a[0])
+			for {
+				next, ok := unwrap(p.Cdr).(*sexpr.Cell)
+				if !ok {
+					break
+				}
+				p = next
+			}
+			p.Cdr = box(a[1])
+			return a[0]
+		},
+		"memq": func(ip *Interp, a []Value) Value {
+			for l := a[1]; ; {
+				c, ok := l.(*sexpr.Cell)
+				if !ok {
+					return nil
+				}
+				if eqv(unwrap(c.Car), a[0]) {
+					return c
+				}
+				l = unwrap(c.Cdr)
+			}
+		},
+		"member": func(ip *Interp, a []Value) Value {
+			for l := a[1]; ; {
+				c, ok := l.(*sexpr.Cell)
+				if !ok {
+					return nil
+				}
+				if structEqual(unwrap(c.Car), a[0]) {
+					return c
+				}
+				l = unwrap(c.Cdr)
+			}
+		},
+		"assq":  assocBy(eqv),
+		"assoc": assocBy(structEqual),
+		"nth": func(ip *Interp, a []Value) Value {
+			n := ip.wantInt(a[0])
+			l := a[1]
+			for ; n > 0; n-- {
+				c, ok := l.(*sexpr.Cell)
+				if !ok {
+					ip.fail(1, l)
+				}
+				l = unwrap(c.Cdr)
+			}
+			c, ok := l.(*sexpr.Cell)
+			if !ok {
+				ip.fail(1, l)
+			}
+			return unwrap(c.Car)
+		},
+		"last": func(ip *Interp, a []Value) Value {
+			p := wantPair(ip, a[0])
+			for {
+				next, ok := unwrap(p.Cdr).(*sexpr.Cell)
+				if !ok {
+					return p
+				}
+				p = next
+			}
+		},
+		"copy-list": func(ip *Interp, a []Value) Value {
+			items := listItems(a[0])
+			tail := tailOf(a[0])
+			out := tail
+			for i := len(items) - 1; i >= 0; i-- {
+				out = &sexpr.Cell{Car: items[i], Cdr: out}
+			}
+			return unwrap(out)
+		},
+
+		"get": func(ip *Interp, a []Value) Value {
+			sym := wantSym(ip, a[0])
+			for l := ip.plists[sym]; ; {
+				c, ok := l.(*sexpr.Cell)
+				if !ok {
+					return nil
+				}
+				next := unwrap(c.Cdr).(*sexpr.Cell)
+				if eqv(unwrap(c.Car), a[1]) {
+					return unwrap(next.Car)
+				}
+				l = unwrap(next.Cdr)
+			}
+		},
+		"put": func(ip *Interp, a []Value) Value {
+			sym := wantSym(ip, a[0])
+			for l := ip.plists[sym]; ; {
+				c, ok := l.(*sexpr.Cell)
+				if !ok {
+					break
+				}
+				next := unwrap(c.Cdr).(*sexpr.Cell)
+				if eqv(unwrap(c.Car), a[1]) {
+					next.Car = box(a[2])
+					return a[2]
+				}
+				l = unwrap(next.Cdr)
+			}
+			ip.plists[sym] = &sexpr.Cell{Car: box(a[1]),
+				Cdr: &sexpr.Cell{Car: box(a[2]), Cdr: box(ip.plists[sym])}}
+			return a[2]
+		},
+		"remprop": func(ip *Interp, a []Value) Value {
+			return primitives["put"](ip, []Value{a[0], a[1], nil})
+		},
+		"symbol-plist": func(ip *Interp, a []Value) Value {
+			return ip.plists[wantSym(ip, a[0])]
+		},
+		"symbol-setplist": func(ip *Interp, a []Value) Value {
+			ip.plists[wantSym(ip, a[0])] = a[1]
+			return a[1]
+		},
+		"symbol-name": func(ip *Interp, a []Value) Value {
+			return sexpr.Str(wantSym(ip, a[0]).Name)
+		},
+
+		"make-vector": func(ip *Interp, a []Value) Value {
+			n := ip.wantInt(a[0])
+			if n < 0 {
+				n = 0
+			}
+			v := &Vector{Elems: make([]Value, n)}
+			for i := range v.Elems {
+				v.Elems[i] = a[1]
+			}
+			return v
+		},
+		"vref": func(ip *Interp, a []Value) Value {
+			v, i := wantVector(ip, a[0]), ip.wantInt(a[1])
+			if i < 0 || int(i) >= len(v.Elems) {
+				ip.fail(5, a[1])
+			}
+			return v.Elems[i]
+		},
+		"vset": func(ip *Interp, a []Value) Value {
+			v, i := wantVector(ip, a[0]), ip.wantInt(a[1])
+			if i < 0 || int(i) >= len(v.Elems) {
+				ip.fail(5, a[1])
+			}
+			v.Elems[i] = a[2]
+			return a[2]
+		},
+		"vlength": func(ip *Interp, a []Value) Value {
+			return sexpr.Int(len(wantVector(ip, a[0]).Elems))
+		},
+
+		"princ": func(ip *Interp, a []Value) Value {
+			ip.Out.WriteString(princString(a[0]))
+			return a[0]
+		},
+		"print": func(ip *Interp, a []Value) Value {
+			ip.Out.WriteString(princString(a[0]))
+			ip.Out.WriteByte('\n')
+			return a[0]
+		},
+		"terpri": func(ip *Interp, a []Value) Value {
+			ip.Out.WriteByte('\n')
+			return nil
+		},
+	}
+}
+
+func arith2(op func(x, y int64) int64) primitive {
+	return func(ip *Interp, a []Value) Value {
+		// n-ary chains left-associate like the compiler's expansion.
+		acc := ip.wantInt(a[0])
+		for _, v := range a[1:] {
+			acc = op(acc, ip.wantInt(v))
+		}
+		return sexpr.Int(acc)
+	}
+}
+
+func arithDiv(rem bool) primitive {
+	return func(ip *Interp, a []Value) Value {
+		x, y := ip.wantInt(a[0]), ip.wantInt(a[1])
+		if y == 0 {
+			ip.fail(7, a[1])
+		}
+		if rem {
+			return sexpr.Int(x % y)
+		}
+		return sexpr.Int(x / y)
+	}
+}
+
+func cmp2(op func(x, y int64) bool) primitive {
+	return func(ip *Interp, a []Value) Value {
+		return ip.bool2v(op(ip.wantInt(a[0]), ip.wantInt(a[1])))
+	}
+}
+
+func assocBy(same func(a, b Value) bool) primitive {
+	return func(ip *Interp, a []Value) Value {
+		for l := a[1]; ; {
+			c, ok := l.(*sexpr.Cell)
+			if !ok {
+				return nil
+			}
+			pair, ok := unwrap(c.Car).(*sexpr.Cell)
+			if ok && same(unwrap(pair.Car), a[0]) {
+				return pair
+			}
+			l = unwrap(c.Cdr)
+		}
+	}
+}
+
+func wantPair(ip *Interp, v Value) *sexpr.Cell {
+	p, ok := v.(*sexpr.Cell)
+	if !ok {
+		ip.fail(1, v)
+	}
+	return p
+}
+
+func wantSym(ip *Interp, v Value) *sexpr.Sym {
+	if v == nil {
+		return ip.in.Intern("nil")
+	}
+	s, ok := v.(*sexpr.Sym)
+	if !ok {
+		ip.fail(2, v)
+	}
+	return s
+}
+
+func wantVector(ip *Interp, v Value) *Vector {
+	w, ok := v.(*Vector)
+	if !ok {
+		ip.fail(3, v)
+	}
+	return w
+}
+
+// eqv is machine eq: identity for heap objects, value identity for
+// immediates. Distinct string literals with equal contents are eq on the
+// machine (the image builder memoizes them), so strings compare by value.
+func eqv(a, b Value) bool {
+	switch x := a.(type) {
+	case sexpr.Int:
+		y, ok := b.(sexpr.Int)
+		return ok && x == y
+	case sexpr.Str:
+		y, ok := b.(sexpr.Str)
+		return ok && x == y
+	}
+	return a == b
+}
+
+func structEqual(a, b Value) bool {
+	if eqv(a, b) {
+		return true
+	}
+	x, ok1 := a.(*sexpr.Cell)
+	y, ok2 := b.(*sexpr.Cell)
+	if ok1 && ok2 {
+		return structEqual(unwrap(x.Car), unwrap(y.Car)) &&
+			structEqual(unwrap(x.Cdr), unwrap(y.Cdr))
+	}
+	return false
+}
+
+func listItems(v Value) []sexpr.Value {
+	var out []sexpr.Value
+	for {
+		c, ok := v.(*sexpr.Cell)
+		if !ok {
+			return out
+		}
+		out = append(out, c.Car)
+		v = unwrap(c.Cdr)
+	}
+}
+
+func tailOf(v Value) sexpr.Value {
+	for {
+		c, ok := v.(*sexpr.Cell)
+		if !ok {
+			return box(v)
+		}
+		v = unwrap(c.Cdr)
+	}
+}
+
+// princString renders like the runtime's princ (symbols unquoted, lists in
+// parentheses, floats as truncated integers with an f prefix).
+func princString(v Value) string {
+	var sb strings.Builder
+	var emit func(v Value)
+	emit = func(v Value) {
+		switch x := v.(type) {
+		case nil:
+			sb.WriteString("nil")
+		case sexpr.Int:
+			fmt.Fprintf(&sb, "%d", int64(x))
+		case sexpr.Str:
+			sb.WriteString(string(x))
+		case *sexpr.Sym:
+			sb.WriteString(x.Name)
+		case Float:
+			fmt.Fprintf(&sb, "f%d", int32(x))
+		case *Vector:
+			sb.WriteString("#(")
+			for i, e := range x.Elems {
+				if i > 0 {
+					sb.WriteByte(' ')
+				}
+				emit(e)
+			}
+			sb.WriteByte(')')
+		case *sexpr.Cell:
+			sb.WriteByte('(')
+			for {
+				emit(unwrap(x.Car))
+				switch cdr := unwrap(x.Cdr).(type) {
+				case nil:
+					sb.WriteByte(')')
+					return
+				case *sexpr.Cell:
+					sb.WriteByte(' ')
+					x = cdr
+				default:
+					sb.WriteString(" . ")
+					emit(cdr)
+					sb.WriteByte(')')
+					return
+				}
+			}
+		}
+	}
+	emit(v)
+	return sb.String()
+}

@@ -1,0 +1,48 @@
+// Package layout fixes the simulated memory map shared by the compiler
+// (which embeds addresses as immediates) and the image builder.
+//
+//	0x000        reserved zero page + trap communication area (mipsx)
+//	0x100        global cells (GlobWords words)
+//	GlobRegSave  32-word register save area used by the GC entry glue
+//	StaticBase   static area: symbols, strings, quoted structure
+//	(heap semispaces and the stack are placed by the image builder and
+//	their bounds published in the global cells)
+package layout
+
+// Global cell indices (word offsets from GlobBase).
+const (
+	GlobFromLo    = iota // current from-space low bound (byte address)
+	GlobFromHi           // current from-space high bound
+	GlobToLo             // to-space low bound
+	GlobToHi             // to-space high bound
+	GlobStaticLo         // static area low bound
+	GlobStaticHi         // static area high bound (end of used static)
+	GlobStackBase        // initial SP (stack grows down from here)
+	GlobGCCount          // collections performed (raw count)
+	GlobGCFree           // collector's to-space allocation frontier
+
+	GlobWords = 16
+)
+
+// Byte addresses.
+const (
+	GlobBase    = 0x100
+	GlobRegSave = GlobBase + 4*GlobWords // 32 words
+	StaticBase  = GlobRegSave + 4*32
+)
+
+// GlobAddr returns the byte address of global cell i.
+func GlobAddr(i int) int32 { return int32(GlobBase + 4*i) }
+
+// Names maps the %glob spellings used in runtime Lisp source to indices.
+var Names = map[string]int{
+	"from-lo":    GlobFromLo,
+	"from-hi":    GlobFromHi,
+	"to-lo":      GlobToLo,
+	"to-hi":      GlobToHi,
+	"static-lo":  GlobStaticLo,
+	"static-hi":  GlobStaticHi,
+	"stack-base": GlobStackBase,
+	"gc-count":   GlobGCCount,
+	"gc-free":    GlobGCFree,
+}

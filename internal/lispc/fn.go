@@ -1,0 +1,501 @@
+package lispc
+
+import (
+	"fmt"
+
+	"repro/internal/mipsx"
+	"repro/internal/sexpr"
+)
+
+// Register allocation: locals (parameters and let-bound variables) live in
+// callee-save registers R10..R21, overflowing into frame slots; expression
+// temporaries live in a small caller-save pool and are spilled to dedicated
+// frame slots around calls. R1 is the assembler scratch used inside single
+// emitted sequences and is never live across them. R2 carries results and
+// serves as the merge register of conditionals.
+var tempPool = []uint8{mipsx.RT0, mipsx.RT1, mipsx.RT2, mipsx.RT3, mipsx.RT4, mipsx.RT5}
+
+const (
+	nLocalRegs  = mipsx.RLocN - mipsx.RLoc0 + 1
+	nSpillSlots = 16
+	scratch     = 1 // R1, the per-sequence scratch register
+)
+
+// tempEntry is one live expression temporary.
+type tempEntry struct {
+	reg     uint8
+	spilled bool
+	slot    int32 // frame word index when spilled
+	pinned  bool  // may not be chosen as a spill victim right now
+}
+
+// operand is the result of compiling an expression: either a borrowed
+// register (a local variable or NIL) or an owned temporary. For a borrowed
+// in-register local, sym names the variable so callers can detect aliasing
+// with later mutations (see protect).
+type operand struct {
+	reg uint8
+	tmp *tempEntry // nil when borrowed
+	sym *sexpr.Sym // the local variable borrowed, when applicable
+}
+
+// binding is a lexical variable location.
+type binding struct {
+	sym   *sexpr.Sym
+	reg   uint8 // valid when inReg
+	slot  int32 // frame word index otherwise
+	inReg bool
+}
+
+// fnc compiles a single function.
+type fnc struct {
+	c    *Compiler
+	a    *mipsx.Asm
+	info *FnInfo
+
+	env []binding
+
+	temps     []*tempEntry
+	regInUse  map[uint8]bool
+	slotInUse [nSpillSlots]bool
+
+	nRegLocals    int
+	regLocalNext  int
+	slotLocalMax  int32
+	slotLocalNext int32
+	frameWords    int32
+	leaf          bool
+
+	epilogue mipsx.Label
+	deferred []func()
+
+	labelSeq int
+}
+
+func (f *fnc) errf(format string, args ...any) *Err {
+	return errf(f.info.Name, format, args...)
+}
+
+// compileFunction emits one function: prologue, body, epilogue and any
+// deferred out-of-line blocks (allocation slow paths, generic-arithmetic
+// fallbacks, error raises).
+func (c *Compiler) compileFunction(info *FnInfo, params []*sexpr.Sym, body []sexpr.Value) (err error) {
+	f := &fnc{
+		c:        c,
+		a:        c.A,
+		info:     info,
+		regInUse: make(map[uint8]bool),
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(*Err); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	start := c.A.Len()
+	nLocals := len(params) + countBindings(body)
+	f.nRegLocals = nLocals
+	if f.nRegLocals > nLocalRegs {
+		f.nRegLocals = nLocalRegs
+	}
+	f.slotLocalMax = int32(nLocals - f.nRegLocals)
+	f.leaf = c.callFree(body)
+
+	// Frame layout (word offsets from post-prologue SP):
+	//   [0, nSpillSlots)                temp spill slots
+	//   [nSpillSlots, +slotLocalMax)    overflow locals
+	//   then saved callee-save regs, then saved RA (non-leaf).
+	saveBase := nSpillSlots + f.slotLocalMax
+	f.frameWords = saveBase + int32(f.nRegLocals)
+	if !f.leaf {
+		f.frameWords++
+	}
+
+	a := c.A
+	a.Work()
+	a.Bind(info.Label)
+	a.Addi(mipsx.RSP, mipsx.RSP, -4*f.frameWords)
+	if !f.leaf {
+		a.St(mipsx.RRA, mipsx.RSP, 4*(f.frameWords-1))
+	}
+	for i := 0; i < f.nRegLocals; i++ {
+		a.St(uint8(mipsx.RLoc0+i), mipsx.RSP, 4*(saveBase+int32(i)))
+	}
+	for i, p := range params {
+		b := f.bindLocal(p)
+		if b.inReg {
+			a.Mov(b.reg, uint8(mipsx.RArg0+i))
+		} else {
+			a.St(uint8(mipsx.RArg0+i), mipsx.RSP, 4*b.slot)
+		}
+	}
+
+	f.epilogue = a.NewLabel("")
+	for i, e := range body {
+		if i < len(body)-1 {
+			o := f.expr(e)
+			f.free(o)
+		} else {
+			f.exprTo(e, mipsx.RRet)
+		}
+	}
+
+	a.Work()
+	a.Bind(f.epilogue)
+	for i := 0; i < f.nRegLocals; i++ {
+		a.Ld(uint8(mipsx.RLoc0+i), mipsx.RSP, 4*(saveBase+int32(i)))
+	}
+	if !f.leaf {
+		a.Ld(mipsx.RRA, mipsx.RSP, 4*(f.frameWords-1))
+	}
+	a.Addi(mipsx.RSP, mipsx.RSP, 4*f.frameWords)
+	a.Jr(mipsx.RRA)
+
+	for _, d := range f.deferred {
+		d()
+	}
+	if len(f.temps) != 0 {
+		return f.errf("internal: %d temporaries leaked", len(f.temps))
+	}
+	info.Instrs = c.A.Len() - start
+	return nil
+}
+
+// countBindings over-approximates the number of variable bindings in body;
+// each binding gets its own home for the function's lifetime.
+func countBindings(body []sexpr.Value) int {
+	n := 0
+	var walk func(v sexpr.Value)
+	walk = func(v sexpr.Value) {
+		cell, ok := v.(*sexpr.Cell)
+		if !ok {
+			return
+		}
+		if head, ok := cell.Car.(*sexpr.Sym); ok {
+			switch head.Name {
+			case "quote":
+				return
+			case "let", "let*":
+				if c2, ok := cell.Cdr.(*sexpr.Cell); ok {
+					binds, _ := sexpr.ListVals(c2.Car)
+					n += len(binds)
+				}
+			case "dotimes":
+				n++
+			}
+		}
+		for c := cell; c != nil; {
+			walk(c.Car)
+			next, ok := c.Cdr.(*sexpr.Cell)
+			if !ok {
+				walk(c.Cdr)
+				return
+			}
+			c = next
+		}
+	}
+	for _, e := range body {
+		walk(e)
+	}
+	return n
+}
+
+// callFree reports whether body can be compiled without any JAL (leaf
+// function): no user calls, no funcall, and no primitive with a runtime
+// slow path under the current options.
+func (c *Compiler) callFree(body []sexpr.Value) bool {
+	ok := true
+	var walk func(v sexpr.Value)
+	walk = func(v sexpr.Value) {
+		if !ok {
+			return
+		}
+		cell, isCell := v.(*sexpr.Cell)
+		if !isCell {
+			return
+		}
+		head, _ := cell.Car.(*sexpr.Sym)
+		if head == nil {
+			ok = false
+			return
+		}
+		switch head.Name {
+		case "quote":
+			return
+		case "if", "cond", "when", "unless", "progn", "let", "let*", "setq",
+			"while", "dotimes", "and", "or", "not":
+		default:
+			if !c.primIsCallFree(head.Name) {
+				ok = false
+				return
+			}
+		}
+		rest, err := sexpr.ListVals(cell.Cdr)
+		if err != nil {
+			ok = false
+			return
+		}
+		for _, e := range rest {
+			walk(e)
+		}
+	}
+	for _, e := range body {
+		walk(e)
+	}
+	return ok
+}
+
+// --- temporaries ---------------------------------------------------------
+
+func (f *fnc) allocTemp() *tempEntry {
+	for _, r := range f.c.pool {
+		if !f.regInUse[r] {
+			f.regInUse[r] = true
+			t := &tempEntry{reg: r}
+			f.temps = append(f.temps, t)
+			return t
+		}
+	}
+	// Spill the oldest unpinned register-resident temp.
+	for _, victim := range f.temps {
+		if victim.spilled || victim.pinned {
+			continue
+		}
+		f.spillOne(victim)
+		f.regInUse[victim.reg] = false
+		t := &tempEntry{reg: victim.reg}
+		f.regInUse[t.reg] = true
+		f.temps = append(f.temps, t)
+		return t
+	}
+	panic(f.errf("expression too complex: temporary pool and spill candidates exhausted"))
+}
+
+func (f *fnc) spillOne(t *tempEntry) {
+	slot := int32(-1)
+	for s := range f.slotInUse {
+		if !f.slotInUse[s] {
+			f.slotInUse[s] = true
+			slot = int32(s)
+			break
+		}
+	}
+	if slot < 0 {
+		panic(f.errf("expression too complex: out of spill slots"))
+	}
+	f.a.St(t.reg, mipsx.RSP, 4*slot)
+	t.spilled = true
+	t.slot = slot
+}
+
+// spillAllTemps spills every live register-resident temp (before a call).
+func (f *fnc) spillAllTemps() {
+	for _, t := range f.temps {
+		if !t.spilled {
+			f.spillOne(t)
+			f.regInUse[t.reg] = false
+		}
+	}
+}
+
+// free releases an operand's temporary, if owned.
+func (f *fnc) free(o operand) {
+	if o.tmp == nil {
+		return
+	}
+	t := o.tmp
+	for i, e := range f.temps {
+		if e == t {
+			f.temps = append(f.temps[:i], f.temps[i+1:]...)
+			if t.spilled {
+				f.slotInUse[t.slot] = false
+			} else {
+				f.regInUse[t.reg] = false
+			}
+			return
+		}
+	}
+	panic(f.errf("internal: freeing unknown temp"))
+}
+
+// reg materializes o into a register (reloading a spilled temp) and returns
+// the register. The operand remains owned by the caller.
+func (f *fnc) reg(o operand) uint8 {
+	t := o.tmp
+	if t == nil || !t.spilled {
+		return o.reg
+	}
+	// Reload into a fresh pool register, spilling an unpinned victim when
+	// the pool is full.
+	reload := func(r uint8) uint8 {
+		f.a.Ld(r, mipsx.RSP, 4*t.slot)
+		f.slotInUse[t.slot] = false
+		f.regInUse[r] = true
+		t.spilled = false
+		t.reg = r
+		return r
+	}
+	for _, r := range f.c.pool {
+		if !f.regInUse[r] {
+			return reload(r)
+		}
+	}
+	for _, victim := range f.temps {
+		if victim.spilled || victim.pinned || victim == t {
+			continue
+		}
+		f.spillOne(victim)
+		f.regInUse[victim.reg] = false
+		return reload(victim.reg)
+	}
+	panic(f.errf("expression too complex: no register to reload spilled temp"))
+}
+
+// pin marks operands as unspillable while a primitive emits code using them.
+func (f *fnc) pin(os ...operand) {
+	for _, o := range os {
+		if o.tmp != nil {
+			o.tmp.pinned = true
+		}
+	}
+}
+
+func (f *fnc) unpin(os ...operand) {
+	for _, o := range os {
+		if o.tmp != nil {
+			o.tmp.pinned = false
+		}
+	}
+}
+
+// liveSaved captures the registers of live unspilled temps except the given
+// ones; used by deferred slow paths, which must preserve live temporaries
+// around their runtime call.
+func (f *fnc) liveTempRegs(except ...operand) []uint8 {
+	skip := map[*tempEntry]bool{}
+	for _, o := range except {
+		if o.tmp != nil {
+			skip[o.tmp] = true
+		}
+	}
+	var regs []uint8
+	for _, t := range f.temps {
+		if !t.spilled && !skip[t] {
+			regs = append(regs, t.reg)
+		}
+	}
+	return regs
+}
+
+// --- lexical environment -------------------------------------------------
+
+func (f *fnc) bindLocal(sym *sexpr.Sym) binding {
+	var b binding
+	b.sym = sym
+	if f.regLocalNext < f.nRegLocals {
+		b.inReg = true
+		b.reg = uint8(mipsx.RLoc0 + f.regLocalNext)
+		f.regLocalNext++
+	} else {
+		if f.slotLocalNext >= f.slotLocalMax {
+			panic(f.errf("internal: local slot overflow"))
+		}
+		b.slot = nSpillSlots + f.slotLocalNext
+		f.slotLocalNext++
+	}
+	f.env = append(f.env, b)
+	return b
+}
+
+func (f *fnc) popEnv(n int) {
+	f.env = f.env[:len(f.env)-n]
+}
+
+func (f *fnc) lookup(sym *sexpr.Sym) (binding, bool) {
+	for i := len(f.env) - 1; i >= 0; i-- {
+		if f.env[i].sym == sym {
+			return f.env[i], true
+		}
+	}
+	return binding{}, false
+}
+
+// protect snapshots o into an owned temporary when it borrows a local
+// register that any of the rest expressions may mutate — Lisp argument
+// values are fixed at evaluation time, so (cons x (progn (setq x 2) x))
+// must see the old x in the first position.
+func (f *fnc) protect(o operand, rest ...sexpr.Value) operand {
+	if o.tmp != nil || o.sym == nil {
+		return o
+	}
+	mutated := false
+	for _, e := range rest {
+		if mutatesLocal(e, o.sym) {
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		return o
+	}
+	t := f.allocTemp()
+	f.a.Work()
+	f.a.Mov(t.reg, o.reg)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// mutatesLocal conservatively reports whether evaluating e can assign sym
+// (a setq naming it anywhere, including under shadowing rebinds).
+func mutatesLocal(e sexpr.Value, sym *sexpr.Sym) bool {
+	cell, ok := e.(*sexpr.Cell)
+	if !ok {
+		return false
+	}
+	if head, ok := cell.Car.(*sexpr.Sym); ok {
+		switch head.Name {
+		case "quote":
+			return false
+		case "setq":
+			args, err := sexpr.ListVals(cell.Cdr)
+			if err != nil {
+				return true
+			}
+			for i := 0; i < len(args); i += 2 {
+				if args[i] == sym {
+					return true
+				}
+				if i+1 < len(args) && mutatesLocal(args[i+1], sym) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	for c := cell; c != nil; {
+		if mutatesLocal(c.Car, sym) {
+			return true
+		}
+		next, ok := c.Cdr.(*sexpr.Cell)
+		if !ok {
+			return mutatesLocal(c.Cdr, sym)
+		}
+		c = next
+	}
+	return false
+}
+
+// label creates an anonymous local label.
+func (f *fnc) label() mipsx.Label {
+	f.labelSeq++
+	return f.a.NewLabel("")
+}
+
+// namedLabel creates a label visible in disassembly.
+func (f *fnc) namedLabel(suffix string) mipsx.Label {
+	f.labelSeq++
+	return f.a.NewLabel(fmt.Sprintf("%s.%s%d", f.info.Name, suffix, f.labelSeq))
+}

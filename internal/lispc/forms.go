@@ -1,0 +1,596 @@
+package lispc
+
+import (
+	"repro/internal/mipsx"
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+// expr compiles an expression and returns an operand holding its value.
+func (f *fnc) expr(e sexpr.Value) operand {
+	switch v := e.(type) {
+	case nil:
+		return operand{reg: mipsx.RNil}
+	case sexpr.Int:
+		return f.constOperand(f.intItem(int64(v)))
+	case sexpr.Str:
+		return f.constOperand(f.c.Consts.StringItem(string(v)))
+	case *sexpr.Sym:
+		return f.varRef(v)
+	case *sexpr.Cell:
+		return f.compound(v)
+	}
+	panic(f.errf("cannot compile %s", sexpr.String(e)))
+}
+
+// exprTo compiles e and moves the result into dest (dest must not be a pool
+// register holding a live temp; R2 and local registers are typical).
+func (f *fnc) exprTo(e sexpr.Value, dest uint8) {
+	o := f.expr(e)
+	r := f.reg(o)
+	if r != dest {
+		f.a.Mov(dest, r)
+	}
+	f.free(o)
+}
+
+func (f *fnc) intItem(v int64) uint32 {
+	item, ok := f.c.Opts.Scheme.MakeInt(v)
+	if !ok {
+		panic(f.errf("integer literal %d out of fixnum range", v))
+	}
+	return item
+}
+
+func (f *fnc) constOperand(item uint32) operand {
+	t := f.allocTemp()
+	f.a.Li(t.reg, int32(item))
+	return operand{reg: t.reg, tmp: t}
+}
+
+// varRef compiles a variable reference: lexical local, or global through
+// the symbol's value cell (a single absolute load, since symbol addresses
+// are compile-time constants).
+func (f *fnc) varRef(sym *sexpr.Sym) operand {
+	switch sym.Name {
+	case "nil":
+		return operand{reg: mipsx.RNil}
+	case "t":
+		return f.constOperand(f.c.Consts.SymbolItem("t"))
+	}
+	if b, ok := f.lookup(sym); ok {
+		if b.inReg {
+			return operand{reg: b.reg, sym: sym}
+		}
+		t := f.allocTemp()
+		f.a.Ld(t.reg, mipsx.RSP, 4*b.slot)
+		return operand{reg: t.reg, tmp: t}
+	}
+	// Global: value cell is word 2 of the symbol object.
+	addr := f.c.Opts.Scheme.Addr(f.c.Consts.SymbolItem(sym.Name))
+	t := f.allocTemp()
+	f.a.Ld(t.reg, mipsx.RZero, int32(addr)+4*symValueWord)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// Symbol object layout: [header][name][value][plist][function].
+const (
+	symNameWord  = 1
+	symValueWord = 2
+	symPlistWord = 3
+	symFnWord    = 4
+	symWords     = 5
+)
+
+func (f *fnc) compound(cell *sexpr.Cell) operand {
+	head, ok := cell.Car.(*sexpr.Sym)
+	if !ok {
+		panic(f.errf("call head is not a symbol: %s", sexpr.String(cell)))
+	}
+	args, err := sexpr.ListVals(cell.Cdr)
+	if err != nil {
+		panic(f.errf("improper form: %s", sexpr.String(cell)))
+	}
+	switch head.Name {
+	case "quote":
+		if len(args) != 1 {
+			panic(f.errf("quote wants 1 arg"))
+		}
+		return f.constOperand(f.quoteItem(args[0]))
+	case "if":
+		return f.formIf(args)
+	case "cond":
+		return f.formCond(args)
+	case "when":
+		return f.formIf([]sexpr.Value{args[0], progn(args[1:]), nil})
+	case "unless":
+		return f.formIf([]sexpr.Value{args[0], nil, progn(args[1:])})
+	case "progn":
+		return f.formProgn(args)
+	case "let":
+		return f.formLet(args, false)
+	case "let*":
+		return f.formLet(args, true)
+	case "setq":
+		return f.formSetq(args)
+	case "defvar":
+		if len(args) < 1 {
+			panic(f.errf("defvar wants a name"))
+		}
+		sym, ok := args[0].(*sexpr.Sym)
+		if !ok {
+			panic(f.errf("defvar name is not a symbol"))
+		}
+		f.c.Globals[sym.Name] = true
+		if len(args) >= 2 {
+			o := f.expr(args[1])
+			addr := f.c.Opts.Scheme.Addr(f.c.Consts.SymbolItem(sym.Name))
+			f.a.St(f.reg(o), mipsx.RZero, int32(addr)+4*symValueWord)
+			f.free(o)
+		}
+		return f.constOperand(f.c.Consts.SymbolItem(sym.Name))
+	case "while":
+		return f.formWhile(args)
+	case "dotimes":
+		return f.formDotimes(args)
+	case "and", "or":
+		return f.formAndOr(head.Name == "and", args)
+	case "not", "null":
+		return f.boolValue(&sexpr.Cell{Car: head, Cdr: cell.Cdr})
+	case "funcall":
+		return f.formFuncall(args)
+	case "error":
+		return f.formError(args)
+	}
+	if h := f.primHandler(head.Name); h != nil {
+		return h(f, head.Name, args)
+	}
+	return f.call(head.Name, args)
+}
+
+func (f *fnc) quoteItem(v sexpr.Value) uint32 {
+	switch q := v.(type) {
+	case nil:
+		return f.c.Consts.SymbolItem("nil")
+	case sexpr.Int:
+		return f.intItem(int64(q))
+	case sexpr.Str:
+		return f.c.Consts.StringItem(string(q))
+	case *sexpr.Sym:
+		return f.c.Consts.SymbolItem(q.Name)
+	default:
+		return f.c.Consts.QuoteItem(v)
+	}
+}
+
+func progn(body []sexpr.Value) sexpr.Value {
+	if len(body) == 1 {
+		return body[0]
+	}
+	items := append([]sexpr.Value{&sexpr.Sym{Name: "progn"}}, body...)
+	// Rebuild with a fresh head cell; the "progn" symbol here need not be
+	// interned since compound() only reads its name.
+	return sexpr.List(items...)
+}
+
+// formIf merges both arms through R2, then captures the value in a temp.
+func (f *fnc) formIf(args []sexpr.Value) operand {
+	if len(args) != 2 && len(args) != 3 {
+		panic(f.errf("if wants 2 or 3 args"))
+	}
+	lElse := f.label()
+	lEnd := f.label()
+	f.test(args[0], lElse, false, false)
+	f.exprTo(args[1], mipsx.RRet)
+	f.a.Work()
+	f.a.Jmp(lEnd)
+	f.a.Bind(lElse)
+	if len(args) == 3 && args[2] != nil {
+		f.exprTo(args[2], mipsx.RRet)
+	} else {
+		f.a.Mov(mipsx.RRet, mipsx.RNil)
+	}
+	f.a.Bind(lEnd)
+	t := f.allocTemp()
+	f.a.Mov(t.reg, mipsx.RRet)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func (f *fnc) formCond(args []sexpr.Value) operand {
+	// (cond (test body...)...) desugars to nested ifs.
+	var build func(clauses []sexpr.Value) sexpr.Value
+	build = func(clauses []sexpr.Value) sexpr.Value {
+		if len(clauses) == 0 {
+			return nil
+		}
+		cl, err := sexpr.ListVals(clauses[0])
+		if err != nil || len(cl) == 0 {
+			panic(f.errf("bad cond clause"))
+		}
+		test := cl[0]
+		if s, ok := test.(*sexpr.Sym); ok && s.Name == "t" {
+			return progn(cl[1:])
+		}
+		if len(cl) == 1 {
+			// Clause value is the test itself (or fall through).
+			return sexpr.List(&sexpr.Sym{Name: "or"}, test, build(clauses[1:]))
+		}
+		return sexpr.List(&sexpr.Sym{Name: "if"}, test, progn(cl[1:]), build(clauses[1:]))
+	}
+	return f.expr(build(args))
+}
+
+// formAndOr compiles and/or in value position with Lisp semantics: `and`
+// yields the last value or nil, `or` the first non-nil value. Both merge
+// through R2.
+func (f *fnc) formAndOr(isAnd bool, args []sexpr.Value) operand {
+	if len(args) == 0 {
+		if isAnd {
+			return f.constOperand(f.c.Consts.SymbolItem("t"))
+		}
+		return operand{reg: mipsx.RNil}
+	}
+	f.spillAllTemps()
+	lEnd := f.label()
+	for _, e := range args[:len(args)-1] {
+		f.exprTo(e, mipsx.RRet)
+		f.a.Work()
+		if isAnd {
+			f.a.Beq(mipsx.RRet, mipsx.RNil, lEnd)
+		} else {
+			f.a.Bne(mipsx.RRet, mipsx.RNil, lEnd)
+		}
+	}
+	f.exprTo(args[len(args)-1], mipsx.RRet)
+	f.a.Bind(lEnd)
+	t := f.allocTemp()
+	f.a.Mov(t.reg, mipsx.RRet)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func (f *fnc) formProgn(args []sexpr.Value) operand {
+	if len(args) == 0 {
+		return operand{reg: mipsx.RNil}
+	}
+	for _, e := range args[:len(args)-1] {
+		f.free(f.expr(e))
+	}
+	return f.expr(args[len(args)-1])
+}
+
+func (f *fnc) formLet(args []sexpr.Value, sequential bool) operand {
+	if len(args) < 1 {
+		panic(f.errf("let wants bindings"))
+	}
+	binds, err := sexpr.ListVals(args[0])
+	if err != nil {
+		panic(f.errf("bad let bindings"))
+	}
+	type initPair struct {
+		sym  *sexpr.Sym
+		expr sexpr.Value
+	}
+	var pairs []initPair
+	for _, b := range binds {
+		switch bv := b.(type) {
+		case *sexpr.Sym:
+			pairs = append(pairs, initPair{sym: bv})
+		case *sexpr.Cell:
+			parts, err := sexpr.ListVals(b)
+			if err != nil || len(parts) == 0 || len(parts) > 2 {
+				panic(f.errf("bad let binding %s", sexpr.String(b)))
+			}
+			sym, ok := parts[0].(*sexpr.Sym)
+			if !ok {
+				panic(f.errf("let binds a non-symbol"))
+			}
+			p := initPair{sym: sym}
+			if len(parts) == 2 {
+				p.expr = parts[1]
+			}
+			pairs = append(pairs, p)
+		default:
+			panic(f.errf("bad let binding %s", sexpr.String(b)))
+		}
+	}
+	if sequential {
+		for _, p := range pairs {
+			b := f.bindLocalInit(p.sym, p.expr)
+			_ = b
+		}
+	} else {
+		// Parallel let: evaluate all inits before binding any.
+		ops := make([]operand, len(pairs))
+		for i, p := range pairs {
+			if p.expr != nil {
+				var rest []sexpr.Value
+				for _, later := range pairs[i+1:] {
+					if later.expr != nil {
+						rest = append(rest, later.expr)
+					}
+				}
+				ops[i] = f.protect(f.expr(p.expr), rest...)
+			} else {
+				ops[i] = operand{reg: mipsx.RNil}
+			}
+		}
+		for i, p := range pairs {
+			b := f.bindLocal(p.sym)
+			r := f.reg(ops[i])
+			if b.inReg {
+				if b.reg != r {
+					f.a.Mov(b.reg, r)
+				}
+			} else {
+				f.a.St(r, mipsx.RSP, 4*b.slot)
+			}
+			f.free(ops[i])
+		}
+	}
+	res := f.formProgn(args[1:])
+	// Materialize before unbinding in case the result names a let var.
+	r := f.reg(res)
+	f.popEnv(len(pairs))
+	if res.tmp == nil && r >= mipsx.RLoc0 && r <= mipsx.RLocN {
+		t := f.allocTemp()
+		f.a.Mov(t.reg, r)
+		return operand{reg: t.reg, tmp: t}
+	}
+	return res
+}
+
+func (f *fnc) bindLocalInit(sym *sexpr.Sym, init sexpr.Value) binding {
+	var o operand
+	if init != nil {
+		o = f.expr(init)
+	} else {
+		o = operand{reg: mipsx.RNil}
+	}
+	r := f.reg(o)
+	b := f.bindLocal(sym)
+	if b.inReg {
+		if b.reg != r {
+			f.a.Mov(b.reg, r)
+		}
+	} else {
+		f.a.St(r, mipsx.RSP, 4*b.slot)
+	}
+	f.free(o)
+	return b
+}
+
+func (f *fnc) formSetq(args []sexpr.Value) operand {
+	if len(args) < 2 || len(args)%2 != 0 {
+		panic(f.errf("setq wants pairs"))
+	}
+	var last operand
+	for i := 0; i < len(args); i += 2 {
+		sym, ok := args[i].(*sexpr.Sym)
+		if !ok {
+			panic(f.errf("setq target is not a symbol"))
+		}
+		if i > 0 {
+			f.free(last)
+		}
+		o := f.expr(args[i+1])
+		r := f.reg(o)
+		if b, ok := f.lookup(sym); ok {
+			if b.inReg {
+				if b.reg != r {
+					f.a.Mov(b.reg, r)
+				}
+			} else {
+				f.a.St(r, mipsx.RSP, 4*b.slot)
+			}
+		} else {
+			addr := f.c.Opts.Scheme.Addr(f.c.Consts.SymbolItem(sym.Name))
+			f.a.St(r, mipsx.RZero, int32(addr)+4*symValueWord)
+			f.c.Globals[sym.Name] = true
+		}
+		last = o
+	}
+	return last
+}
+
+func (f *fnc) formWhile(args []sexpr.Value) operand {
+	if len(args) < 1 {
+		panic(f.errf("while wants a condition"))
+	}
+	// Spill live temporaries now: the body is emitted before the test, so
+	// a call inside it would spill them with stores the zero-iteration
+	// path (entry jumps straight to the test) never executes.
+	f.spillAllTemps()
+	lTest := f.label()
+	lBody := f.namedLabel("loop")
+	f.a.Work()
+	f.a.Jmp(lTest)
+	f.a.Bind(lBody)
+	for _, e := range args[1:] {
+		f.free(f.expr(e))
+	}
+	f.a.Bind(lTest)
+	f.test(args[0], lBody, true, true)
+	return operand{reg: mipsx.RNil}
+}
+
+func (f *fnc) formDotimes(args []sexpr.Value) operand {
+	// (dotimes (i n) body...) — i counts 0..n-1.
+	spec, err := sexpr.ListVals(args[0])
+	if err != nil || len(spec) != 2 {
+		panic(f.errf("dotimes wants (var count)"))
+	}
+	sym := spec[0].(*sexpr.Sym)
+	one := sexpr.Int(1)
+	_ = one
+	// Desugar: (let ((i 0)) (while (< i n) body... (setq i (1+ i))))
+	body := append(append([]sexpr.Value{}, args[1:]...),
+		sexpr.List(&sexpr.Sym{Name: "setq"}, sym,
+			sexpr.List(&sexpr.Sym{Name: "1+"}, sym)))
+	while := sexpr.List(append([]sexpr.Value{
+		&sexpr.Sym{Name: "while"},
+		sexpr.List(&sexpr.Sym{Name: "<"}, sym, spec[1]),
+	}, body...)...)
+	let := sexpr.List(&sexpr.Sym{Name: "let"},
+		sexpr.List(sexpr.List(sym, sexpr.Int(0))), while)
+	return f.expr(let)
+}
+
+// call compiles a call to a known function.
+func (f *fnc) call(name string, args []sexpr.Value) operand {
+	fn, ok := f.c.Funcs[name]
+	if !ok {
+		panic(f.errf("call to undefined function %q", name))
+	}
+	if len(args) != fn.NArgs {
+		panic(f.errf("%s wants %d args, got %d", name, fn.NArgs, len(args)))
+	}
+	ops := make([]operand, len(args))
+	for i, e := range args {
+		ops[i] = f.protect(f.expr(e), args[i+1:]...)
+	}
+	f.spillAllTemps()
+	for i, o := range ops {
+		dst := uint8(mipsx.RArg0 + i)
+		if o.tmp != nil && o.tmp.spilled {
+			f.a.Ld(dst, mipsx.RSP, 4*o.tmp.slot)
+		} else if o.reg != dst {
+			f.a.Mov(dst, o.reg)
+		}
+	}
+	for _, o := range ops {
+		f.free(o)
+	}
+	f.a.Jal(fn.Label)
+	t := f.allocTemp()
+	f.a.Mov(t.reg, mipsx.RRet)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// formFuncall dispatches through a symbol's function cell.
+func (f *fnc) formFuncall(args []sexpr.Value) operand {
+	if len(args) < 1 {
+		panic(f.errf("funcall wants a function"))
+	}
+	if len(args)-1 > mipsx.RArgN-mipsx.RArg0+1 {
+		panic(f.errf("funcall with too many args"))
+	}
+	s := f.c.Opts.Scheme
+	hw := f.c.Opts.HW
+	of := f.protect(f.expr(args[0]), args[1:]...)
+	ops := make([]operand, len(args)-1)
+	for i, e := range args[1:] {
+		ops[i] = f.protect(f.expr(e), args[i+2:]...)
+	}
+	f.spillAllTemps()
+	// The function value travels in RT4 (free after the spill, not an
+	// argument register, never the pre-shifted-tag register), with R1 as
+	// test scratch.
+	const fnReg = mipsx.RT4
+	if of.tmp != nil && of.tmp.spilled {
+		f.a.Ld(fnReg, mipsx.RSP, 4*of.tmp.slot)
+	} else {
+		f.a.Mov(fnReg, of.reg)
+	}
+	f.free(of)
+	if f.c.Opts.Checking {
+		f.withSub(mipsx.SubSymbol, true)
+		lerr := f.errLabel(errNotSymbol, fnReg)
+		tags.EmitTypeTest(f.a, s, hw, fnReg, scratch, tags.TSymbol, false, lerr)
+		f.a.Work()
+	}
+	tags.EmitLoadField(f.a, s, hw, fnReg, fnReg, scratch, tags.TSymbol, symFnWord, false)
+	if f.c.Opts.Checking {
+		f.withSub(mipsx.SubSymbol, true)
+		lerr := f.errLabel(errNotFunction, fnReg)
+		if s.NeedsMask() {
+			tags.EmitTypeTest(f.a, s, hw, fnReg, scratch, tags.TCode, false, lerr)
+		} else {
+			tags.EmitIntTest(f.a, s, fnReg, scratch, false, lerr)
+		}
+		f.a.Work()
+	}
+	if s.NeedsMask() {
+		tags.EmitUntag(f.a, s, fnReg, fnReg)
+	}
+	for i, o := range ops {
+		dst := uint8(mipsx.RArg0 + i)
+		if o.tmp != nil && o.tmp.spilled {
+			f.a.Ld(dst, mipsx.RSP, 4*o.tmp.slot)
+		} else if o.reg != dst {
+			f.a.Mov(dst, o.reg)
+		}
+	}
+	for _, o := range ops {
+		f.free(o)
+	}
+	f.a.Work()
+	f.a.Jalr(fnReg)
+	t := f.allocTemp()
+	f.a.Mov(t.reg, mipsx.RRet)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// withSub sets the annotation cause for subsequently emitted check
+// sequences.
+func (f *fnc) withSub(sub mipsx.SubCat, rt bool) {
+	if rt {
+		f.a.CatRT(mipsx.CatWork, sub)
+	} else {
+		f.a.Cat(mipsx.CatWork, sub)
+	}
+}
+
+// Runtime error codes raised via SysError.
+const (
+	errNotPair = iota + 1
+	errNotSymbol
+	errNotVector
+	errNotInt
+	errBadIndex
+	errNotNumber
+	errOverflow
+	errNotFunction
+	errUser
+)
+
+// errLabel returns a label for a deferred error raise: the offending item
+// register is copied to R3 and SysError is invoked with the given code.
+func (f *fnc) errLabel(code int32, offender uint8) mipsx.Label {
+	l := f.namedLabel("err")
+	cat, sub, rt := f.a.Annotation()
+	f.deferred = append(f.deferred, func() {
+		f.a.Restore(cat, sub, rt)
+		f.a.Bind(l)
+		if offender != 3 {
+			f.a.Mov(3, offender)
+		}
+		f.a.Li(mipsx.RRet, code)
+		f.a.Sys(mipsx.SysError)
+		f.a.Work()
+	})
+	return l
+}
+
+// formError compiles (error code-int item-expr).
+func (f *fnc) formError(args []sexpr.Value) operand {
+	code := int64(errUser)
+	var itemExpr sexpr.Value
+	if len(args) >= 1 {
+		if n, ok := args[0].(sexpr.Int); ok {
+			code = int64(n)
+		} else {
+			itemExpr = args[0]
+		}
+	}
+	if len(args) >= 2 {
+		itemExpr = args[1]
+	}
+	if itemExpr != nil {
+		f.exprTo(itemExpr, 3)
+	} else {
+		f.a.Mov(3, mipsx.RNil)
+	}
+	f.a.Li(mipsx.RRet, int32(code))
+	f.a.Sys(mipsx.SysError)
+	return operand{reg: mipsx.RNil}
+}

@@ -1,0 +1,205 @@
+package lispc_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/rt"
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+// exprGen builds random, valid-by-construction expressions of known type so
+// compiled execution can be compared against the reference interpreter.
+// Variables are threaded through generated lets with their types recorded.
+type exprGen struct {
+	seed    int64
+	intVars []string
+	lstVars []string
+}
+
+func (g *exprGen) rnd(m int64) int64 {
+	g.seed = g.seed*6364136223846793005 + 1442695040888963407
+	v := (g.seed >> 33) % m
+	if v < 0 {
+		v += m
+	}
+	return v
+}
+
+var fuzzSyms = []string{"alpha", "beta", "gamma", "delta"}
+
+func (g *exprGen) genInt(d int) string {
+	if d <= 0 || g.rnd(4) == 0 {
+		if len(g.intVars) > 0 && g.rnd(2) == 0 {
+			return g.intVars[g.rnd(int64(len(g.intVars)))]
+		}
+		return fmt.Sprintf("%d", g.rnd(101)-50)
+	}
+	switch g.rnd(10) {
+	case 9:
+		// Mutation inside a subexpression: exercises argument-value
+		// snapshotting (values fixed at evaluation time).
+		if len(g.intVars) > 0 {
+			v := g.intVars[g.rnd(int64(len(g.intVars)))]
+			return fmt.Sprintf("(+ %s (progn (setq %s %s) %s))", v, v, g.genInt(d-1), v)
+		}
+		return g.genInt(d - 1)
+	case 0:
+		return fmt.Sprintf("(+ %s %s)", g.genInt(d-1), g.genInt(d-1))
+	case 1:
+		return fmt.Sprintf("(- %s %s)", g.genInt(d-1), g.genInt(d-1))
+	case 2:
+		return fmt.Sprintf("(* %d %d)", g.rnd(20)-10, g.rnd(20)-10)
+	case 3:
+		return fmt.Sprintf("(quotient %s %d)", g.genInt(d-1), g.rnd(9)+1)
+	case 4:
+		return fmt.Sprintf("(remainder %s %d)", g.genInt(d-1), g.rnd(9)+1)
+	case 5:
+		return fmt.Sprintf("(length %s)", g.genList(d-1))
+	case 6:
+		return fmt.Sprintf("(if %s %s %s)", g.genBool(d-1), g.genInt(d-1), g.genInt(d-1))
+	case 7:
+		return fmt.Sprintf("(min %s %s)", g.genInt(d-1), g.genInt(d-1))
+	default:
+		return fmt.Sprintf("(1+ %s)", g.genInt(d-1))
+	}
+}
+
+func (g *exprGen) genBool(d int) string {
+	if d <= 0 {
+		if g.rnd(2) == 0 {
+			return "t"
+		}
+		return "nil"
+	}
+	switch g.rnd(7) {
+	case 0:
+		return fmt.Sprintf("(< %s %s)", g.genInt(d-1), g.genInt(d-1))
+	case 1:
+		return fmt.Sprintf("(>= %s %s)", g.genInt(d-1), g.genInt(d-1))
+	case 2:
+		return fmt.Sprintf("(eq %s %s)", g.genSym(), g.genSym())
+	case 3:
+		return fmt.Sprintf("(consp %s)", g.genList(d-1))
+	case 4:
+		return fmt.Sprintf("(null %s)", g.genList(d-1))
+	case 5:
+		return fmt.Sprintf("(and %s %s)", g.genBool(d-1), g.genBool(d-1))
+	default:
+		return fmt.Sprintf("(not %s)", g.genBool(d-1))
+	}
+}
+
+func (g *exprGen) genSym() string {
+	return "'" + fuzzSyms[g.rnd(int64(len(fuzzSyms)))]
+}
+
+func (g *exprGen) genList(d int) string {
+	if d <= 0 || g.rnd(4) == 0 {
+		if len(g.lstVars) > 0 && g.rnd(2) == 0 {
+			return g.lstVars[g.rnd(int64(len(g.lstVars)))]
+		}
+		switch g.rnd(3) {
+		case 0:
+			return "nil"
+		case 1:
+			return fmt.Sprintf("'(%d %s)", g.rnd(10), fuzzSyms[g.rnd(4)])
+		default:
+			return fmt.Sprintf("(list %s %s)", g.genSym(), g.genInt(0))
+		}
+	}
+	switch g.rnd(7) {
+	case 6:
+		if len(g.lstVars) > 0 {
+			v := g.lstVars[g.rnd(int64(len(g.lstVars)))]
+			return fmt.Sprintf("(cons 0 (cons (length %s) (progn (setq %s %s) %s)))",
+				v, v, g.genList(d-1), v)
+		}
+		return g.genList(d - 1)
+	case 0:
+		return fmt.Sprintf("(cons %s %s)", g.genInt(d-1), g.genList(d-1))
+	case 1:
+		return fmt.Sprintf("(append %s %s)", g.genList(d-1), g.genList(d-1))
+	case 2:
+		return fmt.Sprintf("(reverse %s)", g.genList(d-1))
+	case 3:
+		return fmt.Sprintf("(if %s %s %s)", g.genBool(d-1), g.genList(d-1), g.genList(d-1))
+	case 4:
+		return fmt.Sprintf("(copy-list %s)", g.genList(d-1))
+	default:
+		return fmt.Sprintf("(memq %s %s)", g.genSym(), g.genList(d-1))
+	}
+}
+
+// genProgram wraps expressions in nested lets that introduce typed
+// variables, returning the whole program text.
+func (g *exprGen) genProgram() string {
+	var b strings.Builder
+	nInts := 1 + g.rnd(2)
+	nLsts := 1 + g.rnd(2)
+	b.WriteString("(let* (")
+	for i := int64(0); i < nInts; i++ {
+		name := fmt.Sprintf("iv%d", i)
+		fmt.Fprintf(&b, "(%s %s) ", name, g.genInt(2))
+		g.intVars = append(g.intVars, name)
+	}
+	for i := int64(0); i < nLsts; i++ {
+		name := fmt.Sprintf("lv%d", i)
+		fmt.Fprintf(&b, "(%s %s) ", name, g.genList(2))
+		g.lstVars = append(g.lstVars, name)
+	}
+	b.WriteString(")\n")
+	// A couple of mutations, then the result tuple.
+	for i := 0; i < 2; i++ {
+		v := g.intVars[g.rnd(int64(len(g.intVars)))]
+		fmt.Fprintf(&b, "  (setq %s %s)\n", v, g.genInt(3))
+	}
+	fmt.Fprintf(&b, "  (list %s %s %s (if %s 'yes 'no)))\n",
+		g.genInt(3), g.genList(3), g.genInt(3), g.genBool(3))
+	return b.String()
+}
+
+// TestCompilerFuzzDifferential generates random typed expression programs
+// and requires the compiled/simulated result to equal the reference
+// interpreter's, under two tag schemes and both checking modes.
+func TestCompilerFuzzDifferential(t *testing.T) {
+	configs := []rt.BuildOptions{
+		{Scheme: tags.High5, Checking: false},
+		{Scheme: tags.High5, Checking: true},
+		{Scheme: tags.Low3, Checking: true},
+		{Scheme: tags.Low2, Checking: true},
+		{Scheme: tags.High6, Checking: true},
+		{Scheme: tags.High5, Checking: true,
+			HW: tags.HW{MemIgnoresTags: true, TagBranch: true, ArithTrap: true, ParallelCheckAll: true}},
+	}
+	for seed := int64(1); seed <= 80; seed++ {
+		g := &exprGen{seed: seed * 2654435761}
+		src := g.genProgram()
+		ip := interp.New()
+		want, err := ip.Run(src)
+		if err != nil {
+			t.Fatalf("seed %d: oracle failed on\n%s\n%v", seed, src, err)
+		}
+		wantStr := interp.String(want)
+		cfgIdx := seed % int64(len(configs))
+		cfg := configs[cfgIdx]
+		img, err := rt.Build(src, cfg)
+		if err != nil {
+			t.Fatalf("seed %d (%v): build failed on\n%s\n%v", seed, cfg.Scheme, src, err)
+		}
+		m := img.NewMachine()
+		m.MaxCycles = 50_000_000
+		if err := m.Run(); err != nil {
+			t.Fatalf("seed %d (%v checking=%v): run failed on\n%s\n%v",
+				seed, cfg.Scheme, cfg.Checking, src, err)
+		}
+		got := sexpr.String(img.DecodeItem(m.Mem, m.Regs[2]))
+		if got != wantStr {
+			t.Errorf("seed %d (%v checking=%v): machine %s, oracle %s\nprogram:\n%s",
+				seed, cfg.Scheme, cfg.Checking, got, wantStr, src)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package lispc compiles a Portable-Standard-Lisp-like dialect to MIPS-X
+// machine code. The compiler is parameterized by tag scheme, hardware
+// configuration and checking mode:
+//
+//   - with run-time checking off, car/cdr compile to mask+load, arithmetic
+//     to raw machine instructions, and vector access to unchecked indexing
+//     (PSL "speed" mode);
+//   - with run-time checking on, every primitive first validates its operand
+//     tags, arithmetic becomes integer-biased generic arithmetic (§2.2), and
+//     vector access adds index-type and bounds checks.
+//
+// Every emitted instruction carries a category annotation (tag insertion /
+// removal / extraction / checking / work) and checks carry a cause (list,
+// vector, arith, symbol, source-level), which is what lets the simulator
+// reproduce the paper's Figures 1-2 and Tables 1-2.
+//
+// The dialect: defun, let, let*, if, cond, when, unless, progn, setq, while,
+// dotimes, and, or, not, quote, plus the inline primitives listed in
+// prims.go. Symbols are interned at image-build time; funcall dispatches
+// through a symbol's function cell.
+package lispc
+
+import (
+	"fmt"
+
+	"repro/internal/mipsx"
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+// Options selects the compilation target.
+type Options struct {
+	Scheme tags.Scheme
+	HW     tags.HW
+	// Checking enables full run-time type checking.
+	Checking bool
+}
+
+// Consts resolves compile-time constants to tagged items. The image
+// builder (internal/rt) implements it: symbols and quoted structures live in
+// the static area, whose layout is fixed before compilation.
+type Consts interface {
+	// SymbolItem returns the item for an interned symbol.
+	SymbolItem(name string) uint32
+	// QuoteItem builds (or reuses) a static structure for a quoted form
+	// and returns its item.
+	QuoteItem(v sexpr.Value) uint32
+	// StringItem builds a static string object.
+	StringItem(s string) uint32
+}
+
+// FnInfo describes a compiled function.
+type FnInfo struct {
+	Name   string
+	Label  mipsx.Label
+	NArgs  int
+	Instrs int // object words, for Table 3
+}
+
+// UnitStats summarizes one compiled unit for Table 3.
+type UnitStats struct {
+	Procedures  int
+	SourceLines int
+	ObjectWords int
+}
+
+// Compiler compiles units into one shared program. All units of an image
+// share the assembler, the function table and the constant pool.
+type Compiler struct {
+	A      *mipsx.Asm
+	Opts   Options
+	Consts Consts
+
+	Funcs map[string]*FnInfo
+
+	// Globals maps global variable names (established by defvar or free
+	// setq) to their defining symbol; the value lives in the symbol's
+	// value cell.
+	Globals map[string]bool
+
+	// pool is the expression-temporary register set; RT5 is withheld when
+	// it is reserved for the pre-shifted pair tag.
+	pool []uint8
+}
+
+// New returns a compiler emitting into a.
+func New(a *mipsx.Asm, opts Options, consts Consts) *Compiler {
+	pool := tempPool
+	if opts.HW.PreshiftedPairTag {
+		pool = tempPool[:len(tempPool)-1] // RT5 holds the pre-shifted tag
+	}
+	return &Compiler{
+		A:       a,
+		Opts:    opts,
+		Consts:  consts,
+		Funcs:   make(map[string]*FnInfo),
+		Globals: make(map[string]bool),
+		pool:    pool,
+	}
+}
+
+// Err is a compilation error with source context.
+type Err struct {
+	Where string
+	Msg   string
+}
+
+func (e *Err) Error() string { return fmt.Sprintf("compile %s: %s", e.Where, e.Msg) }
+
+func errf(where, format string, args ...any) *Err {
+	return &Err{Where: where, Msg: fmt.Sprintf(format, args...)}
+}
+
+// DeclareUnit pre-registers every defun in forms so forward references and
+// mutual recursion resolve, and records globals. Call it for every unit
+// before compiling any of them.
+func (c *Compiler) DeclareUnit(forms []sexpr.Value) error {
+	for _, f := range forms {
+		cell, ok := f.(*sexpr.Cell)
+		if !ok {
+			continue
+		}
+		head, _ := cell.Car.(*sexpr.Sym)
+		if head == nil {
+			continue
+		}
+		switch head.Name {
+		case "defun":
+			parts, err := sexpr.ListVals(f)
+			if err != nil || len(parts) < 3 {
+				return errf("defun", "malformed: %s", sexpr.String(f))
+			}
+			name, ok := parts[1].(*sexpr.Sym)
+			if !ok {
+				return errf("defun", "name is not a symbol: %s", sexpr.String(f))
+			}
+			params, err := sexpr.ListVals(parts[2])
+			if err != nil {
+				return errf(name.Name, "bad parameter list")
+			}
+			if len(params) > mipsx.RArgN-mipsx.RArg0+1 {
+				return errf(name.Name, "too many parameters (max %d)", mipsx.RArgN-mipsx.RArg0+1)
+			}
+			if _, dup := c.Funcs[name.Name]; dup {
+				return errf(name.Name, "redefined")
+			}
+			c.Funcs[name.Name] = &FnInfo{
+				Name:  name.Name,
+				Label: c.A.NewLabel("fn:" + name.Name),
+				NArgs: len(params),
+			}
+		case "defvar":
+			parts, _ := sexpr.ListVals(f)
+			if len(parts) >= 2 {
+				if name, ok := parts[1].(*sexpr.Sym); ok {
+					c.Globals[name.Name] = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CompileUnit compiles every form of a unit. Top-level non-defun forms are
+// gathered into a generated function named by toplevelName (called by the
+// startup glue); pass "" if the unit has only definitions. Returns Table 3
+// statistics for the unit.
+func (c *Compiler) CompileUnit(forms []sexpr.Value, toplevelName string, sourceLines int) (UnitStats, error) {
+	before := c.A.Len()
+	stats := UnitStats{SourceLines: sourceLines}
+	var toplevel []sexpr.Value
+	for _, f := range forms {
+		cell, _ := f.(*sexpr.Cell)
+		var head *sexpr.Sym
+		if cell != nil {
+			head, _ = cell.Car.(*sexpr.Sym)
+		}
+		if head != nil && head.Name == "defun" {
+			if err := c.compileDefun(f); err != nil {
+				return stats, err
+			}
+			stats.Procedures++
+			continue
+		}
+		toplevel = append(toplevel, f)
+	}
+	if toplevelName != "" {
+		body := append([]sexpr.Value{}, toplevel...)
+		if len(body) == 0 {
+			body = []sexpr.Value{sexpr.Int(0)}
+		}
+		info, ok := c.Funcs[toplevelName]
+		if !ok {
+			info = &FnInfo{Name: toplevelName, Label: c.A.NewLabel("fn:" + toplevelName)}
+			c.Funcs[toplevelName] = info
+		}
+		if err := c.compileFunction(info, nil, body); err != nil {
+			return stats, err
+		}
+		stats.Procedures++
+	} else if len(toplevel) > 0 {
+		return stats, errf("unit", "top-level forms but no toplevel name")
+	}
+	stats.ObjectWords = c.A.Len() - before
+	return stats, nil
+}
+
+func (c *Compiler) compileDefun(f sexpr.Value) error {
+	parts, err := sexpr.ListVals(f)
+	if err != nil || len(parts) < 3 {
+		return errf("defun", "malformed: %s", sexpr.String(f))
+	}
+	name := parts[1].(*sexpr.Sym)
+	params, err := sexpr.ListVals(parts[2])
+	if err != nil {
+		return errf(name.Name, "bad parameter list")
+	}
+	info := c.Funcs[name.Name]
+	var syms []*sexpr.Sym
+	for _, p := range params {
+		s, ok := p.(*sexpr.Sym)
+		if !ok {
+			return errf(name.Name, "parameter is not a symbol")
+		}
+		syms = append(syms, s)
+	}
+	return c.compileFunction(info, syms, parts[3:])
+}

@@ -1,0 +1,408 @@
+package lispc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lispc"
+	"repro/internal/mipsx"
+	"repro/internal/rt"
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+// build compiles src into an image (the builder owns the Consts pool).
+func build(t *testing.T, src string, opts rt.BuildOptions) (*rt.Image, error) {
+	t.Helper()
+	return rt.Build(src, opts)
+}
+
+func run(t *testing.T, src string, opts rt.BuildOptions) string {
+	t.Helper()
+	img, err := build(t, src, opts)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	m := img.NewMachine()
+	m.MaxCycles = 100_000_000
+	if err := m.Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, m.Output.String())
+	}
+	return sexpr.String(img.DecodeItem(m.Mem, m.Regs[2]))
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined function":   `(frobnicate 1)`,
+		"wrong arity":          `(defun g (x) x) (g 1 2)`,
+		"too many params":      `(defun h (a b c d e f g) a) (h 1 2 3 4 5 6 7)`,
+		"redefinition":         `(defun f (x) x) (defun f (y) y) (f 1)`,
+		"bad let binding":      `(let ((1 2)) 3)`,
+		"bad quote arity":      `(quote a b)`,
+		"setq non-symbol":      `(setq 3 4)`,
+		"if arity":             `(if 1)`,
+		"fixnum overflow":      `(+ 1 99999999999)`,
+		"bad cond clause":      `(cond ())`,
+		"improper form":        `(car . 5)`,
+		"unknown raw register": `(%reg bogus)`,
+		"unknown global":       `(%glob bogus)`,
+	}
+	for name, src := range cases {
+		if _, err := build(t, src, rt.BuildOptions{Scheme: tags.High5}); err == nil {
+			t.Errorf("%s: expected a compile error for %q", name, src)
+		}
+	}
+}
+
+func TestCompileErrType(t *testing.T) {
+	_, err := build(t, `(frobnicate 1)`, rt.BuildOptions{Scheme: tags.High5})
+	var ce *lispc.Err
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "frobnicate") {
+		t.Errorf("error %q should name the missing function", err)
+	}
+	_ = ce
+}
+
+func TestSpecialFormSemantics(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{`(if nil 1 2)`, "2"},
+		{`(if 0 1 2)`, "1"}, // 0 is not nil
+		{`(when t 1 2 3)`, "3"},
+		{`(when nil 1)`, "()"},
+		{`(unless nil 4)`, "4"},
+		{`(cond (nil 1) (t 2) (t 3))`, "2"},
+		{`(cond ((eq 'a 'b) 1))`, "()"},
+		{`(and 1 2 3)`, "3"},
+		{`(and 1 nil 3)`, "()"},
+		{`(and)`, "t"},
+		{`(or nil nil 7)`, "7"},
+		{`(or nil nil)`, "()"},
+		{`(or)`, "()"},
+		{`(let ((x 1) (y 2)) (+ x y))`, "3"},
+		{`(let ((x 1)) (let ((x 2) (y x)) (+ x y)))`, "3"}, // parallel let sees outer x
+		{`(let* ((x 1) (y (+ x 1))) (+ x y))`, "3"},        // sequential let*
+		{`(progn 1 2 3)`, "3"},
+		{`(progn)`, "()"},
+		{`(let ((n 0)) (dotimes (i 5) (setq n (+ n i))) n)`, "10"},
+		{`(let ((i 0)) (while (< i 7) (setq i (1+ i))) i)`, "7"},
+		{`(setq g1 5) (setq g1 (+ g1 1)) g1`, "6"},
+		{`'(a . 4)`, "(a . 4)"},
+		{`(car '(a b))`, "a"},
+		{`(cadr '(a b))`, "b"},
+		{`(caddr '(a b c))`, "c"},
+		{`(cddr '(a b c d))`, "(c d)"},
+		{`(caar '((x) y))`, "x"},
+	} {
+		for _, chk := range []bool{false, true} {
+			got := run(t, tc.src, rt.BuildOptions{Scheme: tags.High5, Checking: chk})
+			if got != tc.want {
+				t.Errorf("%q (checking=%v) = %s, want %s", tc.src, chk, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{`(+ 2 3)`, "5"},
+		{`(- 2 3)`, "-1"},
+		{`(* -4 3)`, "-12"},
+		{`(quotient 7 2)`, "3"},
+		{`(quotient -7 2)`, "-3"},
+		{`(remainder 7 2)`, "1"},
+		{`(remainder -7 2)`, "-1"},
+		{`(1+ 41)`, "42"},
+		{`(1- 0)`, "-1"},
+		{`(minus 5)`, "-5"},
+		{`(abs -9)`, "9"},
+		{`(min 3 8)`, "3"},
+		{`(max 3 8)`, "8"},
+		{`(logand 12 10)`, "8"},
+		{`(logor 12 10)`, "14"},
+		{`(logxor 12 10)`, "6"},
+		{`(+ 1 2 3 4)`, "10"}, // n-ary
+		{`(if (< 1 2) 'lt 'ge)`, "lt"},
+		{`(if (>= 2 2) 'ge 'lt)`, "ge"},
+		{`(if (= 3 3) 'eq 'ne)`, "eq"},
+	} {
+		for _, k := range []tags.Kind{tags.High5, tags.High6, tags.Low3, tags.Low2} {
+			for _, chk := range []bool{false, true} {
+				got := run(t, tc.src, rt.BuildOptions{Scheme: k, Checking: chk})
+				if got != tc.want {
+					t.Errorf("%q (%v checking=%v) = %s, want %s", tc.src, k, chk, got, tc.want)
+				}
+			}
+		}
+	}
+}
+
+func TestPredicateSemantics(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{`(consp '(1))`, "t"},
+		{`(consp 'a)`, "()"},
+		{`(consp nil)`, "()"}, // nil is a symbol, not a pair
+		{`(atom 'a)`, "t"},
+		{`(atom '(1))`, "()"},
+		{`(symbolp 'a)`, "t"},
+		{`(symbolp nil)`, "t"},
+		{`(symbolp 3)`, "()"},
+		{`(intp 3)`, "t"},
+		{`(intp -3)`, "t"},
+		{`(intp 'a)`, "()"},
+		{`(numberp 4)`, "t"},
+		{`(numberp (float 4))`, "t"},
+		{`(numberp 'x)`, "()"},
+		{`(vectorp (make-vector 2 0))`, "t"},
+		{`(vectorp '(1 2))`, "()"},
+		{`(stringp "s")`, "t"},
+		{`(floatp (float 1))`, "t"},
+		{`(floatp 1)`, "()"},
+		{`(eq 'a 'a)`, "t"},
+		{`(eq 'a 'b)`, "()"},
+		{`(eq 3 3)`, "t"}, // fixnums are immediate
+		{`(null nil)`, "t"},
+		{`(null '(1))`, "()"},
+		{`(not 4)`, "()"},
+		{`(equal '(1 (2 3)) '(1 (2 3)))`, "t"},
+		{`(equal '(1 2) '(1 3))`, "()"},
+	} {
+		for _, k := range []tags.Kind{tags.High5, tags.Low3, tags.Low2} {
+			got := run(t, tc.src, rt.BuildOptions{Scheme: k, Checking: true})
+			if got != tc.want {
+				t.Errorf("%q (%v) = %s, want %s", tc.src, k, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestDeepExpressionSpilling(t *testing.T) {
+	// Deeply nested operand trees exercise the spill machinery.
+	src := `
+(defun f (a) (+ a 1))
+(+ (+ (+ (f 1) (f 2)) (+ (f 3) (f 4)))
+   (+ (+ (f 5) (f 6)) (+ (f 7) (+ (f 8) (+ (f 9) (f 10))))))`
+	for _, chk := range []bool{false, true} {
+		got := run(t, src, rt.BuildOptions{Scheme: tags.High5, Checking: chk})
+		if got != "65" {
+			t.Errorf("checking=%v: got %s, want 65", chk, got)
+		}
+	}
+}
+
+func TestRecursionDeepStack(t *testing.T) {
+	src := `
+(defun len2 (l n) (if (null l) n (len2 (cdr l) (1+ n))))
+(defun build (n) (if (= n 0) nil (cons n (build (- n 1)))))
+(len2 (build 500) 0)`
+	got := run(t, src, rt.BuildOptions{Scheme: tags.High5, Checking: true})
+	if got != "500" {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestRuntimeTypeErrors(t *testing.T) {
+	cases := []string{
+		`(car 42)`,
+		`(cdr 42)`,
+		`(rplaca 3 4)`,
+		`(vref '(1 2) 0)`,
+		`(vref (make-vector 2 0) 5)`,
+		`(vref (make-vector 2 0) -1)`,
+		`(vref (make-vector 2 0) 'x)`,
+		`(vlength 9)`,
+		`(+ 'a 1)`,
+		`(quotient 1 0)`,
+		`(funcall 'no-such-fn 1)`,
+		`(funcall 12 1)`,
+	}
+	for _, src := range cases {
+		img, err := build(t, src, rt.BuildOptions{Scheme: tags.High5, Checking: true})
+		if err != nil {
+			t.Fatalf("%q: build: %v", src, err)
+		}
+		m := img.NewMachine()
+		m.MaxCycles = 50_000_000
+		if err := m.Run(); err == nil {
+			t.Errorf("%q: expected a runtime type error", src)
+		}
+	}
+}
+
+func TestUncheckedModeSkipsChecks(t *testing.T) {
+	// Without checking, a checked program's car/cdr compile to bare
+	// loads — cycle counts must be strictly lower.
+	src := `
+(defun walk (l n) (if (consp l) (walk (cdr l) (1+ n)) n))
+(walk '(1 2 3 4 5 6 7 8) 0)`
+	var cycles [2]uint64
+	for i, chk := range []bool{false, true} {
+		img, err := build(t, src, rt.BuildOptions{Scheme: tags.High5, Checking: chk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := img.NewMachine()
+		m.MaxCycles = 10_000_000
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		cycles[i] = m.Stats.Cycles
+		if m.Stats.ByRTSub[mipsx.SubList] > 0 != chk {
+			t.Errorf("checking=%v: list-check cycles = %d", chk, m.Stats.ByRTSub[mipsx.SubList])
+		}
+	}
+	if cycles[1] <= cycles[0] {
+		t.Errorf("checking should cost cycles: %d vs %d", cycles[1], cycles[0])
+	}
+}
+
+func TestConstantOperandsSkipIntTests(t *testing.T) {
+	// (+ x 1) needs one operand test; (+ x y) needs two. Compare check
+	// cycles of two otherwise identical loops.
+	run := func(src string) uint64 {
+		img, err := build(t, src, rt.BuildOptions{Scheme: tags.High5, Checking: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := img.NewMachine()
+		m.MaxCycles = 10_000_000
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats.ByRTSub[mipsx.SubArith]
+	}
+	constSrc := `(let ((x 0) (i 0)) (while (< i 100) (setq x (+ x 1)) (setq i (+ i 1))) x)`
+	varSrc := `(let ((x 0) (one 1) (i 0)) (while (< i 100) (setq x (+ x one)) (setq i (+ i one))) x)`
+	c, v := run(constSrc), run(varSrc)
+	if c >= v {
+		t.Errorf("constant-operand arith checks (%d) should cost less than variable ones (%d)", c, v)
+	}
+}
+
+func TestStringsAndPrinting(t *testing.T) {
+	img, err := build(t, `
+(princ "hello, ")
+(princ 'world)
+(princ " ")
+(princ -7)
+(terpri)
+(print '(a (b . 3) #unused))
+0`, rt.BuildOptions{Scheme: tags.High5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := img.NewMachine()
+	m.MaxCycles = 50_000_000
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "hello, world -7\n(a (b . 3) #unused)\n"
+	if got := m.Output.String(); got != want {
+		t.Errorf("output %q, want %q", got, want)
+	}
+}
+
+func TestLibraryFunctions(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{`(length '(a b c))`, "3"},
+		{`(length nil)`, "0"},
+		{`(append nil '(1))`, "(1)"},
+		{`(append '(1 2) nil)`, "(1 2)"},
+		{`(reverse '(1 2 3))`, "(3 2 1)"},
+		{`(nconc (list 1 2) (list 3))`, "(1 2 3)"},
+		{`(memq 'b '(a b c))`, "(b c)"},
+		{`(memq 'z '(a b c))`, "()"},
+		{`(member '(1) '((0) (1) (2)))`, "((1) (2))"},
+		{`(assq 'b '((a . 1) (b . 2)))`, "(b . 2)"},
+		{`(assoc '(k) '(((j) . 1) ((k) . 2)))`, "((k) . 2)"},
+		{`(nth 2 '(a b c d))`, "c"},
+		{`(last '(1 2 3))`, "(3)"},
+		{`(copy-list '(1 (2) 3))`, "(1 (2) 3)"},
+		{`(list 1 'a "s")`, `(1 a "s")`},
+		{`(list)`, "()"},
+	} {
+		got := run(t, tc.src, rt.BuildOptions{Scheme: tags.High5, Checking: true})
+		if got != tc.want {
+			t.Errorf("%q = %s, want %s", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestZeroIterationLoopInsideExpression(t *testing.T) {
+	// A while whose body contains a call, nested as the second argument
+	// of a cons whose first argument is a live temporary: the loop may
+	// execute zero times, and the temporary must survive either way.
+	// (Regression: the body's spill stores used to be skipped by the
+	// zero-iteration entry path.)
+	src := `
+(defun g (x) x)
+(defun trial (n)
+  (cons (g 41) (progn (while (> n 0) (g n) (setq n (- n 1))) n)))
+(cons (trial 0) (trial 3))`
+	for _, chk := range []bool{false, true} {
+		got := run(t, src, rt.BuildOptions{Scheme: tags.High5, Checking: chk})
+		if got != "((41 . 0) 41 . 0)" {
+			t.Errorf("checking=%v: got %s, want ((41 . 0) 41 . 0)", chk, got)
+		}
+	}
+}
+
+func TestArgumentValuesFixedAtEvaluation(t *testing.T) {
+	// Lisp fixes each argument's value when it is evaluated; a later
+	// argument mutating the same variable must not retroactively change
+	// an earlier one. (Regression: borrowed-register operands used to
+	// alias the variable.)
+	for _, tc := range []struct{ src, want string }{
+		{`(let ((x 1)) (cons x (progn (setq x 2) x)))`, "(1 . 2)"},
+		{`(let ((x 1)) (list x (setq x 5) x))`, "(1 5 5)"},
+		{`(let ((x 3) (y 4)) (+ x (progn (setq x 100) y)))`, "7"},
+		{`(let ((x 2)) (* x (progn (setq x 9) x)))`, "18"},
+		{`(defun two (a b) (cons a b)) (let ((x 1)) (two x (progn (setq x 8) x)))`, "(1 . 8)"},
+		{`(let ((v (make-vector 2 0)) (i 0)) (vset v i (progn (setq i 1) 7)) (list (vref v 0) (vref v 1)))`, "(7 0)"},
+		{`(let ((x 'a)) (eq x (progn (setq x 'b) x)))`, "()"},
+		{`(let ((x 1)) (if (< x (progn (setq x 0) 2)) 'lt 'ge))`, "lt"},
+		{`(let ((x 1) (acc nil))
+   (while (< x 4)
+     (setq acc (cons x (progn (setq x (1+ x)) acc))))
+   acc)`, "(3 2 1)"},
+	} {
+		for _, k := range []tags.Kind{tags.High5, tags.Low3} {
+			for _, chk := range []bool{false, true} {
+				got := run(t, tc.src, rt.BuildOptions{Scheme: k, Checking: chk})
+				if got != tc.want {
+					t.Errorf("%q (%v checking=%v) = %s, want %s", tc.src, k, chk, got, tc.want)
+				}
+			}
+		}
+	}
+}
+
+func TestDotimesVarMutationMatchesOracle(t *testing.T) {
+	src := `
+(let ((hits 0))
+  (dotimes (i 10)
+    (setq hits (1+ hits))
+    (setq i (+ i 1)))
+  hits)`
+	got := run(t, src, rt.BuildOptions{Scheme: tags.High5, Checking: true})
+	if got != "5" {
+		t.Errorf("compiled dotimes mutation = %s, want 5", got)
+	}
+}
+
+func TestQuotedConstantsShared(t *testing.T) {
+	// The constant pool memoizes identical quoted structure, so eq holds
+	// across occurrences (and the interpreter oracle agrees).
+	for _, tc := range []struct{ src, want string }{
+		{`(eq '(a b) '(a b))`, "t"},
+		{`(eq '(a b) '(a c))`, "()"},
+		{`(eq "s" "s")`, "t"},
+	} {
+		got := run(t, tc.src, rt.BuildOptions{Scheme: tags.High5, Checking: true})
+		if got != tc.want {
+			t.Errorf("%q = %s, want %s", tc.src, got, tc.want)
+		}
+	}
+}

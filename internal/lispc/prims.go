@@ -1,0 +1,1400 @@
+package lispc
+
+import (
+	"strings"
+
+	"repro/internal/layout"
+	"repro/internal/mipsx"
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+// primFn compiles one primitive application.
+type primFn func(f *fnc, name string, args []sexpr.Value) operand
+
+// primHandler resolves a primitive by name, including the c[ad]+r family.
+func (f *fnc) primHandler(name string) primFn {
+	if h, ok := prims[name]; ok {
+		return h
+	}
+	if isCadr(name) {
+		return primCadr
+	}
+	return nil
+}
+
+func isCadr(name string) bool {
+	if len(name) < 4 || name[0] != 'c' || name[len(name)-1] != 'r' {
+		return false
+	}
+	mid := name[1 : len(name)-1]
+	if len(mid) < 2 {
+		return false
+	}
+	for i := 0; i < len(mid); i++ {
+		if mid[i] != 'a' && mid[i] != 'd' {
+			return false
+		}
+	}
+	return true
+}
+
+// primIsCallFree reports whether the named primitive compiles without JAL
+// under the current options (used for leaf-function detection).
+func (c *Compiler) primIsCallFree(name string) bool {
+	switch name {
+	case "car", "cdr", "rplaca", "rplacd", "eq", "neq", "consp", "pairp",
+		"atom", "symbolp", "vectorp", "stringp", "floatp", "intp", "fixp",
+		"numberp", "vref", "vset", "vlength", "symbol-plist", "symbol-setplist",
+		"symbol-name", "symbol-value", "set":
+		return true
+	case "+", "-", "*", "1+", "1-", "minus", "quotient", "remainder",
+		"=", "<", ">", "<=", ">=":
+		return !c.Opts.Checking
+	case "logand", "logor", "logxor":
+		return true // checked forms raise errors via SYS, not calls
+	}
+	if strings.HasPrefix(name, "%") {
+		return name != "%gc" && name != "%ensure-heap"
+	}
+	if isCadr(name) {
+		return true
+	}
+	return false // cons, list, make-vector, user calls, funcall, ...
+}
+
+var prims map[string]primFn
+
+func init() {
+	prims = map[string]primFn{
+		"car": primCarCdr, "cdr": primCarCdr,
+		"rplaca": primRplac, "rplacd": primRplac,
+		"cons": primCons, "list": primList,
+		"eq": primBoolWrap, "neq": primBoolWrap,
+		"consp": primBoolWrap, "pairp": primBoolWrap, "atom": primBoolWrap,
+		"symbolp": primBoolWrap, "vectorp": primBoolWrap, "stringp": primBoolWrap,
+		"floatp": primBoolWrap, "intp": primBoolWrap, "fixp": primBoolWrap,
+		"numberp": primBoolWrap,
+		"=":       primBoolWrap, "<": primBoolWrap, ">": primBoolWrap,
+		"<=": primBoolWrap, ">=": primBoolWrap,
+		"%=": primBoolWrap, "%<": primBoolWrap, "%<=": primBoolWrap,
+		"%>": primBoolWrap, "%>=": primBoolWrap,
+		"%headerp": primBoolWrap, "%heapptrp": primBoolWrap, "%fits-fixnum": primBoolWrap,
+		"+": primArith, "-": primArith, "*": primArith,
+		"quotient": primArith, "remainder": primArith,
+		"1+": primIncDec, "1-": primIncDec, "minus": primMinus,
+		"logand": primLogical, "logor": primLogical, "logxor": primLogical,
+		"vref": primVref, "vset": primVset, "vlength": primVlength,
+		"symbol-plist": primSymField, "symbol-name": primSymField,
+		"symbol-value": primSymField, "symbol-setplist": primSymSetField,
+		"set": primSymSetField,
+
+		// Raw sub-primitives for the runtime system (always unchecked).
+		"%i": primRawImm, "%+": primRaw2, "%-": primRaw2,
+		"%*": primRaw2, "%/": primRaw2, "%rem": primRaw2,
+		"%&": primRaw2, "%|": primRaw2, "%^": primRaw2,
+		"%<<": primRawShift, "%>>": primRawShift,
+		"%read": primRawRead, "%write": primRawWrite,
+		"%tag": primRawTag, "%untag": primRawUntag, "%retag": primRawRetag,
+		"%hdr-size": primRawHdrSize, "%mkheader": primRawMkHeader,
+		"%mkptr": primRawMkPtr, "%align": primRawAlign, "%aligno": primRawAlignOff,
+		"%reg": primRawReg, "%setreg": primRawSetReg,
+		"%glob": primRawGlob, "%setglob": primRawSetGlob, "%globaddr": primRawGlobAddr,
+		"%putchar": primRawSys, "%putint": primRawSys, "%gcnotify": primRawSys,
+		"%halt": primRawSys,
+		"%gc":   primRawGC, "%ensure-heap": primEnsureHeap,
+		"%trap-a": primTrapCell, "%trap-b": primTrapCell, "%trap-op": primTrapCell,
+		"%trap-result": primTrapSetCell, "%trap-return": primTrapReturn,
+		"%hdr-type": primRawHdrType,
+		"%int->raw": primIntRaw, "%raw->int": primRawInt,
+		"%fadd": primFloat2, "%fsub": primFloat2, "%fmul": primFloat2,
+		"%fdiv": primFloat2, "%flt": primFloat2, "%feq": primFloat2,
+		"%itof": primFloat1, "%ftoi": primFloat1,
+	}
+}
+
+// --- list primitives ------------------------------------------------------
+
+func primCarCdr(f *fnc, name string, args []sexpr.Value) operand {
+	if len(args) != 1 {
+		panic(f.errf("%s wants 1 arg", name))
+	}
+	word := int32(0)
+	if name == "cdr" {
+		word = 1
+	}
+	o := f.expr(args[0])
+	r := f.reg(o)
+	f.pin(o)
+	t := f.allocTemp()
+	f.emitPairAccess(r, t.reg, 0, word, false)
+	f.unpin(o)
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// emitPairAccess emits a checked (when enabled) car/cdr/rplac access.
+// When store is false the field is loaded into dst; when store is true the
+// value in valReg is stored.
+func (f *fnc) emitPairAccess(pair, dst uint8, valReg uint8, word int32, store bool) {
+	s, hw := f.c.Opts.Scheme, f.c.Opts.HW
+	parallel := f.c.Opts.Checking && hw.ParallelCheck(tags.TPair)
+	if f.c.Opts.Checking && !parallel {
+		f.withSub(mipsx.SubList, true)
+		lerr := f.errLabel(errNotPair, pair)
+		if !store {
+			f.a.SlotSafe(dst)
+		}
+		tags.EmitTypeTest(f.a, s, hw, pair, scratch, tags.TPair, false, lerr)
+		f.a.SlotSafe()
+	}
+	f.a.Work()
+	if store {
+		tags.EmitStoreField(f.a, s, hw, valReg, pair, scratch, tags.TPair, word, parallel)
+	} else {
+		tags.EmitLoadField(f.a, s, hw, dst, pair, scratch, tags.TPair, word, parallel)
+	}
+}
+
+func primCadr(f *fnc, name string, args []sexpr.Value) operand {
+	// (cadr x) == (car (cdr x)) etc.; expand innermost-first.
+	mid := name[1 : len(name)-1]
+	e := args[0]
+	for i := len(mid) - 1; i >= 0; i-- {
+		op := "cdr"
+		if mid[i] == 'a' {
+			op = "car"
+		}
+		e = sexpr.List(&sexpr.Sym{Name: op}, e)
+	}
+	return f.expr(e)
+}
+
+func primRplac(f *fnc, name string, args []sexpr.Value) operand {
+	if len(args) != 2 {
+		panic(f.errf("%s wants 2 args", name))
+	}
+	word := int32(0)
+	if name == "rplacd" {
+		word = 1
+	}
+	o := f.protect(f.expr(args[0]), args[1])
+	ov := f.expr(args[1])
+	r := f.reg(o)
+	f.pin(o)
+	rv := f.reg(ov)
+	f.pin(ov)
+	f.emitPairAccess(r, 0, rv, word, true)
+	f.unpin(ov, o)
+	f.free(ov)
+	return o // rplaca returns the pair
+}
+
+// primCons inlines the allocation fast path; the slow path (heap full)
+// calls the runtime allocator, which may collect.
+func primCons(f *fnc, _ string, args []sexpr.Value) operand {
+	if len(args) != 2 {
+		panic(f.errf("cons wants 2 args"))
+	}
+	s, hw := f.c.Opts.Scheme, f.c.Opts.HW
+	o1 := f.protect(f.expr(args[0]), args[1])
+	o2 := f.expr(args[1])
+	r1 := f.reg(o1)
+	f.pin(o1)
+	r2 := f.reg(o2)
+	f.pin(o2)
+	t := f.allocTemp()
+	t.pinned = true
+
+	slow := f.namedLabel("consgc")
+	cont := f.label()
+	f.a.Work()
+	f.a.Addi(scratch, mipsx.RHP, 8)
+	f.a.Bgt(scratch, mipsx.RHLim, slow)
+	f.a.St(r1, mipsx.RHP, 0)
+	f.a.St(r2, mipsx.RHP, 4)
+	tags.EmitInsertPtr(f.a, s, hw, t.reg, mipsx.RHP, scratch, tags.TPair, preshiftReg(hw))
+	f.a.Work()
+	f.a.Addi(mipsx.RHP, mipsx.RHP, 8)
+	f.a.Bind(cont)
+
+	f.deferSlowCall(slow, cont, "sys-cons", []uint8{r1, r2}, nil,
+		[]operand{o1, o2, {reg: t.reg, tmp: t}}, func() {
+			f.a.Work()
+			f.a.Mov(t.reg, mipsx.RRet)
+		})
+
+	t.pinned = false
+	f.unpin(o2, o1)
+	f.free(o2)
+	f.free(o1)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func preshiftReg(hw tags.HW) uint8 {
+	if hw.PreshiftedPairTag {
+		return mipsx.RT5
+	}
+	return 0
+}
+
+func primList(f *fnc, _ string, args []sexpr.Value) operand {
+	// (list a b) == (cons a (cons b nil))
+	var e sexpr.Value
+	for i := len(args) - 1; i >= 0; i-- {
+		e = sexpr.List(&sexpr.Sym{Name: "cons"}, args[i], e)
+	}
+	if e == nil {
+		return operand{reg: mipsx.RNil}
+	}
+	return f.expr(e)
+}
+
+// --- predicates and comparisons in value position -------------------------
+
+func primBoolWrap(f *fnc, name string, args []sexpr.Value) operand {
+	form := sexpr.List(append([]sexpr.Value{&sexpr.Sym{Name: name}}, args...)...)
+	return f.boolValue(form)
+}
+
+// --- arithmetic ------------------------------------------------------------
+
+// primArith compiles +, -, *, quotient, remainder. With checking off these
+// are raw machine operations (PSL "speed" mode); with checking on they are
+// integer-biased generic arithmetic (§2.2): inline integer tests and an
+// overflow test around the machine op, with a deferred call to the generic
+// routine. Under the High6 scheme the §4.2 encoding collapses add/sub
+// checking to a single integer test on the result; with ArithTrap hardware
+// the whole check rides along the ADDTC/SUBTC instruction.
+func primArith(f *fnc, name string, args []sexpr.Value) operand {
+	if len(args) > 2 && (name == "+" || name == "-" || name == "*") {
+		// Left-associate n-ary uses.
+		e := args[0]
+		for _, a := range args[1:] {
+			e = sexpr.List(&sexpr.Sym{Name: name}, e, a)
+		}
+		return f.expr(e)
+	}
+	if len(args) != 2 {
+		panic(f.errf("%s wants 2 args", name))
+	}
+
+	// Constant fold.
+	if x, okx := constInt(args[0]); okx {
+		if y, oky := constInt(args[1]); oky {
+			if v, ok := foldArith(name, x, y); ok {
+				return f.constOperand(f.intItem(v))
+			}
+		}
+	}
+
+	o1 := f.protect(f.expr(args[0]), args[1])
+	o2 := f.expr(args[1])
+	r1 := f.reg(o1)
+	f.pin(o1)
+	r2 := f.reg(o2)
+	f.pin(o2)
+	t := f.allocTemp()
+	t.pinned = true
+
+	_, k1 := constInt(args[0])
+	_, k2 := constInt(args[1])
+	if !f.c.Opts.Checking {
+		f.a.Work()
+		f.emitRawArith(name, t.reg, r1, r2)
+	} else {
+		f.emitCheckedArith(name, t, r1, r2, o1, o2, k1, k2)
+	}
+
+	t.pinned = false
+	f.unpin(o2, o1)
+	f.free(o2)
+	f.free(o1)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// emitRawArith emits the unchecked machine operation, honoring the scheme's
+// fixnum shift (low-tag fixnums are value<<2: add/sub/rem are exact, mul
+// and div need one reformatting shift).
+func (f *fnc) emitRawArith(name string, rd, r1, r2 uint8) {
+	shift := int32(f.c.Opts.Scheme.IntShift())
+	switch name {
+	case "+":
+		f.a.Add(rd, r1, r2)
+	case "-":
+		f.a.Sub(rd, r1, r2)
+	case "*":
+		if shift == 0 {
+			f.a.Mul(rd, r1, r2)
+		} else {
+			f.a.Srai(scratch, r1, shift)
+			f.a.Mul(rd, scratch, r2)
+		}
+	case "quotient":
+		if shift == 0 {
+			f.a.Div(rd, r1, r2)
+		} else {
+			f.a.Div(scratch, r1, r2)
+			f.a.Slli(rd, scratch, shift)
+		}
+	case "remainder":
+		f.a.Rem(rd, r1, r2)
+	default:
+		panic(f.errf("bad arith op %s", name))
+	}
+}
+
+// emitCheckedArith emits integer-biased generic arithmetic. known1/known2
+// report operands that are compile-time integer literals, whose type tests
+// the compiler omits (§3: context-determined types need no check).
+func (f *fnc) emitCheckedArith(name string, t *tempEntry, r1, r2 uint8, o1, o2 operand, known1, known2 bool) {
+	s, hw := f.c.Opts.Scheme, f.c.Opts.HW
+	genFn := "generic-" + arithName(name)
+
+	isAddSub := name == "+" || name == "-"
+	if hw.ArithTrap && isAddSub {
+		// Hardware checks both operand types and overflow in parallel;
+		// the trap handler invokes the generic routine.
+		f.a.Work()
+		if name == "+" {
+			f.a.Addtc(t.reg, r1, r2)
+		} else {
+			f.a.Subtc(t.reg, r1, r2)
+		}
+		return
+	}
+	slow := f.namedLabel("gen" + arithSuffix(name))
+	cont := f.label()
+	f.a.SlotSafe(t.reg)
+	defer f.a.SlotSafe()
+	switch {
+	case s.Kind() == tags.High6 && isAddSub:
+		// §4.2: the encoding guarantees one integer test on the result
+		// catches non-integer operands and overflow alike.
+		f.a.Work()
+		if name == "+" {
+			f.a.Add(t.reg, r1, r2)
+		} else {
+			f.a.Sub(t.reg, r1, r2)
+		}
+		f.withSub(mipsx.SubArith, true)
+		tags.EmitIntTest(f.a, s, t.reg, scratch, false, slow)
+		f.a.Work()
+		f.a.Bind(cont)
+		f.deferGeneric(slow, cont, genFn, t, r1, r2, o1, o2)
+	default:
+		f.withSub(mipsx.SubArith, true)
+		if !known1 {
+			tags.EmitIntTest(f.a, s, r1, scratch, false, slow)
+		}
+		if !known2 {
+			tags.EmitIntTest(f.a, s, r2, scratch, false, slow)
+		}
+		if name == "quotient" || name == "remainder" {
+			lz := f.errLabel(errOverflow, r2)
+			f.a.CatRT(mipsx.CatWork, mipsx.SubArith)
+			f.a.Beqi(r2, 0, lz)
+		}
+		f.a.Work()
+		f.emitRawArith(name, t.reg, r1, r2)
+		// Overflow test on the result (§2.1: overflow testing for
+		// integer add/sub is a type checking operation). Division
+		// cannot overflow a fixnum; multiplication overflow beyond 32
+		// bits is approximated by the same result test.
+		if name != "quotient" && name != "remainder" {
+			f.withSub(mipsx.SubArith, true)
+			tags.EmitIntTest(f.a, s, t.reg, scratch, false, slow)
+			f.a.Work()
+		}
+		f.a.Bind(cont)
+		f.deferGeneric(slow, cont, genFn, t, r1, r2, o1, o2)
+	}
+}
+
+func (f *fnc) deferGeneric(slow, cont mipsx.Label, genFn string, t *tempEntry, r1, r2 uint8, o1, o2 operand) {
+	f.deferSlowCallClear(slow, cont, genFn, []uint8{r1, r2}, nil,
+		[]operand{o1, o2, {reg: t.reg, tmp: t}}, []uint8{t.reg}, func() {
+			f.a.Work()
+			f.a.Mov(t.reg, mipsx.RRet)
+		})
+}
+
+func arithName(op string) string {
+	switch op {
+	case "+":
+		return "add"
+	case "-":
+		return "sub"
+	case "*":
+		return "mul"
+	case "quotient":
+		return "quot"
+	case "remainder":
+		return "rem"
+	}
+	panic("bad op " + op)
+}
+
+func arithSuffix(op string) string { return arithName(op) }
+
+func constInt(e sexpr.Value) (int64, bool) {
+	if n, ok := e.(sexpr.Int); ok {
+		return int64(n), true
+	}
+	return 0, false
+}
+
+func foldArith(name string, x, y int64) (int64, bool) {
+	switch name {
+	case "+":
+		return x + y, true
+	case "-":
+		return x - y, true
+	case "*":
+		return x * y, true
+	case "quotient":
+		if y != 0 {
+			return x / y, true
+		}
+	case "remainder":
+		if y != 0 {
+			return x % y, true
+		}
+	}
+	return 0, false
+}
+
+// primIncDec compiles 1+/1- as immediate adds; fixnum items add the shifted
+// unit directly, and the checked form needs only the result test because a
+// non-integer operand cannot yield an integer-tagged result by adding the
+// unit (it can on Low schemes, so those test the operand).
+func primIncDec(f *fnc, name string, args []sexpr.Value) operand {
+	if len(args) != 1 {
+		panic(f.errf("%s wants 1 arg", name))
+	}
+	s := f.c.Opts.Scheme
+	unit := int32(1) << s.IntShift()
+	if name == "1-" {
+		unit = -unit
+	}
+	o := f.expr(args[0])
+	r := f.reg(o)
+	f.pin(o)
+	t := f.allocTemp()
+	t.pinned = true
+	if !f.c.Opts.Checking {
+		f.a.Work()
+		f.a.Addi(t.reg, r, unit)
+	} else {
+		slow := f.namedLabel("geninc")
+		cont := f.label()
+		f.a.SlotSafe(t.reg)
+		defer f.a.SlotSafe()
+		if !s.NeedsMask() {
+			// Low tags: adding the unit preserves tag 00 for any
+			// operand whose low bits are 00 — test the operand.
+			f.withSub(mipsx.SubArith, true)
+			tags.EmitIntTest(f.a, s, r, scratch, false, slow)
+		}
+		f.a.Work()
+		f.a.Addi(t.reg, r, unit)
+		f.withSub(mipsx.SubArith, true)
+		tags.EmitIntTest(f.a, s, t.reg, scratch, false, slow)
+		f.a.Work()
+		f.a.Bind(cont)
+		op := "add"
+		if name == "1-" {
+			op = "sub"
+		}
+		f.deferSlowCallClear(slow, cont, "generic-"+op, []uint8{r},
+			[]uint32{f.intItem(1)},
+			[]operand{o, {reg: t.reg, tmp: t}}, []uint8{t.reg}, func() {
+				f.a.Work()
+				f.a.Mov(t.reg, mipsx.RRet)
+			})
+	}
+	t.pinned = false
+	f.unpin(o)
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func primMinus(f *fnc, _ string, args []sexpr.Value) operand {
+	return f.expr(sexpr.List(&sexpr.Sym{Name: "-"}, sexpr.Int(0), args[0]))
+}
+
+func primLogical(f *fnc, name string, args []sexpr.Value) operand {
+	if len(args) != 2 {
+		panic(f.errf("%s wants 2 args", name))
+	}
+	// Bitwise ops on fixnums: tag bits of both operands agree (00 low /
+	// sign-extension high), so and/or/xor of items is exact for
+	// nonnegative values under both placements; checked mode verifies
+	// operands are integers.
+	o1 := f.protect(f.expr(args[0]), args[1])
+	o2 := f.expr(args[1])
+	r1 := f.reg(o1)
+	f.pin(o1)
+	r2 := f.reg(o2)
+	f.pin(o2)
+	t := f.allocTemp()
+	if f.c.Opts.Checking {
+		f.withSub(mipsx.SubArith, true)
+		lerr := f.errLabel(errNotInt, r1)
+		tags.EmitIntTest(f.a, f.c.Opts.Scheme, r1, scratch, false, lerr)
+		lerr2 := f.errLabel(errNotInt, r2)
+		tags.EmitIntTest(f.a, f.c.Opts.Scheme, r2, scratch, false, lerr2)
+	}
+	f.a.Work()
+	switch name {
+	case "logand":
+		f.a.And(t.reg, r1, r2)
+	case "logor":
+		f.a.Or(t.reg, r1, r2)
+	case "logxor":
+		f.a.Xor(t.reg, r1, r2)
+	}
+	f.unpin(o2, o1)
+	f.free(o2)
+	f.free(o1)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// --- vectors ---------------------------------------------------------------
+
+// emitVectorCheck performs the run-time checks for a vector access (§2.2):
+// operand is a vector, index is an integer, index is within bounds.
+// knownIndex marks a compile-time non-negative integer index, which needs
+// neither the type test nor the negative-bound check; the upper bound still
+// depends on the run-time length.
+func (f *fnc) emitVectorCheck(rv, ri uint8, knownIndex bool) {
+	s, hw := f.c.Opts.Scheme, f.c.Opts.HW
+	parallel := hw.ParallelCheck(tags.TVector)
+	if !parallel {
+		f.withSub(mipsx.SubVector, true)
+		lerr := f.errLabel(errNotVector, rv)
+		tags.EmitTypeTest(f.a, s, hw, rv, scratch, tags.TVector, false, lerr)
+	}
+	if !knownIndex {
+		f.withSub(mipsx.SubVector, true)
+		lerr := f.errLabel(errNotInt, ri)
+		tags.EmitIntTest(f.a, s, ri, scratch, false, lerr)
+	}
+	// Bounds: load header, derive the element count as a fixnum.
+	f.a.CatRT(mipsx.CatWork, mipsx.SubVector)
+	tags.EmitLoadField(f.a, s, hw, scratch, rv, scratch, tags.TVector, 0, parallel)
+	f.emitHdrLenFixnum(scratch, scratch)
+	lb := f.errLabel(errBadIndex, ri)
+	f.a.CatRT(mipsx.CatWork, mipsx.SubVector)
+	f.a.Bge(ri, scratch, lb)
+	if !knownIndex {
+		f.a.Blti(ri, 0, lb)
+	}
+	f.a.Work()
+}
+
+// constNonNegIndex reports whether e is a literal fixnum index >= 0.
+func constNonNegIndex(e sexpr.Value) bool {
+	n, ok := constInt(e)
+	return ok && n >= 0
+}
+
+// emitHdrLenFixnum converts a header word in src to the element-count
+// fixnum in dst (size includes the header word itself).
+func (f *fnc) emitHdrLenFixnum(dst, src uint8) {
+	s := f.c.Opts.Scheme
+	if s.NeedsMask() {
+		// Clear the tag field, then extract the size field.
+		f.a.Slli(dst, src, int32(s.TagBits()))
+		f.a.Srli(dst, dst, int32(s.TagBits())+8)
+		f.a.Addi(dst, dst, -1)
+	} else {
+		f.a.Srli(dst, src, 8)
+		f.a.Addi(dst, dst, -1)
+		f.a.Slli(dst, dst, 2) // fixnums are value<<2 on low schemes
+	}
+}
+
+func primVref(f *fnc, _ string, args []sexpr.Value) operand {
+	if len(args) != 2 {
+		panic(f.errf("vref wants 2 args"))
+	}
+	ov := f.protect(f.expr(args[0]), args[1])
+	oi := f.expr(args[1])
+	rv := f.reg(ov)
+	f.pin(ov)
+	ri := f.reg(oi)
+	f.pin(oi)
+	t := f.allocTemp()
+	if f.c.Opts.Checking {
+		f.a.SlotSafe(t.reg)
+		f.emitVectorCheck(rv, ri, constNonNegIndex(args[1]))
+		f.a.SlotSafe()
+	}
+	f.a.Work()
+	f.emitVectorAccess(t.reg, rv, ri, 0, false)
+	f.unpin(oi, ov)
+	f.free(oi)
+	f.free(ov)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// emitVectorAccess performs the indexed load/store. dst doubles as the
+// address work register (for stores it is a scratch temp owned by the
+// caller). Low-tag fixnum indices are already scaled byte offsets (§5.2:
+// "indexing in word vectors will be fast"); high-tag indices need one shift.
+func (f *fnc) emitVectorAccess(dst, rv, ri uint8, valReg uint8, store bool) {
+	s, hw := f.c.Opts.Scheme, f.c.Opts.HW
+	if s.NeedsMask() {
+		f.a.Slli(dst, ri, 2)
+		if hw.MemIgnoresTags || hw.ParallelCheck(tags.TVector) {
+			f.a.Add(dst, dst, rv)
+			if store {
+				f.a.Stt(valReg, dst, 4)
+			} else {
+				f.a.Ldt(dst, dst, 4)
+			}
+			return
+		}
+		f.a.Cat(mipsx.CatTagRemove, mipsx.SubNone)
+		f.a.And(scratch, rv, mipsx.RMask)
+		f.a.Work()
+		f.a.Add(dst, dst, scratch)
+		if store {
+			f.a.St(valReg, dst, 4)
+		} else {
+			f.a.Ld(dst, dst, 4)
+		}
+		return
+	}
+	// Low tags: item index == byte offset.
+	f.a.Add(dst, rv, ri)
+	off := 4 + s.OffAdjust(tags.TVector)
+	if store {
+		f.a.St(valReg, dst, off)
+	} else {
+		f.a.Ld(dst, dst, off)
+	}
+}
+
+func primVset(f *fnc, _ string, args []sexpr.Value) operand {
+	if len(args) != 3 {
+		panic(f.errf("vset wants 3 args"))
+	}
+	ov := f.protect(f.expr(args[0]), args[1], args[2])
+	oi := f.protect(f.expr(args[1]), args[2])
+	ox := f.expr(args[2])
+	rv := f.reg(ov)
+	f.pin(ov)
+	ri := f.reg(oi)
+	f.pin(oi)
+	rx := f.reg(ox)
+	f.pin(ox)
+	work := f.allocTemp()
+	if f.c.Opts.Checking {
+		f.a.SlotSafe(work.reg)
+		f.emitVectorCheck(rv, ri, constNonNegIndex(args[1]))
+		f.a.SlotSafe()
+	}
+	f.a.Work()
+	f.emitVectorAccess(work.reg, rv, ri, rx, true)
+	f.unpin(ox, oi, ov)
+	f.free(operand{reg: work.reg, tmp: work})
+	f.free(oi)
+	f.free(ov)
+	return ox
+}
+
+func primVlength(f *fnc, _ string, args []sexpr.Value) operand {
+	if len(args) != 1 {
+		panic(f.errf("vlength wants 1 arg"))
+	}
+	s, hw := f.c.Opts.Scheme, f.c.Opts.HW
+	o := f.expr(args[0])
+	r := f.reg(o)
+	f.pin(o)
+	t := f.allocTemp()
+	parallel := f.c.Opts.Checking && hw.ParallelCheck(tags.TVector)
+	if f.c.Opts.Checking && !parallel {
+		f.withSub(mipsx.SubVector, true)
+		lerr := f.errLabel(errNotVector, r)
+		tags.EmitTypeTest(f.a, s, hw, r, scratch, tags.TVector, false, lerr)
+	}
+	f.a.Work()
+	tags.EmitLoadField(f.a, s, hw, t.reg, r, scratch, tags.TVector, 0, parallel)
+	f.emitHdrLenFixnum(t.reg, t.reg)
+	f.unpin(o)
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// --- symbols ---------------------------------------------------------------
+
+func symFieldWord(name string) int32 {
+	switch name {
+	case "symbol-name":
+		return symNameWord
+	case "symbol-value":
+		return symValueWord
+	case "symbol-plist", "symbol-setplist":
+		return symPlistWord
+	case "set":
+		return symValueWord
+	}
+	panic("bad symbol field " + name)
+}
+
+func primSymField(f *fnc, name string, args []sexpr.Value) operand {
+	if len(args) != 1 {
+		panic(f.errf("%s wants 1 arg", name))
+	}
+	s, hw := f.c.Opts.Scheme, f.c.Opts.HW
+	o := f.expr(args[0])
+	r := f.reg(o)
+	f.pin(o)
+	t := f.allocTemp()
+	parallel := f.c.Opts.Checking && hw.ParallelCheck(tags.TSymbol)
+	if f.c.Opts.Checking && !parallel {
+		f.withSub(mipsx.SubSymbol, true)
+		lerr := f.errLabel(errNotSymbol, r)
+		tags.EmitTypeTest(f.a, s, hw, r, scratch, tags.TSymbol, false, lerr)
+	}
+	f.a.Work()
+	tags.EmitLoadField(f.a, s, hw, t.reg, r, scratch, tags.TSymbol, symFieldWord(name), parallel)
+	f.unpin(o)
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func primSymSetField(f *fnc, name string, args []sexpr.Value) operand {
+	if len(args) != 2 {
+		panic(f.errf("%s wants 2 args", name))
+	}
+	s, hw := f.c.Opts.Scheme, f.c.Opts.HW
+	o := f.protect(f.expr(args[0]), args[1])
+	ov := f.expr(args[1])
+	r := f.reg(o)
+	f.pin(o)
+	rv := f.reg(ov)
+	f.pin(ov)
+	parallel := f.c.Opts.Checking && hw.ParallelCheck(tags.TSymbol)
+	if f.c.Opts.Checking && !parallel {
+		f.withSub(mipsx.SubSymbol, true)
+		lerr := f.errLabel(errNotSymbol, r)
+		tags.EmitTypeTest(f.a, s, hw, r, scratch, tags.TSymbol, false, lerr)
+	}
+	f.a.Work()
+	tags.EmitStoreField(f.a, s, hw, rv, r, scratch, tags.TSymbol, symFieldWord(name), parallel)
+	f.unpin(ov, o)
+	f.free(o)
+	return ov
+}
+
+// --- raw sub-primitives ----------------------------------------------------
+
+func primRawImm(f *fnc, _ string, args []sexpr.Value) operand {
+	n, ok := constInt(args[0])
+	if !ok {
+		panic(f.errf("%%i wants an integer literal"))
+	}
+	t := f.allocTemp()
+	f.a.Li(t.reg, int32(n))
+	return operand{reg: t.reg, tmp: t}
+}
+
+// rawImmOf folds (%i N) into an immediate.
+func rawImmOf(e sexpr.Value) (int32, bool) {
+	cell, ok := e.(*sexpr.Cell)
+	if !ok {
+		return 0, false
+	}
+	head, ok := cell.Car.(*sexpr.Sym)
+	if !ok || head.Name != "%i" {
+		return 0, false
+	}
+	args, err := sexpr.ListVals(cell.Cdr)
+	if err != nil || len(args) != 1 {
+		return 0, false
+	}
+	n, ok := constInt(args[0])
+	return int32(n), ok
+}
+
+func primRaw2(f *fnc, name string, args []sexpr.Value) operand {
+	if len(args) != 2 {
+		panic(f.errf("%s wants 2 args", name))
+	}
+	o1 := f.protect(f.expr(args[0]), args[1])
+	t := f.allocTemp()
+	f.a.Work()
+	if imm, ok := rawImmOf(args[1]); ok {
+		r1 := f.reg(o1)
+		switch name {
+		case "%+":
+			f.a.Addi(t.reg, r1, imm)
+		case "%-":
+			f.a.Addi(t.reg, r1, -imm)
+		case "%&":
+			f.a.Andi(t.reg, r1, imm)
+		case "%|":
+			f.a.Ori(t.reg, r1, imm)
+		case "%^":
+			f.a.Xori(t.reg, r1, imm)
+		}
+		f.free(o1)
+		return operand{reg: t.reg, tmp: t}
+	}
+	o2 := f.expr(args[1])
+	r1, r2 := f.reg(o1), f.reg(o2)
+	f.a.Work()
+	switch name {
+	case "%+":
+		f.a.Add(t.reg, r1, r2)
+	case "%-":
+		f.a.Sub(t.reg, r1, r2)
+	case "%*":
+		f.a.Mul(t.reg, r1, r2)
+	case "%/":
+		f.a.Div(t.reg, r1, r2)
+	case "%rem":
+		f.a.Rem(t.reg, r1, r2)
+	case "%&":
+		f.a.And(t.reg, r1, r2)
+	case "%|":
+		f.a.Or(t.reg, r1, r2)
+	case "%^":
+		f.a.Xor(t.reg, r1, r2)
+	}
+	f.free(o2)
+	f.free(o1)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func primRawShift(f *fnc, name string, args []sexpr.Value) operand {
+	imm, ok := rawImmOf(args[1])
+	if !ok {
+		panic(f.errf("%s wants a (%%i k) shift amount", name))
+	}
+	o := f.expr(args[0])
+	r := f.reg(o)
+	t := f.allocTemp()
+	f.a.Work()
+	if name == "%<<" {
+		f.a.Slli(t.reg, r, imm)
+	} else {
+		f.a.Srli(t.reg, r, imm)
+	}
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func primRawRead(f *fnc, _ string, args []sexpr.Value) operand {
+	if len(args) != 1 {
+		panic(f.errf("%%read wants 1 arg"))
+	}
+	// Fold (%read (%+ p (%i k))) into the load offset.
+	addr := args[0]
+	off := int32(0)
+	if cell, ok := addr.(*sexpr.Cell); ok {
+		if head, ok := cell.Car.(*sexpr.Sym); ok && head.Name == "%+" {
+			sub, err := sexpr.ListVals(cell.Cdr)
+			if err == nil && len(sub) == 2 {
+				if k, ok := rawImmOf(sub[1]); ok {
+					addr, off = sub[0], k
+				}
+			}
+		}
+	}
+	o := f.expr(addr)
+	r := f.reg(o)
+	t := f.allocTemp()
+	f.a.Work()
+	f.a.Ld(t.reg, r, off)
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func primRawWrite(f *fnc, _ string, args []sexpr.Value) operand {
+	if len(args) != 2 {
+		panic(f.errf("%%write wants 2 args"))
+	}
+	addr, off := args[0], int32(0)
+	if cell, ok := addr.(*sexpr.Cell); ok {
+		if head, ok := cell.Car.(*sexpr.Sym); ok && head.Name == "%+" {
+			sub, err := sexpr.ListVals(cell.Cdr)
+			if err == nil && len(sub) == 2 {
+				if k, ok := rawImmOf(sub[1]); ok {
+					addr, off = sub[0], k
+				}
+			}
+		}
+	}
+	oa := f.protect(f.expr(addr), args[1])
+	ov := f.expr(args[1])
+	ra, rv := f.reg(oa), f.reg(ov)
+	f.a.Work()
+	f.a.St(rv, ra, off)
+	f.free(oa)
+	return ov
+}
+
+func primRawTag(f *fnc, _ string, args []sexpr.Value) operand {
+	o := f.expr(args[0])
+	r := f.reg(o)
+	t := f.allocTemp()
+	tags.EmitExtract(f.a, f.c.Opts.Scheme, t.reg, r)
+	f.a.Work()
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func primRawUntag(f *fnc, _ string, args []sexpr.Value) operand {
+	o := f.expr(args[0])
+	r := f.reg(o)
+	t := f.allocTemp()
+	tags.EmitUntag(f.a, f.c.Opts.Scheme, t.reg, r)
+	f.a.Work()
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// primRawRetag builds a pointer item at a new address carrying the same tag
+// as an existing item: (%retag new-addr old-item).
+func primRawRetag(f *fnc, _ string, args []sexpr.Value) operand {
+	s := f.c.Opts.Scheme
+	oa := f.protect(f.expr(args[0]), args[1])
+	ox := f.expr(args[1])
+	ra := f.reg(oa)
+	f.pin(oa)
+	rx := f.reg(ox)
+	f.pin(ox)
+	t := f.allocTemp()
+	f.a.Cat(mipsx.CatTagInsert, mipsx.SubNone)
+	if s.NeedsMask() {
+		f.a.Andi(scratch, rx, int32(^s.PtrMaskConst()))
+	} else {
+		f.a.Andi(scratch, rx, 3)
+	}
+	f.a.Or(t.reg, ra, scratch)
+	f.a.Work()
+	f.unpin(ox, oa)
+	f.free(ox)
+	f.free(oa)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// primRawHdrSize extracts the raw word count from a header word.
+func primRawHdrSize(f *fnc, _ string, args []sexpr.Value) operand {
+	s := f.c.Opts.Scheme
+	o := f.expr(args[0])
+	r := f.reg(o)
+	t := f.allocTemp()
+	f.a.Work()
+	if s.NeedsMask() {
+		f.a.Slli(t.reg, r, int32(s.TagBits()))
+		f.a.Srli(t.reg, t.reg, int32(s.TagBits())+8)
+	} else {
+		f.a.Srli(t.reg, r, 8)
+	}
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// primRawMkHeader builds a header word: (%mkheader <type-sym> size-words).
+func primRawMkHeader(f *fnc, _ string, args []sexpr.Value) operand {
+	s := f.c.Opts.Scheme
+	typ := typeByName(f, args[0])
+	base := s.MakeHeader(typ, 0)
+	o := f.expr(args[1]) // raw size in words
+	r := f.reg(o)
+	t := f.allocTemp()
+	f.a.Work()
+	f.a.Slli(t.reg, r, 8)
+	f.a.Ori(t.reg, t.reg, int32(base))
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// primRawMkPtr tags a raw address: (%mkptr <type-sym> addr).
+func primRawMkPtr(f *fnc, _ string, args []sexpr.Value) operand {
+	typ := typeByName(f, args[0])
+	o := f.expr(args[1])
+	r := f.reg(o)
+	t := f.allocTemp()
+	tags.EmitInsertPtr(f.a, f.c.Opts.Scheme, f.c.Opts.HW, t.reg, r, scratch, typ, preshiftReg(f.c.Opts.HW))
+	f.a.Work()
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func typeByName(f *fnc, e sexpr.Value) tags.Type {
+	var name string
+	if cell, ok := e.(*sexpr.Cell); ok {
+		if h, ok := cell.Car.(*sexpr.Sym); ok && h.Name == "quote" {
+			if a, err := sexpr.ListVals(cell.Cdr); err == nil && len(a) == 1 {
+				if s, ok := a[0].(*sexpr.Sym); ok {
+					name = s.Name
+				}
+			}
+		}
+	} else if s, ok := e.(*sexpr.Sym); ok {
+		name = s.Name
+	}
+	switch name {
+	case "pair":
+		return tags.TPair
+	case "symbol":
+		return tags.TSymbol
+	case "vector":
+		return tags.TVector
+	case "string":
+		return tags.TString
+	case "float":
+		return tags.TFloat
+	case "code":
+		return tags.TCode
+	}
+	panic(f.errf("bad type name %s", sexpr.String(e)))
+}
+
+// primRawAlign / primRawAlignOff expose the scheme's allocation rules.
+func primRawAlign(f *fnc, _ string, args []sexpr.Value) operand {
+	a, _ := f.c.Opts.Scheme.Align(typeByName(f, args[0]))
+	t := f.allocTemp()
+	f.a.Li(t.reg, int32(a))
+	return operand{reg: t.reg, tmp: t}
+}
+
+func primRawAlignOff(f *fnc, _ string, args []sexpr.Value) operand {
+	_, off := f.c.Opts.Scheme.Align(typeByName(f, args[0]))
+	t := f.allocTemp()
+	f.a.Li(t.reg, int32(off))
+	return operand{reg: t.reg, tmp: t}
+}
+
+var regByName = map[string]uint8{
+	"hp": mipsx.RHP, "hlim": mipsx.RHLim, "sp": mipsx.RSP,
+	"nil": mipsx.RNil, "mask": mipsx.RMask,
+}
+
+func primRawReg(f *fnc, _ string, args []sexpr.Value) operand {
+	name := args[0].(*sexpr.Sym).Name
+	r, ok := regByName[name]
+	if !ok {
+		panic(f.errf("bad register name %s", name))
+	}
+	t := f.allocTemp()
+	f.a.Work()
+	f.a.Mov(t.reg, r)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func primRawSetReg(f *fnc, _ string, args []sexpr.Value) operand {
+	name := args[0].(*sexpr.Sym).Name
+	r, ok := regByName[name]
+	if !ok {
+		panic(f.errf("bad register name %s", name))
+	}
+	o := f.expr(args[1])
+	f.a.Work()
+	f.a.Mov(r, f.reg(o))
+	return o
+}
+
+func globIndex(f *fnc, e sexpr.Value) int {
+	s, ok := e.(*sexpr.Sym)
+	if !ok {
+		panic(f.errf("%%glob wants a name"))
+	}
+	i, ok := layout.Names[s.Name]
+	if !ok {
+		panic(f.errf("unknown global %q", s.Name))
+	}
+	return i
+}
+
+func primRawGlob(f *fnc, _ string, args []sexpr.Value) operand {
+	t := f.allocTemp()
+	f.a.Work()
+	f.a.Ld(t.reg, mipsx.RZero, layout.GlobAddr(globIndex(f, args[0])))
+	return operand{reg: t.reg, tmp: t}
+}
+
+func primRawSetGlob(f *fnc, _ string, args []sexpr.Value) operand {
+	o := f.expr(args[1])
+	f.a.Work()
+	f.a.St(f.reg(o), mipsx.RZero, layout.GlobAddr(globIndex(f, args[0])))
+	return o
+}
+
+func primRawGlobAddr(f *fnc, _ string, args []sexpr.Value) operand {
+	s, ok := args[0].(*sexpr.Sym)
+	if !ok {
+		panic(f.errf("%%globaddr wants a name"))
+	}
+	var addr int32
+	switch s.Name {
+	case "regsave":
+		addr = layout.GlobRegSave
+	default:
+		addr = layout.GlobAddr(globIndex(f, args[0]))
+	}
+	t := f.allocTemp()
+	f.a.Li(t.reg, addr)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func primRawSys(f *fnc, name string, args []sexpr.Value) operand {
+	var num int32
+	switch name {
+	case "%putchar":
+		num = mipsx.SysPutChar
+	case "%putint":
+		num = mipsx.SysPutInt
+	case "%gcnotify":
+		num = mipsx.SysGCNotify
+	case "%halt":
+		num = mipsx.SysHalt
+	}
+	if name == "%halt" {
+		f.a.Work()
+		f.a.Sys(num)
+		return operand{reg: mipsx.RNil}
+	}
+	o := f.expr(args[0])
+	r := f.reg(o)
+	f.a.Work()
+	if r != mipsx.RRet {
+		f.a.Mov(mipsx.RRet, r)
+	}
+	f.a.Sys(num)
+	return o
+}
+
+// primRawGC calls the GC entry glue, which saves all 32 registers into the
+// register save area, runs the collector, and restores the (relocated)
+// register contents — so live temporaries in caller-save registers survive
+// and are updated in place.
+func primRawGC(f *fnc, _ string, args []sexpr.Value) operand {
+	f.a.Work()
+	l, ok := f.c.Funcs["sys:gc-glue"]
+	if !ok {
+		panic(f.errf("%%gc used but no GC glue registered"))
+	}
+	f.a.Jal(l.Label)
+	return operand{reg: mipsx.RNil}
+}
+
+// primEnsureHeap: (%ensure-heap nbytes) — run the collector if fewer than
+// nbytes remain, erroring if the collection does not free enough.
+func primEnsureHeap(f *fnc, _ string, args []sexpr.Value) operand {
+	o := f.expr(args[0])
+	r := f.reg(o)
+	okL := f.label()
+	f.a.Work()
+	f.a.Add(scratch, mipsx.RHP, r)
+	f.a.Ble(scratch, mipsx.RHLim, okL)
+	glue, has := f.c.Funcs["sys:gc-glue"]
+	if !has {
+		panic(f.errf("%%ensure-heap used but no GC glue registered"))
+	}
+	// The glue preserves (and relocates) every register, so r survives.
+	f.a.Jal(glue.Label)
+	// After collection, retry the bound; a still-full heap is fatal.
+	f.a.Add(scratch, mipsx.RHP, r)
+	f.a.Ble(scratch, mipsx.RHLim, okL)
+	f.a.Li(mipsx.RRet, errHeapFull)
+	f.a.Mov(3, mipsx.RNil)
+	f.a.Sys(mipsx.SysError)
+	f.a.Bind(okL)
+	f.free(o)
+	return operand{reg: mipsx.RNil}
+}
+
+const errHeapFull = errUser + 1
+
+func primTrapCell(f *fnc, name string, _ []sexpr.Value) operand {
+	var addr int32
+	switch name {
+	case "%trap-a":
+		addr = mipsx.TrapAAddr
+	case "%trap-b":
+		addr = mipsx.TrapBAddr
+	case "%trap-op":
+		addr = mipsx.TrapOpAddr
+	}
+	t := f.allocTemp()
+	f.a.Work()
+	f.a.Ld(t.reg, mipsx.RZero, addr)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func primTrapSetCell(f *fnc, _ string, args []sexpr.Value) operand {
+	o := f.expr(args[0])
+	f.a.Work()
+	f.a.St(f.reg(o), mipsx.RZero, mipsx.TrapResultAddr)
+	return o
+}
+
+// primTrapReturn resumes the instruction after a serviced arithmetic trap.
+func primTrapReturn(f *fnc, _ string, _ []sexpr.Value) operand {
+	f.a.Work()
+	f.a.Sys(mipsx.SysTrapReturn)
+	return operand{reg: mipsx.RNil}
+}
+
+// primRawHdrType extracts the raw type code from a header word.
+func primRawHdrType(f *fnc, _ string, args []sexpr.Value) operand {
+	o := f.expr(args[0])
+	r := f.reg(o)
+	t := f.allocTemp()
+	f.a.Work()
+	f.a.Srli(t.reg, r, 4)
+	f.a.Andi(t.reg, t.reg, 0xF)
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// %int->raw / %raw->int convert between fixnum items and raw machine words.
+func primIntRaw(f *fnc, _ string, args []sexpr.Value) operand {
+	s := f.c.Opts.Scheme
+	o := f.expr(args[0])
+	if s.IntShift() == 0 {
+		return o
+	}
+	r := f.reg(o)
+	t := f.allocTemp()
+	f.a.Work()
+	f.a.Srai(t.reg, r, int32(s.IntShift()))
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func primRawInt(f *fnc, _ string, args []sexpr.Value) operand {
+	s := f.c.Opts.Scheme
+	o := f.expr(args[0])
+	if s.IntShift() == 0 {
+		return o
+	}
+	r := f.reg(o)
+	t := f.allocTemp()
+	f.a.Work()
+	f.a.Slli(t.reg, r, int32(s.IntShift()))
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// Float coprocessor access for the generic arithmetic fallback; operands
+// and results are raw IEEE bits.
+func primFloat2(f *fnc, name string, args []sexpr.Value) operand {
+	o1 := f.protect(f.expr(args[0]), args[1])
+	o2 := f.expr(args[1])
+	r1 := f.reg(o1)
+	f.pin(o1)
+	r2 := f.reg(o2)
+	f.pin(o2)
+	t := f.allocTemp()
+	f.a.Work()
+	switch name {
+	case "%fadd":
+		f.a.Fadd(t.reg, r1, r2)
+	case "%fsub":
+		f.a.Fsub(t.reg, r1, r2)
+	case "%fmul":
+		f.a.Fmul(t.reg, r1, r2)
+	case "%fdiv":
+		f.a.Fdiv(t.reg, r1, r2)
+	case "%flt":
+		f.a.Flt(t.reg, r1, r2)
+	case "%feq":
+		f.a.Feq(t.reg, r1, r2)
+	}
+	f.unpin(o2, o1)
+	f.free(o2)
+	f.free(o1)
+	return operand{reg: t.reg, tmp: t}
+}
+
+func primFloat1(f *fnc, name string, args []sexpr.Value) operand {
+	o := f.expr(args[0])
+	r := f.reg(o)
+	t := f.allocTemp()
+	f.a.Work()
+	if name == "%itof" {
+		f.a.Itof(t.reg, r)
+	} else {
+		f.a.Ftoi(t.reg, r)
+	}
+	f.free(o)
+	return operand{reg: t.reg, tmp: t}
+}
+
+// deferSlowCall registers a deferred out-of-line block: at entry, the live
+// register-resident temps (other than consumed) are saved to currently-free
+// spill slots, argRegs are moved to the argument registers (followed by any
+// extra constant items), fnName is called, after() consumes the result, the
+// saved temps are restored, and control jumps back to cont.
+func (f *fnc) deferSlowCall(entry, cont mipsx.Label, fnName string,
+	argRegs []uint8, extraArgItems []uint32, consumed []operand, after func()) {
+	f.deferSlowCallClear(entry, cont, fnName, argRegs, extraArgItems, consumed, nil, after)
+}
+
+// deferSlowCallClear is deferSlowCall with registers to zero on entry:
+// destination registers may hold garbage (an overflowed sum, or the result
+// of a delay-slot-filled instruction executed despite the branch being
+// taken) that must not look like a heap pointer when the runtime call
+// collects.
+func (f *fnc) deferSlowCallClear(entry, cont mipsx.Label, fnName string,
+	argRegs []uint8, extraArgItems []uint32, consumed []operand, clearRegs []uint8, after func()) {
+
+	fn, ok := f.c.Funcs[fnName]
+	if !ok {
+		panic(f.errf("runtime function %q not registered", fnName))
+	}
+	if fn.NArgs != len(argRegs)+len(extraArgItems) {
+		panic(f.errf("%s wants %d args, slow path passes %d",
+			fnName, fn.NArgs, len(argRegs)+len(extraArgItems)))
+	}
+	live := f.liveTempRegs(consumed...)
+	// Pick save slots free at this program point.
+	var slots []int32
+	for s := 0; s < nSpillSlots && len(slots) < len(live); s++ {
+		if !f.slotInUse[s] {
+			slots = append(slots, int32(s))
+		}
+	}
+	if len(slots) < len(live) {
+		panic(f.errf("no free slots for slow-path save"))
+	}
+	args := append([]uint8{}, argRegs...)
+	clear := append([]uint8{}, clearRegs...)
+	cat, sub, rt := f.a.Annotation()
+	f.deferred = append(f.deferred, func() {
+		a := f.a
+		a.Restore(cat, sub, rt)
+		a.Work()
+		a.Bind(entry)
+		for _, r := range clear {
+			a.Mov(r, mipsx.RZero)
+		}
+		for i, r := range live {
+			a.St(r, mipsx.RSP, 4*slots[i])
+		}
+		for i, r := range args {
+			dst := uint8(mipsx.RArg0 + i)
+			if r != dst {
+				a.Mov(dst, r)
+			}
+		}
+		for j, item := range extraArgItems {
+			a.Li(uint8(mipsx.RArg0+len(args)+j), int32(item))
+		}
+		a.Jal(fn.Label)
+		after()
+		a.Work()
+		for i, r := range live {
+			a.Ld(r, mipsx.RSP, 4*slots[i])
+		}
+		a.Jmp(cont)
+	})
+}

@@ -1,0 +1,111 @@
+package mipsx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profile attributes executed cycles to code regions delimited by named
+// labels — with the compiler's "fn:" naming convention, to functions.
+type Profile struct {
+	names    []string
+	starts   []int
+	regionOf []uint16
+	Cycles   []uint64
+}
+
+// NewProfile builds a profile map over prog from the labels accepted by
+// keep (nil keeps every named label).
+func NewProfile(prog *Program, keep func(name string) bool) *Profile {
+	type region struct {
+		start int
+		name  string
+	}
+	var regions []region
+	for name, idx := range prog.Labels {
+		if name == "" {
+			continue
+		}
+		if keep != nil && !keep(name) {
+			continue
+		}
+		regions = append(regions, region{start: idx, name: name})
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].start < regions[j].start })
+	p := &Profile{regionOf: make([]uint16, len(prog.Instrs))}
+	p.names = append(p.names, "(prelude)")
+	p.starts = append(p.starts, 0)
+	for _, r := range regions {
+		if r.start == p.starts[len(p.starts)-1] {
+			// Several labels at one address: keep the first name.
+			continue
+		}
+		p.names = append(p.names, r.name)
+		p.starts = append(p.starts, r.start)
+	}
+	p.Cycles = make([]uint64, len(p.names))
+	cur := 0
+	for i := range p.regionOf {
+		for cur+1 < len(p.starts) && p.starts[cur+1] <= i {
+			cur++
+		}
+		p.regionOf[i] = uint16(cur)
+	}
+	return p
+}
+
+func (p *Profile) add(pc int, cycles uint64) {
+	if pc >= 0 && pc < len(p.regionOf) {
+		p.Cycles[p.regionOf[pc]] += cycles
+	}
+}
+
+// Entry is one profile row.
+type Entry struct {
+	Name   string
+	Cycles uint64
+}
+
+// Top returns the n hottest regions.
+func (p *Profile) Top(n int) []Entry {
+	out := make([]Entry, 0, len(p.names))
+	for i, name := range p.names {
+		if p.Cycles[i] > 0 {
+			out = append(out, Entry{Name: name, Cycles: p.Cycles[i]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cycles > out[j].Cycles })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Format renders the top-n table against a cycle total.
+func (p *Profile) Format(n int, total uint64) string {
+	var sb strings.Builder
+	for _, e := range p.Top(n) {
+		fmt.Fprintf(&sb, "  %-32s %12d  %6.2f%%\n", e.Name, e.Cycles, Pct(e.Cycles, total))
+	}
+	return sb.String()
+}
+
+// RunProfiled is Run with per-region cycle attribution into prof.
+func (m *Machine) RunProfiled(prof *Profile) error {
+	for !m.halted {
+		pc := m.PC
+		before := m.Stats.Cycles
+		if err := m.Step(); err != nil {
+			return err
+		}
+		prof.add(pc, m.Stats.Cycles-before)
+		if m.MaxCycles != 0 && m.Stats.Cycles > m.MaxCycles {
+			return m.fault("cycle limit %d exceeded", m.MaxCycles)
+		}
+	}
+	if m.Stats.ErrorCode != 0 {
+		return &RuntimeError{Code: m.Stats.ErrorCode, Item: m.Stats.ErrorItem}
+	}
+	return nil
+}

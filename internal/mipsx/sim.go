@@ -1,0 +1,517 @@
+package mipsx
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// HWConfig describes the processor variant being simulated: where the tag
+// field lives (for the tag-aware instruction extensions) and which optional
+// hardware is present. The zero value is a plain processor with no tag
+// support; tag-aware instructions fault unless configured.
+type HWConfig struct {
+	// TagShift and TagMask locate the tag field for BTEQ/BTNE/LDC/STC:
+	// tag(v) = (v >> TagShift) & TagMask.
+	TagShift uint32
+	TagMask  uint32
+	// MemAddrMask is applied to the effective address of LDT/STT/LDC/STC,
+	// modelling hardware that drops tag bits during address calculation.
+	MemAddrMask uint32
+	// IsIntItem reports whether a word is a valid integer item in the
+	// current tag scheme; ADDTC/SUBTC use it for their parallel check.
+	IsIntItem func(uint32) bool
+	// TrapHandler is the instruction index of the software handler for
+	// ADDTC/SUBTC traps, or -1 to fault on such traps.
+	TrapHandler int
+	// CheckFailHandler is the instruction index jumped to when LDC/STC
+	// sees an unexpected tag (the type-error path), or -1 to fault.
+	CheckFailHandler int
+	// TrapCycles is the overhead charged on trap entry and on trap
+	// return, modelling pipeline drain and handler dispatch.
+	TrapCycles uint64
+}
+
+// DefaultTrapCycles is the trap entry/return overhead used when TrapCycles
+// is zero.
+const DefaultTrapCycles = 8
+
+// Fault is a simulator-detected error: misaligned or wild address, division
+// by zero, unhandled trap, or a malformed program.
+type Fault struct {
+	PC     int
+	Cycle  uint64
+	Reason string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("fault at pc=%d cycle=%d: %s", f.PC, f.Cycle, f.Reason)
+}
+
+// RuntimeError is a Lisp-level error raised via SysError (wrong type
+// operand, bad index, ...).
+type RuntimeError struct {
+	Code int32
+	Item uint32
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("lisp runtime error %d (item %#x)", e.Code, e.Item)
+}
+
+// Machine executes a Program against a word-addressed memory.
+type Machine struct {
+	Prog *Program
+	Mem  []uint32 // one entry per 32-bit word; byte address = index*4
+	Regs [32]uint32
+	PC   int
+	HW   HWConfig
+
+	Stats  Stats
+	Output bytes.Buffer
+
+	// MaxCycles aborts runaway programs; 0 means no limit.
+	MaxCycles uint64
+
+	halted bool
+	// branch pipeline state
+	pendTarget int // -1 when no jump pending
+	pendCount  int
+	pendSquash bool
+	// load interlock state
+	lastLoadReg uint8
+	lastLoad    *Instr
+}
+
+// NewMachine creates a machine with memWords words of zeroed memory.
+func NewMachine(prog *Program, memWords int, hw HWConfig) *Machine {
+	if hw.TrapCycles == 0 {
+		hw.TrapCycles = DefaultTrapCycles
+	}
+	if hw.MemAddrMask == 0 {
+		hw.MemAddrMask = ^uint32(0)
+	}
+	return &Machine{
+		Prog:       prog,
+		Mem:        make([]uint32, memWords),
+		PC:         prog.Entry,
+		HW:         hw,
+		pendTarget: -1,
+	}
+}
+
+// Halted reports whether the machine has executed HALT or SysHalt/SysError.
+func (m *Machine) Halted() bool { return m.halted }
+
+func (m *Machine) fault(format string, args ...any) error {
+	return &Fault{PC: m.PC, Cycle: m.Stats.Cycles, Reason: fmt.Sprintf(format, args...)}
+}
+
+func (m *Machine) loadWord(addr uint32) (uint32, error) {
+	if addr&3 != 0 {
+		return 0, m.fault("misaligned load at %#x", addr)
+	}
+	i := addr >> 2
+	if int(i) >= len(m.Mem) {
+		return 0, m.fault("load out of range at %#x", addr)
+	}
+	return m.Mem[i], nil
+}
+
+func (m *Machine) storeWord(addr, v uint32) error {
+	if addr&3 != 0 {
+		return m.fault("misaligned store at %#x", addr)
+	}
+	i := addr >> 2
+	if int(i) >= len(m.Mem) {
+		return m.fault("store out of range at %#x", addr)
+	}
+	m.Mem[i] = v
+	return nil
+}
+
+func (m *Machine) tagOf(v uint32) uint8 {
+	return uint8((v >> m.HW.TagShift) & m.HW.TagMask)
+}
+
+// Run executes until HALT, a fault, a Lisp runtime error, or MaxCycles.
+func (m *Machine) Run() error {
+	for !m.halted {
+		if err := m.Step(); err != nil {
+			return err
+		}
+		if m.MaxCycles != 0 && m.Stats.Cycles > m.MaxCycles {
+			return m.fault("cycle limit %d exceeded", m.MaxCycles)
+		}
+	}
+	if m.Stats.ErrorCode != 0 {
+		return &RuntimeError{Code: m.Stats.ErrorCode, Item: m.Stats.ErrorItem}
+	}
+	return nil
+}
+
+// Step executes a single instruction (or annuls one squashed delay slot).
+func (m *Machine) Step() error {
+	if m.halted {
+		return nil
+	}
+	if m.PC < 0 || m.PC >= len(m.Prog.Instrs) {
+		return m.fault("pc out of range")
+	}
+	in := &m.Prog.Instrs[m.PC]
+
+	// Annulled delay slot of a squashing branch that was not taken.
+	if m.pendSquash {
+		m.Stats.Cycles++
+		m.Stats.Instrs++
+		m.Stats.ByCat[CatSquash]++
+		m.Stats.Squashed++
+		m.lastLoadReg = RZero
+		m.advance()
+		return nil
+	}
+
+	// Load interlock: using a load result in the next cycle stalls one
+	// cycle, charged to the load's own category.
+	if m.lastLoadReg != RZero {
+		rs, n := in.regsRead()
+		for i := 0; i < n; i++ {
+			if rs[i] == m.lastLoadReg {
+				m.Stats.Cycles++
+				m.Stats.Stalls++
+				m.Stats.ByCat[m.lastLoad.Cat]++
+				if m.lastLoad.RTCheck {
+					m.Stats.ByRTSub[m.lastLoad.Sub]++
+				}
+				break
+			}
+		}
+		m.lastLoadReg = RZero
+	}
+
+	m.Stats.add(in, in.Op.Cycles())
+
+	r := &m.Regs
+	sx := func(i uint8) int32 { return int32(r[i]) }
+	setRd := func(v uint32) {
+		if in.Rd != RZero {
+			r[in.Rd] = v
+		}
+	}
+
+	switch in.Op {
+	case NOP:
+	case MOV:
+		setRd(r[in.Rs1])
+	case LI:
+		setRd(uint32(in.Imm))
+	case ADD:
+		setRd(uint32(sx(in.Rs1) + sx(in.Rs2)))
+	case ADDI:
+		setRd(uint32(sx(in.Rs1) + in.Imm))
+	case SUB:
+		setRd(uint32(sx(in.Rs1) - sx(in.Rs2)))
+	case AND:
+		setRd(r[in.Rs1] & r[in.Rs2])
+	case ANDI:
+		setRd(r[in.Rs1] & uint32(in.Imm))
+	case OR:
+		setRd(r[in.Rs1] | r[in.Rs2])
+	case ORI:
+		setRd(r[in.Rs1] | uint32(in.Imm))
+	case XOR:
+		setRd(r[in.Rs1] ^ r[in.Rs2])
+	case XORI:
+		setRd(r[in.Rs1] ^ uint32(in.Imm))
+	case SLL:
+		setRd(r[in.Rs1] << (r[in.Rs2] & 31))
+	case SLLI:
+		setRd(r[in.Rs1] << (uint32(in.Imm) & 31))
+	case SRL:
+		setRd(r[in.Rs1] >> (r[in.Rs2] & 31))
+	case SRLI:
+		setRd(r[in.Rs1] >> (uint32(in.Imm) & 31))
+	case SRA:
+		setRd(uint32(sx(in.Rs1) >> (r[in.Rs2] & 31)))
+	case SRAI:
+		setRd(uint32(sx(in.Rs1) >> (uint32(in.Imm) & 31)))
+	case MUL:
+		setRd(uint32(sx(in.Rs1) * sx(in.Rs2)))
+	case FADD:
+		setRd(math.Float32bits(math.Float32frombits(r[in.Rs1]) + math.Float32frombits(r[in.Rs2])))
+	case FSUB:
+		setRd(math.Float32bits(math.Float32frombits(r[in.Rs1]) - math.Float32frombits(r[in.Rs2])))
+	case FMUL:
+		setRd(math.Float32bits(math.Float32frombits(r[in.Rs1]) * math.Float32frombits(r[in.Rs2])))
+	case FDIV:
+		setRd(math.Float32bits(math.Float32frombits(r[in.Rs1]) / math.Float32frombits(r[in.Rs2])))
+	case FLT:
+		if math.Float32frombits(r[in.Rs1]) < math.Float32frombits(r[in.Rs2]) {
+			setRd(1)
+		} else {
+			setRd(0)
+		}
+	case FEQ:
+		if math.Float32frombits(r[in.Rs1]) == math.Float32frombits(r[in.Rs2]) {
+			setRd(1)
+		} else {
+			setRd(0)
+		}
+	case ITOF:
+		setRd(math.Float32bits(float32(sx(in.Rs1))))
+	case FTOI:
+		setRd(uint32(int32(math.Float32frombits(r[in.Rs1]))))
+	case DIV:
+		if r[in.Rs2] == 0 {
+			return m.fault("division by zero")
+		}
+		setRd(uint32(sx(in.Rs1) / sx(in.Rs2)))
+	case REM:
+		if r[in.Rs2] == 0 {
+			return m.fault("division by zero")
+		}
+		setRd(uint32(sx(in.Rs1) % sx(in.Rs2)))
+
+	case LD:
+		v, err := m.loadWord(uint32(sx(in.Rs1) + in.Imm))
+		if err != nil {
+			return err
+		}
+		setRd(v)
+		m.lastLoadReg, m.lastLoad = in.Rd, in
+		m.advance()
+		return nil
+	case ST:
+		if err := m.storeWord(uint32(sx(in.Rs1)+in.Imm), r[in.Rs2]); err != nil {
+			return err
+		}
+	case LDT:
+		// Tag-ignoring loads cannot fault: the hardware masks the tag
+		// bits and the low address bits, and a wild (but masked) address
+		// just reads whatever the bus returns. This is what lets the
+		// scheduler hoist them into check-branch delay slots.
+		addr := uint32(sx(in.Rs1)+in.Imm) & m.HW.MemAddrMask &^ 3
+		var v uint32
+		if int(addr>>2) < len(m.Mem) {
+			v = m.Mem[addr>>2]
+		}
+		setRd(v)
+		m.lastLoadReg, m.lastLoad = in.Rd, in
+		m.advance()
+		return nil
+	case STT:
+		if err := m.storeWord(uint32(sx(in.Rs1)+in.Imm)&m.HW.MemAddrMask&^3, r[in.Rs2]); err != nil {
+			return err
+		}
+	case LDC, STC:
+		if m.tagOf(r[in.Rs1]) != in.Tag {
+			return m.checkFail(r[in.Rs1], in.Tag)
+		}
+		addr := uint32(sx(in.Rs1)+in.Imm) & m.HW.MemAddrMask
+		if in.Op == LDC {
+			v, err := m.loadWord(addr)
+			if err != nil {
+				return err
+			}
+			setRd(v)
+			m.lastLoadReg, m.lastLoad = in.Rd, in
+		} else if err := m.storeWord(addr, r[in.Rs2]); err != nil {
+			return err
+		}
+		m.advance()
+		return nil
+
+	case ADDTC, SUBTC:
+		if m.HW.IsIntItem == nil {
+			return m.fault("%s without integer-test hardware", in.Op)
+		}
+		a, b := r[in.Rs1], r[in.Rs2]
+		var s64 int64
+		if in.Op == ADDTC {
+			s64 = int64(int32(a)) + int64(int32(b))
+		} else {
+			s64 = int64(int32(a)) - int64(int32(b))
+		}
+		res := uint32(s64)
+		if !m.HW.IsIntItem(a) || !m.HW.IsIntItem(b) ||
+			s64 != int64(int32(res)) || !m.HW.IsIntItem(res) {
+			return m.arithTrap(in, a, b)
+		}
+		setRd(res)
+
+	case BEQ, BNE, BLT, BGE, BLE, BGT, BEQI, BNEI, BLTI, BGEI, BTEQ, BTNE:
+		if m.pendCount > 0 {
+			return m.fault("branch in delay slot")
+		}
+		var taken bool
+		switch in.Op {
+		case BEQ:
+			taken = r[in.Rs1] == r[in.Rs2]
+		case BNE:
+			taken = r[in.Rs1] != r[in.Rs2]
+		case BLT:
+			taken = sx(in.Rs1) < sx(in.Rs2)
+		case BGE:
+			taken = sx(in.Rs1) >= sx(in.Rs2)
+		case BLE:
+			taken = sx(in.Rs1) <= sx(in.Rs2)
+		case BGT:
+			taken = sx(in.Rs1) > sx(in.Rs2)
+		case BEQI:
+			taken = sx(in.Rs1) == in.Imm
+		case BNEI:
+			taken = sx(in.Rs1) != in.Imm
+		case BLTI:
+			taken = sx(in.Rs1) < in.Imm
+		case BGEI:
+			taken = sx(in.Rs1) >= in.Imm
+		case BTEQ:
+			taken = m.tagOf(r[in.Rs1]) == in.Tag
+		case BTNE:
+			taken = m.tagOf(r[in.Rs1]) != in.Tag
+		}
+		if taken {
+			m.pendTarget = in.Target
+			m.pendCount = delaySlots
+		} else if in.Squash {
+			m.pendTarget = -1
+			m.pendCount = delaySlots
+			m.pendSquash = true
+		}
+		m.lastLoadReg = RZero
+		m.PC++
+		return nil
+
+	case JMP, JAL, JALR, JR:
+		if m.pendCount > 0 {
+			return m.fault("jump in delay slot")
+		}
+		switch in.Op {
+		case JMP:
+			m.pendTarget = in.Target
+		case JAL:
+			r[RRA] = uint32(m.PC+1+delaySlots) << 2
+			m.pendTarget = in.Target
+		case JALR:
+			if r[in.Rs1]&3 != 0 {
+				return m.fault("jalr to misaligned code address %#x", r[in.Rs1])
+			}
+			t := int(r[in.Rs1] >> 2)
+			r[RRA] = uint32(m.PC+1+delaySlots) << 2
+			m.pendTarget = t
+		case JR:
+			if r[in.Rs1]&3 != 0 {
+				return m.fault("jr to misaligned code address %#x", r[in.Rs1])
+			}
+			m.pendTarget = int(r[in.Rs1] >> 2)
+		}
+		m.pendCount = delaySlots
+		m.lastLoadReg = RZero
+		m.PC++
+		return nil
+
+	case SYS:
+		if err := m.syscall(in); err != nil {
+			return err
+		}
+		if m.halted || in.Imm == SysTrapReturn {
+			return nil
+		}
+	case HALT:
+		m.halted = true
+		return nil
+	default:
+		return m.fault("bad opcode %v", in.Op)
+	}
+
+	m.lastLoadReg = RZero
+	m.advance()
+	return nil
+}
+
+// advance moves past the current instruction, retiring pending delay slots.
+func (m *Machine) advance() {
+	m.PC++
+	if m.pendCount > 0 {
+		m.pendCount--
+		if m.pendCount == 0 {
+			if m.pendTarget >= 0 {
+				m.PC = m.pendTarget
+			}
+			m.pendTarget = -1
+			m.pendSquash = false
+		}
+	}
+}
+
+func (m *Machine) syscall(in *Instr) error {
+	switch in.Imm {
+	case SysHalt:
+		m.halted = true
+	case SysPutChar:
+		m.Output.WriteByte(byte(m.Regs[RRet]))
+	case SysPutInt:
+		m.Output.WriteString(strconv.FormatInt(int64(int32(m.Regs[RRet])), 10))
+	case SysError:
+		m.Stats.ErrorCode = int32(m.Regs[RRet])
+		m.Stats.ErrorItem = m.Regs[3]
+		m.halted = true
+	case SysTrapReturn:
+		if m.pendCount > 0 {
+			return m.fault("trap return in delay slot")
+		}
+		rd := m.Mem[TrapRdAddr>>2]
+		if rd >= 32 {
+			return m.fault("bad trap destination register %d", rd)
+		}
+		if rd != RZero {
+			m.Regs[rd] = m.Mem[TrapResultAddr>>2]
+		}
+		m.Stats.Cycles += m.HW.TrapCycles
+		m.PC = int(m.Mem[TrapPCAddr>>2])
+	case SysGCNotify:
+		m.Stats.GCs++
+		m.Stats.GCWords += uint64(m.Regs[RRet])
+	default:
+		return m.fault("bad syscall %d", in.Imm)
+	}
+	return nil
+}
+
+// arithTrap enters the software handler for a failed ADDTC/SUBTC.
+func (m *Machine) arithTrap(in *Instr, a, b uint32) error {
+	if m.HW.TrapHandler < 0 {
+		return m.fault("unhandled arithmetic trap (%v %#x %#x)", in.Op, a, b)
+	}
+	if m.pendCount > 0 {
+		return m.fault("arithmetic trap in delay slot")
+	}
+	m.Mem[TrapOpAddr>>2] = uint32(in.Op)
+	m.Mem[TrapAAddr>>2] = a
+	m.Mem[TrapBAddr>>2] = b
+	m.Mem[TrapRdAddr>>2] = uint32(in.Rd)
+	m.Mem[TrapPCAddr>>2] = uint32(m.PC + 1)
+	m.Stats.Cycles += m.HW.TrapCycles
+	m.Stats.Traps++
+	m.lastLoadReg = RZero
+	m.PC = m.HW.TrapHandler
+	return nil
+}
+
+// checkFail enters the type-error path for a failed LDC/STC tag check.
+func (m *Machine) checkFail(item uint32, want uint8) error {
+	if m.HW.CheckFailHandler < 0 {
+		return m.fault("checked access tag mismatch: item %#x, want tag %d", item, want)
+	}
+	m.Regs[RT0] = item
+	m.Regs[RT1] = uint32(want)
+	m.Stats.Cycles += m.HW.TrapCycles
+	m.Stats.Traps++
+	m.lastLoadReg = RZero
+	m.pendTarget = -1
+	m.pendCount = 0
+	m.pendSquash = false
+	m.PC = m.HW.CheckFailHandler
+	return nil
+}

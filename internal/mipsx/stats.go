@@ -1,0 +1,55 @@
+package mipsx
+
+// Stats accumulates execution statistics. Every executed cycle is attributed
+// to exactly one Category; cycles spent in tag checks are additionally
+// attributed to a SubCat, and cycles of instructions that exist only because
+// run-time checking is enabled are tracked per SubCat for the Table 1
+// breakdown.
+type Stats struct {
+	Cycles uint64
+	Instrs uint64
+
+	ByCat    [NumCat]uint64
+	BySub    [NumSub]uint64 // cycles of tag extract/check instructions per cause
+	ByRTSub  [NumSub]uint64 // cycles of run-time-checking-only instructions per cause
+	ByOp     [NumOps]uint64 // executed instruction counts per opcode
+	Squashed uint64         // annulled delay-slot instructions
+	Stalls   uint64         // load-interlock stall cycles
+	Traps    uint64         // hardware trap entries
+
+	GCs       uint64 // copying-collector invocations (via SysGCNotify)
+	GCWords   uint64 // words copied by the collector
+	ErrorCode int32  // last SysError code, 0 if none
+	ErrorItem uint32 // offending item of the last SysError
+}
+
+func (s *Stats) add(in *Instr, cycles uint64) {
+	s.Cycles += cycles
+	s.Instrs++
+	s.ByCat[in.Cat] += cycles
+	s.ByOp[in.Op] += cycles
+	if in.Cat == CatTagCheck || in.Cat == CatTagExtract {
+		s.BySub[in.Sub] += cycles
+	}
+	if in.RTCheck {
+		s.ByRTSub[in.Sub] += cycles
+	}
+}
+
+// TagCycles returns the cycles spent on all tag handling: insertion, removal
+// and checking (checking includes extraction and unused delay slots of check
+// branches, per the paper's costing).
+func (s *Stats) TagCycles() uint64 {
+	return s.ByCat[CatTagInsert] + s.ByCat[CatTagRemove] + s.ByCat[CatTagExtract] + s.ByCat[CatTagCheck]
+}
+
+// Pct returns 100*part/total, or 0 when total is zero.
+func Pct(part, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+// CatPct returns the percentage of all cycles attributed to c.
+func (s *Stats) CatPct(c Category) float64 { return Pct(s.ByCat[c], s.Cycles) }

@@ -1,0 +1,137 @@
+package programs
+
+// boyer: the Gabriel boyer benchmark — a rewrite-rule-based simplifier
+// combined with a dumb tautology checker. Terms are rewritten bottom-up
+// against lemma lists stored on the head symbol's property list (one-way
+// unification binds pattern atoms through a global substitution), and the
+// rewritten term is checked for propositional tautology over its IF
+// structure. The lemma set is the terminating subset of the classic rules
+// that fire on this theorem; the theorem itself is the classic chained
+// implication, which is a tautology, so the run must yield t.
+var _ = register(&Program{
+	Name:        "boyer",
+	Description: "rewrite-rule simplifier + tautology checker (Gabriel)",
+	Expected:    "(t t t)",
+	Source: `
+(defvar unify-subst nil)
+
+(defun add-lemma (lemma)
+  ;; lemma = (equal lhs rhs); indexed under the head of lhs.
+  (let ((head (car (cadr lemma))))
+    (put head 'lemmas (cons lemma (get head 'lemmas)))))
+
+(defun apply-subst (alist term)
+  (if (atom term)
+      (let ((b (assq term alist)))
+        (if b (cdr b) term))
+      (cons (car term) (apply-subst-lst alist (cdr term)))))
+
+(defun apply-subst-lst (alist lst)
+  (if (null lst)
+      nil
+      (cons (apply-subst alist (car lst))
+            (apply-subst-lst alist (cdr lst)))))
+
+(defun one-way-unify (term1 term2)
+  (setq unify-subst nil)
+  (one-way-unify1 term1 term2))
+
+(defun one-way-unify1 (t1 t2)
+  (cond ((atom t2)
+         (let ((b (assq t2 unify-subst)))
+           (if b
+               (equal t1 (cdr b))
+               (progn (setq unify-subst (cons (cons t2 t1) unify-subst)) t))))
+        ((atom t1) nil)
+        ((eq (car t1) (car t2)) (one-way-unify1-lst (cdr t1) (cdr t2)))
+        (t nil)))
+
+(defun one-way-unify1-lst (l1 l2)
+  (cond ((null l1) (null l2))
+        ((null l2) nil)
+        ((one-way-unify1 (car l1) (car l2))
+         (one-way-unify1-lst (cdr l1) (cdr l2)))
+        (t nil)))
+
+(defun rewrite (term)
+  (if (atom term)
+      term
+      (rewrite-with-lemmas (cons (car term) (rewrite-args (cdr term)))
+                           (get (car term) 'lemmas))))
+
+(defun rewrite-args (lst)
+  (if (null lst)
+      nil
+      (cons (rewrite (car lst)) (rewrite-args (cdr lst)))))
+
+(defun rewrite-with-lemmas (term lst)
+  (cond ((null lst) term)
+        ((one-way-unify term (cadr (car lst)))
+         (rewrite (apply-subst unify-subst (caddr (car lst)))))
+        (t (rewrite-with-lemmas term (cdr lst)))))
+
+(defun truep (x lst)
+  (or (equal x '(t)) (member x lst)))
+
+(defun falsep (x lst)
+  (or (equal x '(f)) (member x lst)))
+
+(defun tautologyp (x true-lst false-lst)
+  (cond ((truep x true-lst) t)
+        ((falsep x false-lst) nil)
+        ((atom x) nil)
+        ((eq (car x) 'if)
+         (cond ((truep (cadr x) true-lst)
+                (tautologyp (caddr x) true-lst false-lst))
+               ((falsep (cadr x) false-lst)
+                (tautologyp (cadddr x) true-lst false-lst))
+               (t (and (tautologyp (caddr x) (cons (cadr x) true-lst) false-lst)
+                       (tautologyp (cadddr x) true-lst (cons (cadr x) false-lst))))))
+        (t nil)))
+
+(defun tautp (x)
+  (tautologyp (rewrite x) nil nil))
+
+(defun setup ()
+  ;; The if-distribution rule is what lets the dumb tautology checker see
+  ;; through rewritten connectives: conditions become atoms or opaque terms.
+  (add-lemma '(equal (if (if a b c) d e) (if a (if b d e) (if c d e))))
+  (add-lemma '(equal (and p q) (if p (if q (t) (f)) (f))))
+  (add-lemma '(equal (or p q) (if p (t) (if q (t) (f)))))
+  (add-lemma '(equal (not p) (if p (f) (t))))
+  (add-lemma '(equal (implies p q) (if p (if q (t) (f)) (t))))
+  (add-lemma '(equal (plus (plus x y) z) (plus x (plus y z))))
+  (add-lemma '(equal (times (times x y) z) (times x (times y z))))
+  (add-lemma '(equal (times x (plus y z)) (plus (times x y) (times x z))))
+  (add-lemma '(equal (difference x x) (zero)))
+  (add-lemma '(equal (equal (plus x y) (plus x z)) (equal y z)))
+  (add-lemma '(equal (append (append x y) z) (append x (append y z))))
+  (add-lemma '(equal (reverse (append a b)) (append (reverse b) (reverse a))))
+  (add-lemma '(equal (length (append a b)) (plus (length a) (length b))))
+  (add-lemma '(equal (length (reverse x)) (length x)))
+  (add-lemma '(equal (member a (append b c)) (or (member a b) (member a c))))
+  (add-lemma '(equal (lessp (remainder x y) y) (if (zerop y) (f) (t))))
+  (add-lemma '(equal (remainder x x) (zero)))
+  (add-lemma '(equal (lessp x x) (f)))
+  (add-lemma '(equal (equal x x) (t)))
+  (add-lemma '(equal (zerop (zero)) (t))))
+
+(defun test-statement ()
+  (apply-subst
+   '((x . (f (plus (plus a b) (plus c (zero)))))
+     (y . (f (times (times a b) (plus c d))))
+     (z . (f (reverse (append (append a b) (nil)))))
+     (u . (equal (plus a b) (difference x y)))
+     (w . (lessp (remainder a b) (member a (length b)))))
+   '(implies (and (implies x y)
+                  (and (implies y z)
+                       (and (implies z u) (implies u w))))
+             (implies x w))))
+
+(setup)
+(let ((r1 (tautp (test-statement)))
+      (r2 (tautp (test-statement)))
+      (r3 (tautp (test-statement))))
+  (list (if r1 t nil) (if r2 t nil) (if r3 t nil)))
+`,
+})

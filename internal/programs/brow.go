@@ -1,0 +1,89 @@
+package programs
+
+// brow: a short version of the browse benchmark (Gabriel) — creates an
+// AI-like database of units (symbols) whose properties hold generated
+// patterns, then repeatedly browses it by matching query patterns with
+// wildcard (?) and segment (*) variables against every stored pattern.
+// Matching is backtracking list traversal; the database lives on property
+// lists.
+//
+// The expected count is mirrored by an independent Go implementation in
+// programs_test.go (TestBrowMirror); the universal query (*) alone accounts
+// for one match per stored pattern (20 units x 3 patterns = 60 per sweep).
+var _ = register(&Program{
+	Name:        "brow",
+	Description: "browse an AI-like database of units (Gabriel)",
+	Expected:    "188",
+	Source: `
+(defvar bseed 74)
+
+(defun brand (m)
+  (setq bseed (remainder (+ (* bseed 131) 37) 1999))
+  (remainder bseed m))
+
+(defvar batoms '(a b c d))
+(defvar units '(u1 u2 u3 u4 u5 u6 u7 u8 u9 u10
+                u11 u12 u13 u14 u15 u16 u17 u18 u19 u20))
+
+(defun gen-item (depth)
+  (let ((r (brand 8)))
+    (if (or (< depth 1) (< r 5))
+        (nth (brand 4) batoms)
+        (gen-list (1- depth) (1+ (brand 3))))))
+
+(defun gen-list (depth n)
+  (if (= n 0)
+      nil
+      (cons (gen-item depth) (gen-list depth (1- n)))))
+
+(defun init-units ()
+  (let ((l units))
+    (while (consp l)
+      (put (car l) 'pats
+           (cons (gen-list 2 4)
+                 (cons (gen-list 2 4)
+                       (cons (gen-list 2 4) nil))))
+      (setq l (cdr l)))))
+
+;; Match a pattern (with ? element wildcards and * segment wildcards)
+;; against ground data.
+(defun bmatch (p d)
+  (cond ((null p) (null d))
+        ((atom p) nil)
+        ((eq (car p) '*)
+         (cond ((bmatch (cdr p) d) t)
+               ((consp d) (bmatch p (cdr d)))
+               (t nil)))
+        ((null d) nil)
+        ((consp (car p))
+         (and (consp (car d))
+              (bmatch (car p) (car d))
+              (bmatch (cdr p) (cdr d))))
+        ((eq (car p) '?)
+         (bmatch (cdr p) (cdr d)))
+        (t (and (eq (car p) (car d)) (bmatch (cdr p) (cdr d))))))
+
+(defvar queries '((*) (a *) (* b) (? ? *) (* c *) (a * d) (* (a *) *)))
+
+(defun match-all ()
+  (let ((q queries) (count 0))
+    (while (consp q)
+      (let ((l units))
+        (while (consp l)
+          (let ((ps (get (car l) 'pats)))
+            (while (consp ps)
+              (when (bmatch (car q) (car ps))
+                (setq count (1+ count)))
+              (setq ps (cdr ps))))
+          (setq l (cdr l))))
+      (setq q (cdr q)))
+    count))
+
+(init-units)
+(let ((i 0) (c 0))
+  (while (< i 15)
+    (setq c (match-all))
+    (setq i (1+ i)))
+  c)
+`,
+})

@@ -1,0 +1,106 @@
+package programs
+
+// comp: the first pass of a compiler front end — translates a suite of
+// function definitions into stack-machine code lists, with constant folding
+// and lexical-environment resolution. Association-list environments and
+// instruction-list appends dominate, matching the paper's list-heavy comp
+// profile.
+//
+// Hand check of the compiled sizes (instructions per definition):
+//
+//	d1 (+ (* x 2) (- 10 4))        -> load,push,*  + push(6 folded) + '+'  = 5
+//	d2 (if (- x y) (+ x 1) (- y 1)) -> 3 + bfalse + 3 + jump + label + 3 + label = 13
+//	d3 (fact (- n 1))              -> load,push,-,call                    = 4
+//	d4 (+ (+ a b) c)               -> load,load,+,load,+                  = 5
+//	d5 (let1 y (* x x) (+ y (* 2 3))) -> 3 + bind + (load,push(6),+) + unbind = 8
+//	d6 (g (h l 5) (+ 2 3) l)       -> load,push,call + push(5) + load + call = 6
+//
+// total 41 instructions, 3 constant folds.
+var _ = register(&Program{
+	Name:        "comp",
+	Description: "compiler front-end pass over a definition suite",
+	Expected:    "(41 . 3)",
+	Source: `
+(defvar label-counter 0)
+(defvar fold-counter 0)
+
+(defun new-label ()
+  (setq label-counter (1+ label-counter)))
+
+(defun env-index (x env n)
+  (cond ((null env) (error 50 x))
+        ((eq (car env) x) n)
+        (t (env-index x (cdr env) (1+ n)))))
+
+(defun const-code-p (c)
+  (and (null (cdr c)) (eq (car (car c)) 'push)))
+
+(defun fold-op (op a b)
+  (setq fold-counter (1+ fold-counter))
+  (cond ((eq op '+) (+ a b))
+        ((eq op '-) (- a b))
+        (t (* a b))))
+
+(defun c-binop (op a b env)
+  (let ((ca (c-expr a env)) (cb (c-expr b env)))
+    (if (and (const-code-p ca) (const-code-p cb))
+        (cons (list 'push (fold-op op (cadr (car ca)) (cadr (car cb)))) nil)
+        (append ca (append cb (cons (list op) nil))))))
+
+(defun c-args (l env)
+  (if (null l)
+      nil
+      (append (c-expr (car l) env) (c-args (cdr l) env))))
+
+(defun c-expr (x env)
+  (cond ((intp x) (cons (list 'push x) nil))
+        ((symbolp x) (cons (list 'load (env-index x env 0)) nil))
+        ((memq (car x) '(+ - *))
+         (c-binop (car x) (cadr x) (caddr x) env))
+        ((eq (car x) 'if)
+         (let ((l1 (new-label)) (l2 (new-label)))
+           (append (c-expr (cadr x) env)
+                   (cons (list 'bfalse l1)
+                         (append (c-expr (caddr x) env)
+                                 (cons (list 'jump l2)
+                                       (cons (list 'label l1)
+                                             (append (c-expr (cadddr x) env)
+                                                     (cons (list 'label l2) nil)))))))))
+        ((eq (car x) 'let1)
+         (append (c-expr (caddr x) env)
+                 (cons (list 'bind)
+                       (append (c-expr (cadddr x) (cons (cadr x) env))
+                               (cons (list 'unbind) nil)))))
+        (t (append (c-args (cdr x) env)
+                   (cons (list 'call (car x) (length (cdr x))) nil)))))
+
+(defun c-defun (def)
+  (c-expr (caddr def) (reverse (cadr def))))
+
+(defvar suite
+  '((d1 (x) (+ (* x 2) (- 10 4)))
+    (d2 (x y) (if (- x y) (+ x 1) (- y 1)))
+    (d3 (n) (fact (- n 1)))
+    (d4 (a b c) (+ (+ a b) c))
+    (d5 (x) (let1 y (* x x) (+ y (* 2 3))))
+    (d6 (l) (g (h l 5) (+ 2 3) l))))
+
+(defun compile-suite (defs)
+  (let ((total 0))
+    (while (consp defs)
+      (setq total (+ total (length (c-defun (car defs)))))
+      (setq defs (cdr defs)))
+    total))
+
+(defun run-comp (reps)
+  (let ((k 0) (total 0))
+    (while (< k reps)
+      (setq label-counter 0)
+      (setq fold-counter 0)
+      (setq total (compile-suite suite))
+      (setq k (1+ k)))
+    (cons total fold-counter)))
+
+(run-comp 60)
+`,
+})

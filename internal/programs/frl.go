@@ -1,0 +1,130 @@
+package programs
+
+// frl: a simple inventory system using the frame representation language.
+// Frames are symbols; slots live on property lists; fget inherits through
+// isa links (item -> category -> product). The run performs a fixed
+// schedule of receive/ship operations and then values the inventory with
+// inherited prices — exercising the symbol/property-list operations that
+// give frl its paper profile.
+//
+// Hand check: item j (1-based, j = 1..12) has category toy/gizmo/tool as
+// j mod 3 = 1/2/0 with prices 7/30/20 (tool price inherited from product's
+// 20). Eight rounds each receive (j mod 4)+1 units and ship 1 unit every
+// second round (4 shipments), so stock_j = 8*((j mod 4)+1) - 4.
+//
+//	j:      1  2  3  4  5  6  7  8  9 10 11 12
+//	stock: 12 20 28  4 12 20 28  4 12 20 28  4
+//	price:  7 30 20  7 30 20  7 30 20  7 30 20
+//
+// value = 7*(12+4+28+20) + 30*(20+12+4+28) + 20*(28+20+12+4) = 448+1920+1280
+// = 3648. Reorder level is 6 (from product), overridden to 16 for gizmos:
+// stocks below level: j=4 (4<6), j=8 (4<6), j=12 (4<6), j=5 (12<16),
+// j=2? 20<16 no; gizmos are j mod 3 = 2: j=2(20),5(12),8(4),11(28): j=5 and
+// j=8 below 16... j=8 counted once -> low items: {4, 5, 8, 12} = 4.
+var _ = register(&Program{
+	Name:        "frl",
+	Description: "frame-language inventory system",
+	Expected:    "(3648 . 4)",
+	Source: `
+(defvar items '(i1 i2 i3 i4 i5 i6 i7 i8 i9 i10 i11 i12))
+
+(defun fget (f s)
+  (let ((v (get f s)))
+    (if v
+        v
+        (let ((p (get f 'isa)))
+          (if p (fget p s) nil)))))
+
+(defun fput (f s v)
+  (put f s v))
+
+(defun stock-of (i)
+  (or (get i 'stock) 0))
+
+(defun setup-frames ()
+  (put 'product 'price 20)
+  (put 'product 'reorder-level 6)
+  (put 'product 'class 'goods)
+  (put 'toy 'isa 'product)
+  (put 'toy 'price 7)
+  (put 'gizmo 'isa 'product)
+  (put 'gizmo 'price 30)
+  (put 'gizmo 'reorder-level 16)
+  (put 'tool 'isa 'product)
+  (let ((l items) (j 1))
+    (while (consp l)
+      ;; Frames carry the usual clutter of descriptive slots; the
+      ;; operational slots end up deep in the plist, so slot access is
+      ;; dominated by property-list traversal, as in FRL.
+      (fput (car l) 'stock 0)
+      (let ((cat (remainder j 3)))
+        (fput (car l) 'isa
+              (cond ((= cat 1) 'toy)
+                    ((= cat 2) 'gizmo)
+                    (t 'tool))))
+      (fput (car l) 'located 'warehouse-a)
+      (fput (car l) 'supplier 'acme)
+      (fput (car l) 'color 'grey)
+      (fput (car l) 'unit 'each)
+      (fput (car l) 'audited nil)
+      (fput (car l) 'notes nil)
+      (setq l (cdr l))
+      (setq j (1+ j)))))
+
+(defun audit (i)
+  ;; Inheritance walks for several descriptive slots.
+  (and (eq (fget i 'class) 'goods)
+       (eq (fget i 'supplier) 'acme)
+       (fget i 'unit)
+       (fget i 'located)))
+
+(defun receive (i qty)
+  (fput i 'stock (+ (stock-of i) qty)))
+
+(defun ship (i qty)
+  (let ((s (stock-of i)))
+    (if (< s qty)
+        nil
+        (progn (fput i 'stock (- s qty)) t))))
+
+(defun run-rounds (rounds)
+  (let ((r 0))
+    (while (< r rounds)
+      (let ((l items) (j 1))
+        (while (consp l)
+          (receive (car l) (1+ (remainder j 4)))
+          (unless (audit (car l))
+            (error 70 (car l)))
+          (when (= (remainder r 2) 1)
+            (ship (car l) 1))
+          (setq l (cdr l))
+          (setq j (1+ j))))
+      (setq r (1+ r)))))
+
+(defun total-value ()
+  (let ((l items) (v 0))
+    (while (consp l)
+      (setq v (+ v (* (stock-of (car l)) (fget (car l) 'price))))
+      (setq l (cdr l)))
+    v))
+
+(defun reorder-count ()
+  (let ((l items) (n 0))
+    (while (consp l)
+      (when (< (stock-of (car l)) (fget (car l) 'reorder-level))
+        (setq n (1+ n)))
+      (setq l (cdr l)))
+    n))
+
+(defun run-frl (reps)
+  (let ((k 0) (res nil))
+    (while (< k reps)
+      (setup-frames)
+      (run-rounds 8)
+      (setq res (cons (total-value) (reorder-count)))
+      (setq k (1+ k)))
+    res))
+
+(run-frl 30)
+`,
+})

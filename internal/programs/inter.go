@@ -1,0 +1,88 @@
+package programs
+
+// inter: a simple interpreter for a subset of Lisp, used to calculate a
+// Fibonacci number and to sort a list of numbers (appendix: adapted from
+// "Lisp in Lisp"). Environments are association lists; interpreted function
+// definitions live on property lists.
+var _ = register(&Program{
+	Name:        "inter",
+	Description: "meta-circular interpreter: Fibonacci and insertion sort",
+	Expected:    "(233 0 1 2 3 4 5 6 7 8 9 10 11)",
+	Source: `
+(defun ev (x env)
+  (cond ((intp x) x)
+        ((null x) nil)
+        ((eq x 't) t)
+        ((symbolp x) (ev-lookup x env))
+        ((atom x) x)
+        (t (ev-form (car x) (cdr x) env))))
+
+(defun ev-lookup (s env)
+  (let ((b (assq s env)))
+    (if b (cdr b) (error 30 s))))
+
+(defun ev-form (op args env)
+  (cond ((eq op 'quote) (car args))
+        ((eq op 'if)
+         (if (ev (car args) env)
+             (ev (cadr args) env)
+             (ev (caddr args) env)))
+        ((eq op 'and2)
+         (if (ev (car args) env) (ev (cadr args) env) nil))
+        ((eq op 'let1)
+         ;; (let1 var init body)
+         (ev (caddr args)
+             (cons (cons (car args) (ev (cadr args) env)) env)))
+        (t (ev-apply op (ev-list args env)))))
+
+(defun ev-list (l env)
+  (if (null l)
+      nil
+      (cons (ev (car l) env) (ev-list (cdr l) env))))
+
+(defun ev-apply (f args)
+  (cond ((eq f 'car) (car (car args)))
+        ((eq f 'cdr) (cdr (car args)))
+        ((eq f 'cons) (cons (car args) (cadr args)))
+        ((eq f 'null) (null (car args)))
+        ((eq f 'atom) (atom (car args)))
+        ((eq f 'eq) (eq (car args) (cadr args)))
+        ((eq f '+) (+ (car args) (cadr args)))
+        ((eq f '-) (- (car args) (cadr args)))
+        ((eq f '<) (< (car args) (cadr args)))
+        (t (ev-user f args))))
+
+(defun ev-user (f args)
+  (let ((def (get f 'interp-def)))
+    (if (null def)
+        (error 31 f)
+        (ev (cadr def) (ev-bind (car def) args nil)))))
+
+(defun ev-bind (params args env)
+  (if (null params)
+      env
+      (cons (cons (car params) (car args))
+            (ev-bind (cdr params) (cdr args) env))))
+
+(put 'ifib 'interp-def
+     '((n) (if (< n 2) n (+ (ifib (- n 1)) (ifib (- n 2))))))
+(put 'iinsert 'interp-def
+     '((x l) (if (null l)
+                 (cons x (quote ()))
+                 (if (< x (car l))
+                     (cons x l)
+                     (cons (car l) (iinsert x (cdr l)))))))
+(put 'isort 'interp-def
+     '((l) (if (null l) (quote ()) (iinsert (car l) (isort (cdr l))))))
+
+(defun run-inter ()
+  (cons (ev '(ifib 13) nil)
+        (ev '(isort (quote (5 3 8 11 1 9 2 10 7 4 6 0))) nil)))
+
+(let ((r nil) (i 0))
+  (while (< i 4)
+    (setq r (run-inter))
+    (setq i (1+ i)))
+  r)
+`,
+})

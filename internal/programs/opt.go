@@ -1,0 +1,155 @@
+package programs
+
+// opt: the optimizer pass added to the compiler — a peephole optimizer over
+// stack-machine code held in vectors, using lists as well (appendix: "it
+// uses lists, and vectors"). Instructions are symbols (add, mul, neg, dup,
+// pop, swap, nop) or (push . k) pairs, so pattern dispatch is eq/consp on
+// vector elements. Rewrite rules fold constant arithmetic, cancel double
+// negation, dup/pop, swap/swap, and additive/multiplicative identities;
+// passes alternate with compaction until a fixed point. The run self-checks
+// semantics: every optimized program must evaluate to the same value as the
+// original.
+//
+// Hand check: prog1 [2 3 + 0+ 1*] folds to one push (value 5); prog2
+// [7 neg neg 1* dup pop] to one push (7); prog3 [2 3 * 4 + neg] to
+// [push 10, neg] (length 2, value -10); prog4 [5 dup pop 0+ 8 swap swap +]
+// to one push (13); prog5, six copies of prog1 joined by adds, folds to one
+// push (30). Final lengths sum to 6, values to 45.
+var _ = register(&Program{
+	Name:        "opt",
+	Description: "peephole optimizer over instruction vectors",
+	Expected:    "(6 . 45)",
+	Source: `
+(defun list->vector (l)
+  (let ((v (make-vector (length l) 0)) (i 0))
+    (while (consp l)
+      (vset v i (car l))
+      (setq i (1+ i))
+      (setq l (cdr l)))
+    v))
+
+(defun push-op-p (op) (consp op))
+
+(defun vec-eval (v)
+  (let ((n (vlength v)) (i 0) (stack nil))
+    (while (< i n)
+      (let ((op (vref v i)))
+        (cond ((eq op 'nop) nil)
+              ((push-op-p op) (setq stack (cons (cdr op) stack)))
+              ((eq op 'add) (setq stack (cons (+ (cadr stack) (car stack)) (cddr stack))))
+              ((eq op 'mul) (setq stack (cons (* (cadr stack) (car stack)) (cddr stack))))
+              ((eq op 'neg) (setq stack (cons (minus (car stack)) (cdr stack))))
+              ((eq op 'dup) (setq stack (cons (car stack) stack)))
+              ((eq op 'pop) (setq stack (cdr stack)))
+              ((eq op 'swap) (setq stack (cons (cadr stack) (cons (car stack) (cddr stack)))))
+              (t (error 60 op))))
+      (setq i (1+ i)))
+    (car stack)))
+
+(defun push-val-is (op k)
+  (and (push-op-p op) (eq (cdr op) k)))
+
+;; One left-to-right peephole pass; returns t when any rule fired.
+(defun opt-pass (v)
+  (let ((n (vlength v)) (i 0) (changed nil))
+    (while (< i n)
+      (let ((a (vref v i)))
+        (cond ((and (< (+ i 2) n)
+                    (push-op-p a)
+                    (push-op-p (vref v (1+ i)))
+                    (or (eq (vref v (+ i 2)) 'add) (eq (vref v (+ i 2)) 'mul)))
+               ;; push a; push b; add|mul  ->  push (a op b)
+               (let* ((x (cdr a))
+                      (y (cdr (vref v (1+ i))))
+                      (r (if (eq (vref v (+ i 2)) 'add) (+ x y) (* x y))))
+                 (if (and (>= r 0) (< r 99))
+                     (progn
+                       (vset v i 'nop)
+                       (vset v (1+ i) 'nop)
+                       (vset v (+ i 2) (cons 'push r))
+                       (setq changed t)
+                       (setq i (+ i 3)))
+                     (setq i (1+ i)))))
+              ((and (< (1+ i) n) (eq a 'neg) (eq (vref v (1+ i)) 'neg))
+               (vset v i 'nop) (vset v (1+ i) 'nop)
+               (setq changed t) (setq i (+ i 2)))
+              ((and (< (1+ i) n) (eq a 'dup) (eq (vref v (1+ i)) 'pop))
+               (vset v i 'nop) (vset v (1+ i) 'nop)
+               (setq changed t) (setq i (+ i 2)))
+              ((and (< (1+ i) n) (eq a 'swap) (eq (vref v (1+ i)) 'swap))
+               (vset v i 'nop) (vset v (1+ i) 'nop)
+               (setq changed t) (setq i (+ i 2)))
+              ((and (< (1+ i) n) (push-val-is a 0) (eq (vref v (1+ i)) 'add))
+               (vset v i 'nop) (vset v (1+ i) 'nop)
+               (setq changed t) (setq i (+ i 2)))
+              ((and (< (1+ i) n) (push-val-is a 1) (eq (vref v (1+ i)) 'mul))
+               (vset v i 'nop) (vset v (1+ i) 'nop)
+               (setq changed t) (setq i (+ i 2)))
+              (t (setq i (1+ i)))))
+      nil)
+    changed))
+
+(defun compact (v)
+  (let ((n (vlength v)) (live 0) (i 0))
+    (while (< i n)
+      (unless (eq (vref v i) 'nop) (setq live (1+ live)))
+      (setq i (1+ i)))
+    (let ((w (make-vector live 'nop)) (j 0))
+      (setq i 0)
+      (while (< i n)
+        (unless (eq (vref v i) 'nop)
+          (vset w j (vref v i))
+          (setq j (1+ j)))
+        (setq i (1+ i)))
+      w)))
+
+(defun optimize (v)
+  (while (opt-pass v)
+    (setq v (compact v)))
+  v)
+
+(defun pushes (l)
+  ;; Replace integer source tokens by (push . k) cells, fresh per run.
+  (cond ((null l) nil)
+        ((intp (car l)) (cons (cons 'push (car l)) (pushes (cdr l))))
+        (t (cons (car l) (pushes (cdr l))))))
+
+(defvar prog1 '(2 3 add 0 add 1 mul))
+(defvar prog2 '(7 neg neg 1 mul dup pop))
+(defvar prog3 '(2 3 mul 4 add neg))
+(defvar prog4 '(5 dup pop 0 add 8 swap swap add))
+
+(defun build-prog5 ()
+  ;; six prog1 blocks joined by adds: value 30.
+  (append prog1
+          (append prog1 (cons 'add
+            (append prog1 (cons 'add
+              (append prog1 (cons 'add
+                (append prog1 (cons 'add
+                  (append prog1 (cons 'add nil))))))))))))
+
+(defun opt-one (l)
+  (let* ((v (list->vector (pushes l)))
+         (before (vec-eval v))
+         (w (optimize v))
+         (after (vec-eval w)))
+    (unless (eq before after)
+      (error 61 (cons before after)))
+    (cons (vlength w) after)))
+
+(defun run-opt (reps)
+  (let ((k 0) (res nil))
+    (while (< k reps)
+      (let* ((r1 (opt-one prog1))
+             (r2 (opt-one prog2))
+             (r3 (opt-one prog3))
+             (r4 (opt-one prog4))
+             (r5 (opt-one (build-prog5))))
+        (setq res (cons (+ (car r1) (+ (car r2) (+ (car r3) (+ (car r4) (car r5)))))
+                        (+ (cdr r1) (+ (cdr r2) (+ (cdr r3) (+ (cdr r4) (cdr r5))))))))
+      (setq k (1+ k)))
+    res))
+
+(run-opt 40)
+`,
+})

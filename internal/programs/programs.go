@@ -1,0 +1,60 @@
+// Package programs holds the ten Lisp benchmark programs modeled on the
+// paper's appendix: a Lisp-in-Lisp interpreter, a deductive retriever (and
+// its GC-heavy variant), a rational function evaluator, two compiler passes,
+// a frame-language inventory system, and the boyer/browse/traverse Gabriel
+// benchmarks. Each is written in the dialect of internal/lispc and carries
+// its expected result for self-checking across every tag scheme and hardware
+// configuration.
+package programs
+
+import "fmt"
+
+// Program is one benchmark.
+type Program struct {
+	Name string
+	// Description matches the paper's appendix entry.
+	Description string
+	Source      string
+	// Expected is the printed form of main's value.
+	Expected string
+	// HeapWords overrides the semispace size (dedgc runs nearly
+	// heap-bound so roughly half its time is collection, as in the
+	// paper).
+	HeapWords int
+}
+
+var all []*Program
+
+func register(p *Program) *Program {
+	all = append(all, p)
+	return p
+}
+
+// All returns the programs in the paper's order.
+func All() []*Program {
+	ordered := []string{"inter", "deduce", "dedgc", "rat", "comp", "opt", "frl", "boyer", "brow", "trav"}
+	out := make([]*Program, 0, len(ordered))
+	for _, name := range ordered {
+		out = append(out, MustByName(name))
+	}
+	return out
+}
+
+// ByName looks a program up.
+func ByName(name string) (*Program, bool) {
+	for _, p := range all {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// MustByName panics for unknown names.
+func MustByName(name string) *Program {
+	p, ok := ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("unknown program %q", name))
+	}
+	return p
+}

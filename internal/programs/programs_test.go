@@ -1,0 +1,195 @@
+package programs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mipsx"
+	"repro/internal/rt"
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+func runOne(t *testing.T, p *Program, opts rt.BuildOptions) string {
+	t.Helper()
+	opts.HeapWords = p.HeapWords
+	img, err := rt.Build(p.Source, opts)
+	if err != nil {
+		t.Fatalf("%s (%v checking=%v): build: %v", p.Name, opts.Scheme, opts.Checking, err)
+	}
+	m := img.NewMachine()
+	m.MaxCycles = 2_000_000_000
+	if err := m.Run(); err != nil {
+		t.Fatalf("%s (%v checking=%v): run: %v\noutput: %s",
+			p.Name, opts.Scheme, opts.Checking, err, m.Output.String())
+	}
+	return sexpr.String(img.DecodeItem(m.Mem, m.Regs[2]))
+}
+
+// TestExpectedResults runs every program on the baseline scheme with and
+// without checking and verifies the documented result.
+func TestExpectedResults(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, chk := range []bool{false, true} {
+				got := runOne(t, p, rt.BuildOptions{Scheme: tags.High5, Checking: chk})
+				if got != p.Expected {
+					t.Errorf("checking=%v: got %s, want %s", chk, got, p.Expected)
+				}
+			}
+		})
+	}
+}
+
+// TestCrossSchemeConsistency verifies that every tag scheme computes the
+// same answers — the representation must never leak into program results.
+func TestCrossSchemeConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scheme sweep is slow")
+	}
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, k := range []tags.Kind{tags.High6, tags.Low3, tags.Low2} {
+				got := runOne(t, p, rt.BuildOptions{Scheme: k, Checking: true})
+				if got != p.Expected {
+					t.Errorf("%v: got %s, want %s", k, got, p.Expected)
+				}
+			}
+		})
+	}
+}
+
+// TestDedgcCollects checks the paper's characterization: dedgc runs the same
+// workload as deduce but against a heap small enough that the program
+// "spends about 50% of its time in the garbage collector".
+func TestDedgcCollects(t *testing.T) {
+	p := MustByName("dedgc")
+	img, err := rt.Build(p.Source, rt.BuildOptions{
+		Scheme: tags.High5, Checking: false, HeapWords: p.HeapWords,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := img.NewMachine()
+	m.MaxCycles = 2_000_000_000
+	prof := mipsx.NewProfile(img.Prog, func(name string) bool {
+		return strings.HasPrefix(name, "fn:") || strings.HasPrefix(name, "sys:")
+	})
+	if err := m.RunProfiled(prof); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.GCs < 5 {
+		t.Errorf("dedgc performed only %d collections", m.Stats.GCs)
+	}
+	var gcCycles uint64
+	for _, e := range prof.Top(0) {
+		if strings.HasPrefix(e.Name, "fn:sys-") || e.Name == "sys:gc-glue" {
+			gcCycles += e.Cycles
+		}
+	}
+	share := mipsx.Pct(gcCycles, m.Stats.Cycles)
+	if share < 35 || share > 70 {
+		t.Errorf("dedgc spends %.1f%% in the collector; the paper characterizes ~50%%", share)
+	}
+}
+
+// --- independent Go mirror of brow -----------------------------------------
+
+type browState struct{ seed int }
+
+func (b *browState) rand(m int) int {
+	b.seed = (b.seed*131 + 37) % 1999
+	return b.seed % m
+}
+
+var browAtoms = []string{"a", "b", "c", "d"}
+
+func (b *browState) genItem(depth int) any {
+	r := b.rand(8)
+	if depth < 1 || r < 5 {
+		return browAtoms[b.rand(4)]
+	}
+	return b.genList(depth-1, 1+b.rand(3))
+}
+
+func (b *browState) genList(depth, n int) []any {
+	if n == 0 {
+		return []any{}
+	}
+	// Mirror the Lisp cons order: head generated before tail.
+	head := b.genItem(depth)
+	return append([]any{head}, b.genList(depth, n-1)...)
+}
+
+func browMatch(p, d []any) bool {
+	switch {
+	case len(p) == 0:
+		return len(d) == 0
+	case p[0] == "*":
+		if browMatch(p[1:], d) {
+			return true
+		}
+		if len(d) > 0 {
+			return browMatch(p, d[1:])
+		}
+		return false
+	case len(d) == 0:
+		return false
+	}
+	if sub, ok := p[0].([]any); ok {
+		dsub, ok := d[0].([]any)
+		return ok && browMatch(sub, dsub) && browMatch(p[1:], d[1:])
+	}
+	if p[0] == "?" {
+		return browMatch(p[1:], d[1:])
+	}
+	return p[0] == d[0] && browMatch(p[1:], d[1:])
+}
+
+func browExpected() int {
+	b := &browState{seed: 74}
+	var pats [][]any
+	for u := 0; u < 20; u++ {
+		for k := 0; k < 3; k++ {
+			pats = append(pats, b.genList(2, 4))
+		}
+	}
+	queries := [][]any{
+		{"*"},
+		{"a", "*"},
+		{"*", "b"},
+		{"?", "?", "*"},
+		{"*", "c", "*"},
+		{"a", "*", "d"},
+		{"*", []any{"a", "*"}, "*"},
+	}
+	count := 0
+	for _, q := range queries {
+		for _, p := range pats {
+			if browMatch(q, p) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// TestBrowMirror checks the simulated brow run against an independent Go
+// implementation of the same generator and matcher.
+func TestBrowMirror(t *testing.T) {
+	want := browExpected()
+	p := MustByName("brow")
+	got := runOne(t, p, rt.BuildOptions{Scheme: tags.High5, Checking: false})
+	if got != itoa(want) {
+		t.Errorf("lisp brow = %s, go mirror = %d", got, want)
+	}
+	if p.Expected != itoa(want) {
+		t.Errorf("registered Expected %q != mirror %d", p.Expected, want)
+	}
+}
+
+func itoa(n int) string { return sexpr.String(sexpr.Int(n)) }

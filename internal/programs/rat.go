@@ -1,0 +1,108 @@
+package programs
+
+// rat: a rational function evaluator (appendix: "comes with the PSL
+// system"). Rationals are normalized (numerator . denominator) pairs,
+// polynomials are coefficient lists of rationals, and a rational function is
+// a (numerator-poly . denominator-poly) pair evaluated by Horner's rule.
+// The workload multiplies and adds polynomials, then repeatedly evaluates
+// the resulting function at thirds, folding each value into a modular
+// checksum (exact accumulation would leave fixnum range). This is the most
+// arithmetic-intensive program in the set, as in the paper.
+var _ = register(&Program{
+	Name:        "rat",
+	Description: "rational function evaluator (arithmetic-heavy)",
+	Expected:    "41080", // mirrored independently with exact rationals
+	Source: `
+(defun rgcd (a b)
+  (if (= b 0) a (rgcd b (remainder a b))))
+
+(defun make-rat (n d)
+  (when (= d 0) (error 40 d))
+  (when (< d 0)
+    (setq n (minus n))
+    (setq d (minus d)))
+  (let ((g (rgcd (abs n) d)))
+    (if (= g 0)
+        (cons 0 1)
+        (cons (quotient n g) (quotient d g)))))
+
+(defun rat+ (x y)
+  (make-rat (+ (* (car x) (cdr y)) (* (car y) (cdr x)))
+            (* (cdr x) (cdr y))))
+
+(defun rat* (x y)
+  (make-rat (* (car x) (car y)) (* (cdr x) (cdr y))))
+
+(defun rat/ (x y)
+  (when (= (car y) 0) (error 41 y))
+  (make-rat (* (car x) (cdr y)) (* (cdr x) (car y))))
+
+;; Polynomials: ascending coefficient lists of rationals.
+(defun poly-eval (p x)
+  (let ((acc (cons 0 1)) (q (reverse p)))
+    (while (consp q)
+      (setq acc (rat+ (rat* acc x) (car q)))
+      (setq q (cdr q)))
+    acc))
+
+(defun poly-add (p q)
+  (cond ((null p) q)
+        ((null q) p)
+        (t (cons (rat+ (car p) (car q)) (poly-add (cdr p) (cdr q))))))
+
+(defun poly-scale (p r)
+  (if (null p) nil (cons (rat* (car p) r) (poly-scale (cdr p) r))))
+
+(defun poly-mul (p q)
+  (if (null p)
+      nil
+      (poly-add (poly-scale q (car p))
+                (cons (cons 0 1) (poly-mul (cdr p) q)))))
+
+(defun ratfn-eval (f x)
+  (rat/ (poly-eval (car f) x) (poly-eval (cdr f) x)))
+
+(defun poly-equal (p q)
+  (cond ((null p) (null q))
+        ((null q) nil)
+        ((and (eq (caar p) (caar q)) (eq (cdar p) (cdar q)))
+         (poly-equal (cdr p) (cdr q)))
+        (t nil)))
+
+(defun poly-copy (p)
+  (if (null p) nil (cons (cons (caar p) (cdar p)) (poly-copy (cdr p)))))
+
+;; Structural invariants re-verified each pass, as a symbolic algebra
+;; system normalizes and compares term lists.
+(defun check-ratfn (f)
+  (unless (poly-equal (car f) (poly-copy (car f)))
+    (error 45 f))
+  (unless (poly-equal (cdr f) (reverse (reverse (cdr f))))
+    (error 45 f))
+  (unless (poly-equal (car f) (append (car f) nil))
+    (error 45 f))
+  f)
+
+(defun int-coeffs (l)
+  (if (null l) nil (cons (cons (car l) 1) (int-coeffs (cdr l)))))
+
+(defun run-rat (reps)
+  (let* ((p (int-coeffs '(1 2 3 1)))
+         (q (int-coeffs '(2 -1 1)))
+         (f (cons (poly-mul p q) (poly-add p q)))
+         (cs 0)
+         (rep 0))
+    (while (< rep reps)
+      (check-ratfn f)
+      (check-ratfn f)
+      (let ((k 1))
+        (while (< k 13)
+          (let ((v (ratfn-eval f (make-rat k 3))))
+            (setq cs (remainder (+ (+ (* cs 31) (car v)) (cdr v)) 99991)))
+          (setq k (1+ k))))
+      (setq rep (1+ rep)))
+    cs))
+
+(run-rat 20)
+`,
+})

@@ -1,0 +1,347 @@
+package rt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/layout"
+	"repro/internal/lispc"
+	"repro/internal/mipsx"
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+// BuildOptions configures an image build.
+type BuildOptions struct {
+	Scheme   tags.Kind
+	HW       tags.HW
+	Checking bool
+	// HeapWords is the size of each semispace in words (default 512K).
+	HeapWords int
+	// StackWords reserves stack space above the heap (default 64K).
+	StackWords int
+}
+
+// Image is a linked program plus its initial memory contents.
+type Image struct {
+	Prog     *mipsx.Program
+	Scheme   tags.Scheme
+	HW       tags.HW
+	Checking bool
+
+	memTemplate []uint32
+	memWords    int
+	heapALo     uint32
+	heapWords   int
+	stackBase   uint32
+	pool        *constPool
+
+	// Units holds Table 3 statistics per compiled unit ("sys", "lib",
+	// "program").
+	Units map[string]lispc.UnitStats
+	// Procedures is the per-function object-word table.
+	Procedures map[string]*lispc.FnInfo
+}
+
+// Build compiles the runtime system, the library and programSrc into one
+// executable image. The program's top-level forms become its main function;
+// its value is in R2 when the machine halts.
+func Build(programSrc string, opts BuildOptions) (*Image, error) {
+	if opts.HeapWords == 0 {
+		opts.HeapWords = 512 << 10
+	}
+	if opts.StackWords == 0 {
+		opts.StackWords = 64 << 10
+	}
+	scheme := tags.New(opts.Scheme)
+	pool := newConstPool(scheme)
+	a := mipsx.NewAsm()
+	c := lispc.New(a, lispc.Options{Scheme: scheme, HW: opts.HW, Checking: opts.Checking}, pool)
+
+	img := &Image{
+		Scheme:   scheme,
+		HW:       opts.HW,
+		Checking: opts.Checking,
+		pool:     pool,
+		Units:    make(map[string]lispc.UnitStats),
+	}
+
+	in := sexpr.NewInterner()
+	parse := func(name, src string) ([]sexpr.Value, int, error) {
+		forms, err := sexpr.NewReader(in, src).ReadAll()
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", name, err)
+		}
+		return forms, countSourceLines(src), nil
+	}
+	sysForms, sysLines, err := parse("sys", sysSource+sysTrapSource)
+	if err != nil {
+		return nil, err
+	}
+	libForms, libLines, err := parse("lib", libSource)
+	if err != nil {
+		return nil, err
+	}
+	progForms, progLines, err := parse("program", programSrc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Glue entry points and the program's main must exist before
+	// compilation so %gc, %ensure-heap and the start-up code can
+	// reference them.
+	gcGlue := &lispc.FnInfo{Name: "sys:gc-glue", Label: a.NewLabel("sys:gc-glue")}
+	c.Funcs[gcGlue.Name] = gcGlue
+	mainInfo := &lispc.FnInfo{Name: "main", Label: a.NewLabel("fn:main")}
+	c.Funcs[mainInfo.Name] = mainInfo
+
+	for _, forms := range [][]sexpr.Value{sysForms, libForms, progForms} {
+		if err := c.DeclareUnit(forms); err != nil {
+			return nil, err
+		}
+	}
+
+	// Start-up: run the program's toplevel, halt with its value in R2.
+	start := a.NewLabel("__start")
+	a.Work()
+	a.Bind(start)
+	a.Jal(mainInfo.Label)
+	a.Halt()
+
+	// The system unit is always compiled without run-time checking, like
+	// PSL's SYSLISP kernel.
+	saved := c.Opts.Checking
+	c.Opts.Checking = false
+	st, err := c.CompileUnit(sysForms, "", sysLines)
+	if err != nil {
+		return nil, err
+	}
+	img.Units["sys"] = st
+	c.Opts.Checking = saved
+
+	st, err = c.CompileUnit(libForms, "", libLines)
+	if err != nil {
+		return nil, err
+	}
+	img.Units["lib"] = st
+
+	st, err = c.CompileUnit(progForms, "main", progLines)
+	if err != nil {
+		return nil, err
+	}
+	img.Units["program"] = st
+
+	emitGCGlue(a, c, gcGlue)
+	emitTrapGlue(a, c)
+	emitCheckFailGlue(a)
+
+	prog, err := a.Finish("__start")
+	if err != nil {
+		return nil, err
+	}
+	img.Prog = prog
+	img.Procedures = c.Funcs
+
+	// Memory plan: static | semispace A | semispace B | stack.
+	staticEnd := pool.End()
+	heapA := (staticEnd + 7) &^ 7
+	heapBytes := uint32(4 * opts.HeapWords)
+	heapB := heapA + heapBytes
+	stackLo := heapB + heapBytes
+	stackBase := stackLo + uint32(4*opts.StackWords)
+	if stackBase >= 1<<26 {
+		return nil, fmt.Errorf("memory plan exceeds the 26-bit fixnum-safe address space")
+	}
+	img.memWords = int(stackBase/4) + 16
+	img.heapALo = heapA
+	img.heapWords = opts.HeapWords
+	img.stackBase = stackBase
+
+	mem := make([]uint32, img.memWords)
+	copy(mem, pool.words)
+	setGlob := func(i int, v uint32) { mem[layout.GlobAddr(i)/4] = v }
+	setGlob(layout.GlobFromLo, heapA)
+	setGlob(layout.GlobFromHi, heapB)
+	setGlob(layout.GlobToLo, heapB)
+	setGlob(layout.GlobToHi, stackLo)
+	setGlob(layout.GlobStaticLo, layout.StaticBase)
+	setGlob(layout.GlobStaticHi, staticEnd)
+	setGlob(layout.GlobStackBase, stackBase)
+
+	// Patch function cells of interned symbols so funcall works.
+	for name := range c.Funcs {
+		addr, ok := pool.symbolAddr(name)
+		if !ok {
+			continue
+		}
+		entry, ok := prog.Labels["fn:"+name]
+		if !ok {
+			continue
+		}
+		mem[addr/4+4] = scheme.MakePtr(tags.TCode, uint32(entry*4))
+	}
+	img.memTemplate = mem
+	return img, nil
+}
+
+func countSourceLines(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, ";") {
+			n++
+		}
+	}
+	return n
+}
+
+// emitGCGlue emits the collector entry: save r2..r31 to the register save
+// area, run the Lisp collector (which scans and updates the saved words),
+// reload every register and return. Callers see all registers preserved —
+// with heap pointers relocated and the allocation frontier renewed.
+func emitGCGlue(a *mipsx.Asm, c *lispc.Compiler, info *lispc.FnInfo) {
+	a.Work()
+	a.Bind(info.Label)
+	for r := 2; r <= 31; r++ {
+		a.St(uint8(r), mipsx.RZero, int32(layout.GlobRegSave+4*r))
+	}
+	a.Jal(c.Funcs["sys-gc"].Label)
+	for r := 2; r <= 31; r++ {
+		a.Ld(uint8(r), mipsx.RZero, int32(layout.GlobRegSave+4*r))
+	}
+	a.Jr(mipsx.RRA)
+}
+
+// emitTrapGlue emits the ADDTC/SUBTC trap entry: preserve the caller-visible
+// registers on the stack (where the collector can see and relocate them),
+// run the Lisp handler, restore, and resume via SysTrapReturn (which writes
+// the handler's result into the trapped instruction's destination).
+func emitTrapGlue(a *mipsx.Asm, c *lispc.Compiler) {
+	l := a.NewLabel("sys:trap-glue")
+	a.Work()
+	a.Bind(l)
+	const frame = 26 * 4
+	a.Addi(mipsx.RSP, mipsx.RSP, -frame)
+	slot := int32(0)
+	for r := 2; r <= 25; r++ {
+		a.St(uint8(r), mipsx.RSP, 4*slot)
+		slot++
+	}
+	a.St(mipsx.RRA, mipsx.RSP, 4*slot)
+	a.Jal(c.Funcs["sys-trap-handler"].Label)
+	slot = 0
+	for r := 2; r <= 25; r++ {
+		a.Ld(uint8(r), mipsx.RSP, 4*slot)
+		slot++
+	}
+	a.Ld(mipsx.RRA, mipsx.RSP, 4*slot)
+	a.Addi(mipsx.RSP, mipsx.RSP, frame)
+	a.Sys(mipsx.SysTrapReturn)
+}
+
+// emitCheckFailGlue emits the LDC/STC tag-mismatch path: a wrong-type error
+// with the offending item (placed in RT0 by the hardware).
+func emitCheckFailGlue(a *mipsx.Asm) {
+	l := a.NewLabel("sys:checkfail-glue")
+	a.Work()
+	a.Bind(l)
+	a.Mov(3, mipsx.RT0)
+	a.Li(mipsx.RRet, errWrongTypeHW)
+	a.Sys(mipsx.SysError)
+}
+
+// errWrongTypeHW is the error code raised by the hardware check-fail path.
+const errWrongTypeHW = 20
+
+// NewMachine instantiates a fresh machine for the image: memory template
+// copied, registers initialized, trap vectors wired.
+func (img *Image) NewMachine() *mipsx.Machine {
+	hw := tags.HWConfig(img.Scheme, img.HW)
+	if img.HW.ArithTrap {
+		hw.TrapHandler = img.Prog.Labels["sys:trap-glue"]
+	}
+	hw.CheckFailHandler = img.Prog.Labels["sys:checkfail-glue"]
+	m := mipsx.NewMachine(img.Prog, img.memWords, hw)
+	copy(m.Mem, img.memTemplate)
+	m.Regs[mipsx.RNil] = img.pool.nilItem
+	m.Regs[mipsx.RMask] = img.Scheme.PtrMaskConst()
+	m.Regs[mipsx.RHP] = img.heapALo
+	m.Regs[mipsx.RHLim] = img.heapALo + uint32(4*img.heapWords)
+	m.Regs[mipsx.RSP] = img.stackBase
+	if img.HW.PreshiftedPairTag {
+		m.Regs[mipsx.RT5] = uint32(img.Scheme.Tag(tags.TPair)) << img.Scheme.HWShift()
+	}
+	return m
+}
+
+// SymbolItem exposes interned symbols for tests and result decoding.
+func (img *Image) SymbolItem(name string) uint32 { return img.pool.SymbolItem(name) }
+
+// NilItem is the NIL item.
+func (img *Image) NilItem() uint32 { return img.pool.nilItem }
+
+// DecodeItem renders a machine item as an S-expression (best effort, bounded
+// depth), reading object contents from mem.
+func (img *Image) DecodeItem(mem []uint32, item uint32) sexpr.Value {
+	return img.decode(mem, item, 64)
+}
+
+func (img *Image) decode(mem []uint32, item uint32, depth int) sexpr.Value {
+	s := img.Scheme
+	if depth <= 0 {
+		return &sexpr.Sym{Name: "..."}
+	}
+	read := func(addr uint32) uint32 {
+		if int(addr/4) < len(mem) {
+			return mem[addr/4]
+		}
+		return 0
+	}
+	switch s.TypeOf(item, read) {
+	case tags.TInt:
+		return sexpr.Int(s.IntVal(item))
+	case tags.TPair:
+		addr := s.Addr(item)
+		return &sexpr.Cell{
+			Car: img.decode(mem, read(addr), depth-1),
+			Cdr: img.decode(mem, read(addr+4), depth-1),
+		}
+	case tags.TSymbol:
+		addr := s.Addr(item)
+		name := img.decodeString(mem, read(addr+4))
+		if name == "nil" {
+			return nil
+		}
+		return &sexpr.Sym{Name: name}
+	case tags.TString:
+		return sexpr.Str(img.decodeString(mem, item))
+	case tags.TVector:
+		addr := s.Addr(item)
+		_, size := s.HeaderInfo(read(addr))
+		items := []sexpr.Value{&sexpr.Sym{Name: "vector"}}
+		for i := 1; i < size && i < 32; i++ {
+			items = append(items, img.decode(mem, read(addr+uint32(4*i)), depth-1))
+		}
+		return sexpr.List(items...)
+	case tags.TFloat:
+		return &sexpr.Sym{Name: "#float"}
+	case tags.TCode:
+		return &sexpr.Sym{Name: "#code"}
+	}
+	return &sexpr.Sym{Name: fmt.Sprintf("#item%x", item)}
+}
+
+func (img *Image) decodeString(mem []uint32, item uint32) string {
+	s := img.Scheme
+	addr := s.Addr(item)
+	if int(addr/4)+1 >= len(mem) {
+		return "?"
+	}
+	n := int(s.IntVal(mem[addr/4+1]))
+	var b []byte
+	for i := 0; i < n && i < 256; i++ {
+		w := mem[addr/4+2+uint32(i/4)]
+		b = append(b, byte(w>>(8*(i%4))))
+	}
+	return string(b)
+}

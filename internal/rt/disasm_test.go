@@ -1,0 +1,30 @@
+package rt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/mipsx"
+	"repro/internal/tags"
+)
+
+func TestDisasmCheckedOps(t *testing.T) {
+	img, err := Build(`
+(defun f2 (a b) (+ a b))
+(defun f3 (v i) (vref v i))
+(defun f4 (x) (car x))
+(f2 1 2)`, BuildOptions{Scheme: tags.High5, Checking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := mipsx.DisasmProgram(img.Prog)
+	for _, fn := range []string{"fn:f2", "fn:f3", "fn:f4"} {
+		i := strings.Index(d, fn+":")
+		j := strings.Index(d[i+1:], "fn:")
+		if j < 0 {
+			j = len(d) - i - 1
+		}
+		fmt.Println(d[i : i+j])
+	}
+}

@@ -1,0 +1,75 @@
+package rt_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mipsx"
+	"repro/internal/rt"
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+// ExampleBuild compiles a Lisp program for the simulated machine, runs it,
+// and decodes the result.
+func ExampleBuild() {
+	img, err := rt.Build(`
+(defun fact (n) (if (= n 0) 1 (* n (fact (- n 1)))))
+(fact 10)`, rt.BuildOptions{Scheme: tags.High5, Checking: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := img.NewMachine()
+	m.MaxCycles = 10_000_000
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sexpr.String(img.DecodeItem(m.Mem, m.Regs[mipsx.RRet])))
+	// Output: 3628800
+}
+
+// ExampleBuild_tagCost shows the cycle accounting the paper is about: the
+// same program costs more under full run-time checking, and the extra
+// cycles are attributed to tag checks.
+func ExampleBuild_tagCost() {
+	src := `
+(defun walk (l n) (if (consp l) (walk (cdr l) (1+ n)) n))
+(walk '(a b c d e f g h) 0)`
+	for _, checking := range []bool{false, true} {
+		img, err := rt.Build(src, rt.BuildOptions{Scheme: tags.High5, Checking: checking})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := img.NewMachine()
+		m.MaxCycles = 1_000_000
+		if err := m.Run(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checking=%v value=%s list-check-cycles=%v\n",
+			checking,
+			sexpr.String(img.DecodeItem(m.Mem, m.Regs[mipsx.RRet])),
+			m.Stats.ByRTSub[mipsx.SubList] > 0)
+	}
+	// Output:
+	// checking=false value=8 list-check-cycles=false
+	// checking=true value=8 list-check-cycles=true
+}
+
+// ExampleImage_NewMachine runs one image twice; machines are independent.
+func ExampleImage_NewMachine() {
+	img, err := rt.Build(`(cons 1 2)`, rt.BuildOptions{Scheme: tags.Low3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		m := img.NewMachine()
+		m.MaxCycles = 1_000_000
+		if err := m.Run(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(sexpr.String(img.DecodeItem(m.Mem, m.Regs[mipsx.RRet])))
+	}
+	// Output:
+	// (1 . 2)
+	// (1 . 2)
+}

@@ -1,0 +1,253 @@
+package rt
+
+// libSource is the Lisp library compiled in the program's checking mode —
+// like the PSL system modules, its list and vector operations are type
+// checked exactly when the user program's are (the paper's Table 3 counts
+// "the LISP system modules, or parts of modules, that are used by the
+// program" as part of each benchmark).
+//
+// The generic arithmetic routines are the out-of-line fallback of the
+// compiler's integer-biased inline sequences (§2.2): they re-test for
+// fixnums, detect overflow by range-checking the raw result, and otherwise
+// fall into IEEE single-precision floats boxed in the heap (our stand-in for
+// PSL's bignum/flonum tower; the paper's programs are fixnum-dominated).
+var libSource = `
+;; --- generic arithmetic ----------------------------------------------------
+
+(defun sys-to-fbits (x)
+  (cond ((intp x) (%itof (%int->raw x)))
+        ((floatp x) (sys-float-bits x))
+        (t (error 6 x))))
+
+(defun generic-add (x y)
+  (if (and (intp x) (intp y))
+      (let ((r (%+ (%int->raw x) (%int->raw y))))
+        (if (%fits-fixnum r)
+            (%raw->int r)
+            (sys-box-float (%fadd (%itof (%int->raw x)) (%itof (%int->raw y))))))
+      (sys-box-float (%fadd (sys-to-fbits x) (sys-to-fbits y)))))
+
+(defun generic-sub (x y)
+  (if (and (intp x) (intp y))
+      (let ((r (%- (%int->raw x) (%int->raw y))))
+        (if (%fits-fixnum r)
+            (%raw->int r)
+            (sys-box-float (%fsub (%itof (%int->raw x)) (%itof (%int->raw y))))))
+      (sys-box-float (%fsub (sys-to-fbits x) (sys-to-fbits y)))))
+
+(defun generic-mul (x y)
+  (if (and (intp x) (intp y))
+      (let ((a (%int->raw x)) (b (%int->raw y)))
+        (if (%= a (%i 0))
+            0
+            (let ((r (%* a b)))
+              (if (and (%= (%/ r a) b) (%fits-fixnum r))
+                  (%raw->int r)
+                  (sys-box-float (%fmul (%itof a) (%itof b)))))))
+      (sys-box-float (%fmul (sys-to-fbits x) (sys-to-fbits y)))))
+
+(defun generic-quot (x y)
+  (if (and (intp x) (intp y))
+      (if (eq y 0)
+          (error 7 y)
+          (%raw->int (%/ (%int->raw x) (%int->raw y))))
+      (sys-box-float (%fdiv (sys-to-fbits x) (sys-to-fbits y)))))
+
+(defun generic-rem (x y)
+  (if (and (intp x) (intp y))
+      (if (eq y 0)
+          (error 7 y)
+          (%raw->int (%rem (%int->raw x) (%int->raw y))))
+      (error 6 x)))
+
+(defun sys-cmp-raw (a b op)
+  (cond ((eq op 0) (if (%= a b) t nil))
+        ((eq op 1) (if (%< a b) t nil))
+        ((eq op 2) (if (%<= a b) t nil))
+        ((eq op 3) (if (%> a b) t nil))
+        (t (if (%>= a b) t nil))))
+
+(defun sys-cmp-float (a b op)
+  (cond ((eq op 0) (if (%= (%feq a b) (%i 1)) t nil))
+        ((eq op 1) (if (%= (%flt a b) (%i 1)) t nil))
+        ((eq op 2) (if (%= (%flt b a) (%i 1)) nil t))
+        ((eq op 3) (if (%= (%flt b a) (%i 1)) t nil))
+        (t (if (%= (%flt a b) (%i 1)) nil t))))
+
+(defun generic-compare (x y op)
+  (if (and (intp x) (intp y))
+      (sys-cmp-raw (%int->raw x) (%int->raw y) op)
+      (sys-cmp-float (sys-to-fbits x) (sys-to-fbits y) op)))
+
+(defun make-vector (n init)
+  (sys-make-vector n init))
+
+(defun float (n)
+  (if (floatp n) n (sys-box-float (%itof (%int->raw n)))))
+
+(defun min (a b) (if (< a b) a b))
+(defun max (a b) (if (> a b) a b))
+(defun abs (a) (if (< a 0) (minus a) a))
+
+;; --- lists -------------------------------------------------------------
+
+(defun length (l)
+  (let ((n 0))
+    (while (consp l)
+      (setq n (1+ n))
+      (setq l (cdr l)))
+    n))
+
+(defun append (a b)
+  (if (consp a)
+      (cons (car a) (append (cdr a) b))
+      b))
+
+(defun reverse (l)
+  (let ((r nil))
+    (while (consp l)
+      (setq r (cons (car l) r))
+      (setq l (cdr l)))
+    r))
+
+(defun nconc (a b)
+  (if (null a)
+      b
+      (let ((p a))
+        (while (consp (cdr p))
+          (setq p (cdr p)))
+        (rplacd p b)
+        a)))
+
+(defun memq (x l)
+  (while (and (consp l) (not (eq (car l) x)))
+    (setq l (cdr l)))
+  l)
+
+(defun member (x l)
+  (while (and (consp l) (not (equal (car l) x)))
+    (setq l (cdr l)))
+  l)
+
+(defun assq (x l)
+  (while (and (consp l) (not (eq (caar l) x)))
+    (setq l (cdr l)))
+  (if (consp l) (car l) nil))
+
+(defun assoc (x l)
+  (while (and (consp l) (not (equal (caar l) x)))
+    (setq l (cdr l)))
+  (if (consp l) (car l) nil))
+
+(defun nth (n l)
+  (while (> n 0)
+    (setq l (cdr l))
+    (setq n (1- n)))
+  (car l))
+
+(defun last (l)
+  (while (consp (cdr l))
+    (setq l (cdr l)))
+  l)
+
+(defun copy-list (l)
+  (if (consp l)
+      (cons (car l) (copy-list (cdr l)))
+      l))
+
+(defun equal (a b)
+  (cond ((eq a b) t)
+        ((and (consp a) (consp b))
+         (and (equal (car a) (car b)) (equal (cdr a) (cdr b))))
+        (t nil)))
+
+(defun sublist-first (l n)
+  (if (> n 0)
+      (cons (car l) (sublist-first (cdr l) (1- n)))
+      nil))
+
+;; --- property lists ------------------------------------------------------
+
+(defun get (s p)
+  (let ((l (symbol-plist s)))
+    (while (and (consp l) (not (eq (car l) p)))
+      (setq l (cddr l)))
+    (if (consp l) (cadr l) nil)))
+
+(defun put (s p v)
+  (let ((l (symbol-plist s)))
+    (while (and (consp l) (not (eq (car l) p)))
+      (setq l (cddr l)))
+    (if (consp l)
+        (rplaca (cdr l) v)
+        (symbol-setplist s (cons p (cons v (symbol-plist s)))))
+    v))
+
+(defun remprop (s p)
+  (put s p nil))
+
+;; --- output ----------------------------------------------------------------
+
+(defun terpri ()
+  (%putchar (%i 10))
+  nil)
+
+(defun sys-print-string (s)
+  (let* ((addr (%untag s))
+         (n (%int->raw (%read (%+ addr (%i 4)))))
+         (p (%+ addr (%i 8)))
+         (i (%i 0)))
+    (while (%< i n)
+      (let ((w (%read (%+ p i))))
+        (%putchar (%& w (%i 255)))
+        (when (%< (%+ i (%i 1)) n)
+          (%putchar (%& (%>> w (%i 8)) (%i 255))))
+        (when (%< (%+ i (%i 2)) n)
+          (%putchar (%& (%>> w (%i 16)) (%i 255))))
+        (when (%< (%+ i (%i 3)) n)
+          (%putchar (%& (%>> w (%i 24)) (%i 255)))))
+      (setq i (%+ i (%i 4))))
+    s))
+
+(defun princ (x)
+  (cond ((null x) (sys-print-string "nil"))
+        ((intp x) (%putint (%int->raw x)))
+        ((symbolp x) (sys-print-string (symbol-name x)))
+        ((stringp x) (sys-print-string x))
+        ((floatp x)
+         (%putchar (%i 102)) ; f
+         (%putint (%ftoi (sys-float-bits x))))
+        ((vectorp x) (princ-vector x))
+        ((consp x)
+         (%putchar (%i 40))
+         (princ-tail x)
+         (%putchar (%i 41)))
+        (t x))
+  x)
+
+(defun princ-tail (x)
+  (princ (car x))
+  (cond ((consp (cdr x))
+         (%putchar (%i 32))
+         (princ-tail (cdr x)))
+        ((null (cdr x)) nil)
+        (t
+         (sys-print-string " . ")
+         (princ (cdr x)))))
+
+(defun princ-vector (v)
+  (%putchar (%i 35)) ; #
+  (%putchar (%i 40))
+  (let ((n (vlength v)) (i 0))
+    (while (< i n)
+      (when (> i 0) (%putchar (%i 32)))
+      (princ (vref v i))
+      (setq i (1+ i))))
+  (%putchar (%i 41))
+  v)
+
+(defun print (x)
+  (princ x)
+  (terpri)
+  x)
+`

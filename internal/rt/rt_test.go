@@ -1,0 +1,282 @@
+package rt
+
+import (
+	"testing"
+
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+// runProg builds and runs a program, returning the machine and the decoded
+// result (main's value).
+func runProg(t *testing.T, src string, opts BuildOptions) (*Image, string) {
+	t.Helper()
+	img, err := Build(src, opts)
+	if err != nil {
+		t.Fatalf("Build(%v checking=%v): %v", opts.Scheme, opts.Checking, err)
+	}
+	m := img.NewMachine()
+	m.MaxCycles = 200_000_000
+	if err := m.Run(); err != nil {
+		t.Fatalf("run (%v checking=%v): %v\noutput: %s", opts.Scheme, opts.Checking, err, m.Output.String())
+	}
+	return img, sexpr.String(img.DecodeItem(m.Mem, m.Regs[2]))
+}
+
+// allConfigs crosses every scheme with checking on/off.
+func allConfigs() []BuildOptions {
+	var out []BuildOptions
+	for _, k := range []tags.Kind{tags.High5, tags.High6, tags.Low3, tags.Low2} {
+		for _, chk := range []bool{false, true} {
+			out = append(out, BuildOptions{Scheme: k, Checking: chk})
+		}
+	}
+	return out
+}
+
+func TestArithmeticBasics(t *testing.T) {
+	src := `(+ (* 6 7) (- 10 (quotient 9 3)))` // 42 + 7 = 49
+	for _, cfg := range allConfigs() {
+		_, got := runProg(t, src, cfg)
+		if got != "49" {
+			t.Errorf("%v checking=%v: got %s, want 49", cfg.Scheme, cfg.Checking, got)
+		}
+	}
+}
+
+func TestListBasics(t *testing.T) {
+	src := `
+(defun f (x) (cons x (cons (* x x) nil)))
+(f 5)`
+	for _, cfg := range allConfigs() {
+		_, got := runProg(t, src, cfg)
+		if got != "(5 25)" {
+			t.Errorf("%v checking=%v: got %s", cfg.Scheme, cfg.Checking, got)
+		}
+	}
+}
+
+func TestRecursionFib(t *testing.T) {
+	src := `
+(defun fib (n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(fib 15)`
+	for _, cfg := range allConfigs() {
+		_, got := runProg(t, src, cfg)
+		if got != "610" {
+			t.Errorf("%v checking=%v: fib 15 = %s", cfg.Scheme, cfg.Checking, got)
+		}
+	}
+}
+
+func TestQuoteAndLibrary(t *testing.T) {
+	src := `(append (reverse '(3 2 1)) '(4 5))`
+	for _, cfg := range allConfigs() {
+		_, got := runProg(t, src, cfg)
+		if got != "(1 2 3 4 5)" {
+			t.Errorf("%v checking=%v: got %s", cfg.Scheme, cfg.Checking, got)
+		}
+	}
+}
+
+func TestVectors(t *testing.T) {
+	src := `
+(let ((v (make-vector 5 0)) (i 0))
+  (while (< i 5)
+    (vset v i (* i i))
+    (setq i (1+ i)))
+  (+ (vref v 4) (vlength v)))`
+	for _, cfg := range allConfigs() {
+		_, got := runProg(t, src, cfg)
+		if got != "21" {
+			t.Errorf("%v checking=%v: got %s", cfg.Scheme, cfg.Checking, got)
+		}
+	}
+}
+
+func TestPropertyLists(t *testing.T) {
+	src := `
+(put 'apple 'color 'red)
+(put 'apple 'size 3)
+(put 'apple 'color 'green)
+(list (get 'apple 'color) (get 'apple 'size) (get 'apple 'taste))`
+	for _, cfg := range allConfigs() {
+		_, got := runProg(t, src, cfg)
+		if got != "(green 3 ())" {
+			t.Errorf("%v checking=%v: got %s", cfg.Scheme, cfg.Checking, got)
+		}
+	}
+}
+
+func TestFuncall(t *testing.T) {
+	src := `
+(defun twice (x) (* 2 x))
+(defun thrice (x) (* 3 x))
+(defun apply1 (f x) (funcall f x))
+(+ (apply1 'twice 10) (apply1 'thrice 10))`
+	for _, cfg := range allConfigs() {
+		_, got := runProg(t, src, cfg)
+		if got != "50" {
+			t.Errorf("%v checking=%v: got %s", cfg.Scheme, cfg.Checking, got)
+		}
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	src := `
+(defvar counter 0)
+(defun bump () (setq counter (+ counter 1)))
+(bump) (bump) (bump)
+counter`
+	for _, cfg := range allConfigs() {
+		_, got := runProg(t, src, cfg)
+		if got != "3" {
+			t.Errorf("%v checking=%v: got %s", cfg.Scheme, cfg.Checking, got)
+		}
+	}
+}
+
+func TestGCCopiesLiveData(t *testing.T) {
+	// A tiny heap forces many collections while long-lived structure
+	// stays reachable through a global.
+	src := `
+(defvar keep (cons 1 (cons 2 (cons 3 nil))))
+(defun churn (n)
+  (let ((junk nil))
+    (while (> n 0)
+      (setq junk (cons n junk))
+      (when (> n 5) (setq junk nil))
+      (setq n (- n 1))))
+  keep)
+(churn 20000)`
+	for _, cfg := range allConfigs() {
+		cfg.HeapWords = 2048 // 8KB semispaces
+		img, err := Build(src, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.Scheme, err)
+		}
+		m := img.NewMachine()
+		m.MaxCycles = 500_000_000
+		if err := m.Run(); err != nil {
+			t.Fatalf("%v checking=%v: %v", cfg.Scheme, cfg.Checking, err)
+		}
+		if got := sexpr.String(img.DecodeItem(m.Mem, m.Regs[2])); got != "(1 2 3)" {
+			t.Errorf("%v checking=%v: result %s, want (1 2 3)", cfg.Scheme, cfg.Checking, got)
+		}
+		if m.Stats.GCs == 0 {
+			t.Errorf("%v checking=%v: expected collections with an 8KB heap", cfg.Scheme, cfg.Checking)
+		}
+	}
+}
+
+func TestCheckingCatchesTypeError(t *testing.T) {
+	src := `(car 42)`
+	for _, k := range []tags.Kind{tags.High5, tags.Low3, tags.Low2} {
+		img, err := Build(src, BuildOptions{Scheme: k, Checking: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := img.NewMachine()
+		m.MaxCycles = 10_000_000
+		if err := m.Run(); err == nil {
+			t.Errorf("%v: (car 42) with checking did not raise", k)
+		}
+	}
+}
+
+func TestOutput(t *testing.T) {
+	src := `
+(princ '(hello 42 (nested list)))
+(terpri)
+0`
+	for _, cfg := range allConfigs() {
+		img, err := Build(src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := img.NewMachine()
+		m.MaxCycles = 50_000_000
+		if err := m.Run(); err != nil {
+			t.Fatalf("%v: %v", cfg.Scheme, err)
+		}
+		if got := m.Output.String(); got != "(hello 42 (nested list))\n" {
+			t.Errorf("%v checking=%v: output %q", cfg.Scheme, cfg.Checking, got)
+		}
+	}
+}
+
+func TestGenericArithmeticFloats(t *testing.T) {
+	// Mixed int/float arithmetic goes through the generic fallback.
+	src := `
+(let ((x (float 3)) (y 4))
+  (%raw->int (%ftoi (sys-float-bits (+ (* x y) (float 1))))))` // 13
+	for _, k := range []tags.Kind{tags.High5, tags.High6, tags.Low3, tags.Low2} {
+		_, got := runProg(t, src, BuildOptions{Scheme: k, Checking: true})
+		if got != "13" {
+			t.Errorf("%v: got %s, want 13", k, got)
+		}
+	}
+}
+
+func TestOverflowPromotesToFloat(t *testing.T) {
+	src := `
+(let ((big 60000000))
+  (if (floatp (+ big big)) 'promoted 'kept))`
+	_, got := runProg(t, src, BuildOptions{Scheme: tags.High5, Checking: true})
+	if got != "promoted" {
+		t.Errorf("overflowing add: got %s, want promoted", got)
+	}
+}
+
+func TestArithTrapHardware(t *testing.T) {
+	// With ArithTrap hardware, a float operand traps to the software
+	// handler, which must produce the same result.
+	src := `
+(let ((x (float 20)) (y 22))
+  (%raw->int (%ftoi (sys-float-bits (+ x y)))))`
+	for _, k := range []tags.Kind{tags.High5, tags.Low3} {
+		img, err := Build(src, BuildOptions{Scheme: k, Checking: true, HW: tags.HW{ArithTrap: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := img.NewMachine()
+		m.MaxCycles = 50_000_000
+		if err := m.Run(); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if got := sexpr.String(img.DecodeItem(m.Mem, m.Regs[2])); got != "42" {
+			t.Errorf("%v: got %s, want 42", k, got)
+		}
+		if m.Stats.Traps == 0 {
+			t.Errorf("%v: expected an arithmetic trap", k)
+		}
+	}
+}
+
+func TestHardwareRowsProduceSameResults(t *testing.T) {
+	src := `
+(defun tak (x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))
+(tak 14 8 3)`
+	hwRows := []tags.HW{
+		{},
+		{MemIgnoresTags: true},
+		{TagBranch: true},
+		{MemIgnoresTags: true, TagBranch: true},
+		{ArithTrap: true},
+		{ParallelCheckList: true, MemIgnoresTags: true},
+		{ParallelCheckAll: true, MemIgnoresTags: true},
+		{MemIgnoresTags: true, TagBranch: true, ArithTrap: true, ParallelCheckAll: true},
+		{PreshiftedPairTag: true},
+	}
+	for _, chk := range []bool{false, true} {
+		for i, hw := range hwRows {
+			_, got := runProg(t, src, BuildOptions{Scheme: tags.High5, HW: hw, Checking: chk})
+			if got != "4" {
+				t.Errorf("hw row %d checking=%v: tak = %s, want 4", i, chk, got)
+			}
+		}
+	}
+}

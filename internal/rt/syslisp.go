@@ -1,0 +1,184 @@
+package rt
+
+import (
+	"fmt"
+
+	"repro/internal/mipsx"
+)
+
+// sysSource is the system unit: allocation, the two-space copying collector,
+// and the arithmetic trap handler. It is always compiled with run-time
+// checking OFF (as PSL compiled its SYSLISP kernel), and manipulates raw
+// words through the % sub-primitives. Raw integer literals are written
+// (%i n); plain literals would be tagged fixnums.
+//
+// The collector is a classic Cheney scan made possible by two invariants of
+// the object model: every non-pair heap object starts with a self-
+// identifying header whose tag pattern no first-class item can carry, and
+// every raw machine quantity that can appear in a root (return addresses,
+// stack/heap pointers, tag masks) is arranged to look like a fixnum, so the
+// scan leaves it alone. Roots are the register save area filled by the GC
+// entry glue, the active stack, and the static area.
+var sysSource = `
+;; --- allocation ----------------------------------------------------------
+
+(defun sys-cons (a d)
+  (%ensure-heap (%i 8))
+  (let ((p (%reg hp)))
+    (%write p a)
+    (%write (%+ p (%i 4)) d)
+    (%setreg hp (%+ p (%i 8)))
+    (%mkptr pair p)))
+
+(defun sys-make-vector (n init)
+  (let ((words (%+ (%int->raw n) (%i 1))))
+    (when (%< words (%i 1))
+      (setq words (%i 1)))
+    (%ensure-heap (%+ (%<< words (%i 2)) (%i 12)))
+    (let ((p (%reg hp)))
+      (when (not (%= (%& p (%i 7)) (%aligno vector)))
+        (%write p (%i 0))
+        (setq p (%+ p (%i 4))))
+      (%write p (%mkheader vector words))
+      (let ((q (%+ p (%i 4))) (i (%i 1)))
+        (while (%< i words)
+          (%write q init)
+          (setq q (%+ q (%i 4)))
+          (setq i (%+ i (%i 1))))
+        (%setreg hp (%& (%+ q (%i 7)) (%i -8)))
+        (%mkptr vector p)))))
+
+(defun sys-box-float (bits)
+  (%ensure-heap (%i 16))
+  (let ((p (%reg hp)))
+    (when (not (%= (%& p (%i 7)) (%aligno float)))
+      (%write p (%i 0))
+      (setq p (%+ p (%i 4))))
+    (%write p (%mkheader float (%i 2)))
+    (%write (%+ p (%i 4)) bits)
+    (%setreg hp (%& (%+ p (%i 15)) (%i -8)))
+    (%mkptr float p)))
+
+(defun sys-float-bits (x)
+  (%read (%+ (%untag x) (%i 4))))
+
+;; --- copying collector -----------------------------------------------------
+
+;; Headers whose payload is raw (non-item) data: strings and floats.
+(defun sys-raw-hdr-p (w)
+  (let ((ty (%hdr-type w)))
+    (or (%= ty (%i 4)) (%= ty (%i 5)))))
+
+;; Has the object whose first word is w already been moved? A moved object's
+;; first word is overwritten with its forwarding item, which points into
+;; to-space; nothing else in from-space can point there.
+(defun sys-fwdp (w)
+  (if (%headerp w)
+      nil
+      (if (%heapptrp w)
+          (if (%>= (%untag w) (%glob to-lo))
+              (%< (%untag w) (%glob to-hi))
+              nil)
+          nil)))
+
+(defun sys-copy-words (src dst n)
+  (while (%> n (%i 0))
+    (%write dst (%read src))
+    (setq src (%+ src (%i 4)))
+    (setq dst (%+ dst (%i 4)))
+    (setq n (%- n (%i 1)))))
+
+;; Copy the object w points to into to-space, leave a forwarding item in its
+;; first word, and return the new item. Copies preserve the address's parity
+;; mod 8, which keeps the Low3 odd-word alignment of vectors and strings.
+(defun sys-copy (w addr)
+  (let ((first (%read addr))
+        (free (%glob gc-free)))
+    (if (%headerp first)
+        (progn
+          (when (not (%= (%& free (%i 4)) (%& addr (%i 4))))
+            (%write free (%i 0))
+            (setq free (%+ free (%i 4))))
+          (let ((size (%hdr-size first)) (new free))
+            ;; Alignment padding can make to-space usage exceed
+            ;; from-space usage, so the copy itself must bounds-check.
+            (when (%> (%+ new (%<< size (%i 2))) (%glob to-hi))
+              (error 10 nil))
+            (sys-copy-words addr new size)
+            (%setglob gc-free (%& (%+ (%+ new (%<< size (%i 2))) (%i 7)) (%i -8)))
+            (let ((item (%retag new w)))
+              (%write addr item)
+              item)))
+        (progn
+          (when (%> (%+ free (%i 8)) (%glob to-hi))
+            (error 10 nil))
+          (%write free first)
+          (%write (%+ free (%i 4)) (%read (%+ addr (%i 4))))
+          (%setglob gc-free (%+ free (%i 8)))
+          (let ((item (%retag free w)))
+            (%write addr item)
+            item)))))
+
+;; Forward one root or field: heap pointers into from-space are moved (or
+;; resolved through their forwarding item); everything else passes through.
+(defun sys-fwd (w)
+  (if (%heapptrp w)
+      (let ((addr (%untag w)))
+        (if (if (%>= addr (%glob from-lo)) (%< addr (%glob from-hi)) nil)
+            (let ((first (%read addr)))
+              (if (sys-fwdp first)
+                  first
+                  (sys-copy w addr)))
+            w))
+      w))
+
+;; Forward every item word in [p, hi), skipping raw data behind headers.
+(defun sys-scan-range (p hi)
+  (while (%< p hi)
+    (let ((w (%read p)))
+      (if (%headerp w)
+          (if (sys-raw-hdr-p w)
+              (setq p (%+ p (%<< (%hdr-size w) (%i 2))))
+              (setq p (%+ p (%i 4))))
+          (progn
+            (%write p (sys-fwd w))
+            (setq p (%+ p (%i 4))))))))
+
+(defun sys-gc ()
+  (%setglob gc-free (%glob to-lo))
+  ;; Roots: saved registers r2..r31, the active stack, the static area.
+  (sys-scan-range (%+ (%globaddr regsave) (%i 8)) (%+ (%globaddr regsave) (%i 128)))
+  (sys-scan-range (%read (%+ (%globaddr regsave) (%i 120))) (%glob stack-base))
+  (sys-scan-range (%glob static-lo) (%glob static-hi))
+  ;; Cheney scan of the copied objects.
+  (let ((scan (%glob to-lo)))
+    (while (%< scan (%glob gc-free))
+      (let ((w (%read scan)))
+        (if (%headerp w)
+            (if (sys-raw-hdr-p w)
+                (setq scan (%+ scan (%<< (%hdr-size w) (%i 2))))
+                (setq scan (%+ scan (%i 4))))
+            (progn
+              (%write scan (sys-fwd w))
+              (setq scan (%+ scan (%i 4))))))))
+  ;; Flip the semispaces and hand the glue the new frontier registers.
+  (let ((flo (%glob from-lo)) (fhi (%glob from-hi)))
+    (%setglob from-lo (%glob to-lo))
+    (%setglob from-hi (%glob to-hi))
+    (%setglob to-lo flo)
+    (%setglob to-hi fhi))
+  (%write (%+ (%globaddr regsave) (%i 112)) (%glob from-hi)) ; r28 = heap limit
+  (%write (%+ (%globaddr regsave) (%i 116)) (%glob gc-free)) ; r29 = heap pointer
+  (%setglob gc-count (%+ (%glob gc-count) (%i 1)))
+  (%gcnotify (%>> (%- (%glob gc-free) (%glob from-lo)) (%i 2))))
+`
+
+// sysTrapSource services ADDTC/SUBTC traps by dispatching to the generic
+// arithmetic routines; the glue around it preserves all registers.
+var sysTrapSource = fmt.Sprintf(`
+(defun sys-trap-handler ()
+  (let ((op (%%trap-op)) (a (%%trap-a)) (b (%%trap-b)))
+    (if (%%= op (%%i %d))
+        (%%trap-result (generic-add a b))
+        (%%trap-result (generic-sub a b)))))
+`, int(mipsx.ADDTC))

@@ -1,0 +1,139 @@
+// Package sexpr provides the S-expression values used as the surface syntax
+// of the Lisp dialect: symbols, fixnums, strings, and proper/improper lists.
+// The compiler (internal/lispc) consumes these values; the simulated runtime
+// has its own tagged in-memory representation and never sees this package.
+package sexpr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is an S-expression: *Sym, Int, Str, *Cell, or nil (the empty list).
+// External packages may define further implementations (the reference
+// interpreter wraps its vectors this way).
+type Value interface {
+	Write(sb *strings.Builder)
+}
+
+// Sym is an interned symbol. Symbols are interned per Interner, so pointer
+// equality is symbol identity.
+type Sym struct {
+	Name string
+}
+
+// Write renders the symbol name.
+func (s *Sym) Write(sb *strings.Builder) { sb.WriteString(s.Name) }
+
+func (s *Sym) String() string { return s.Name }
+
+// Int is a fixnum literal. The compiler checks the 27-bit range when it
+// embeds the value in generated code.
+type Int int64
+
+// Write renders the integer in decimal.
+func (i Int) Write(sb *strings.Builder) { fmt.Fprintf(sb, "%d", int64(i)) }
+
+// Str is a string literal.
+type Str string
+
+// Write renders the string quoted.
+func (s Str) Write(sb *strings.Builder) { fmt.Fprintf(sb, "%q", string(s)) }
+
+// Cell is a cons cell.
+type Cell struct {
+	Car Value
+	Cdr Value
+}
+
+// Write renders the list in standard notation.
+func (c *Cell) Write(sb *strings.Builder) {
+	sb.WriteByte('(')
+	for {
+		if c.Car == nil {
+			sb.WriteString("()")
+		} else {
+			c.Car.Write(sb)
+		}
+		switch cdr := c.Cdr.(type) {
+		case nil:
+			sb.WriteByte(')')
+			return
+		case *Cell:
+			sb.WriteByte(' ')
+			c = cdr
+		default:
+			sb.WriteString(" . ")
+			cdr.Write(sb)
+			sb.WriteByte(')')
+			return
+		}
+	}
+}
+
+// String renders any Value, including nil, in standard list notation.
+func String(v Value) string {
+	if v == nil {
+		return "()"
+	}
+	var sb strings.Builder
+	v.Write(&sb)
+	return sb.String()
+}
+
+// Interner interns symbols by name.
+type Interner struct {
+	syms map[string]*Sym
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{syms: make(map[string]*Sym)}
+}
+
+// Intern returns the unique *Sym for name.
+func (in *Interner) Intern(name string) *Sym {
+	if s, ok := in.syms[name]; ok {
+		return s
+	}
+	s := &Sym{Name: name}
+	in.syms[name] = s
+	return s
+}
+
+// List builds a proper list from vs.
+func List(vs ...Value) Value {
+	var out Value
+	for i := len(vs) - 1; i >= 0; i-- {
+		out = &Cell{Car: vs[i], Cdr: out}
+	}
+	return out
+}
+
+// ListVals returns the elements of a proper list. It reports an error for
+// improper lists (dotted tails).
+func ListVals(v Value) ([]Value, error) {
+	var out []Value
+	for v != nil {
+		c, ok := v.(*Cell)
+		if !ok {
+			return nil, fmt.Errorf("improper list ends in %s", String(v))
+		}
+		out = append(out, c.Car)
+		v = c.Cdr
+	}
+	return out, nil
+}
+
+// Length returns the number of cells in a proper list prefix of v.
+func Length(v Value) int {
+	n := 0
+	for {
+		c, ok := v.(*Cell)
+		if !ok {
+			return n
+		}
+		n++
+		v = c.Cdr
+	}
+}

@@ -1,0 +1,249 @@
+package tags
+
+import "repro/internal/mipsx"
+
+// The emit helpers generate the paper's tag-operation sequences. Each
+// helper stamps the instructions it emits with the proper Category while
+// preserving the caller's SubCat and run-time-checking attribution, so the
+// simulator's cycle accounting matches the paper's methodology:
+//
+//   - tag insertion: shift+or (2 cycles) on high-tag schemes, a single or
+//     on low-tag schemes (§3.1);
+//   - tag removal: one and with the mask register on high-tag schemes,
+//     nothing on low-tag schemes (§3.2, §5);
+//   - tag extraction: one shift (high) or one and-immediate (low) (§3.3);
+//   - tag checking: extraction plus one compare-and-branch, or a single
+//     tag-field branch when that hardware is present (§3.4, §6.1).
+
+// withCat runs f with the category forced to c, keeping the caller's SubCat
+// and RTCheck attribution.
+func withCat(a *mipsx.Asm, c mipsx.Category, f func()) {
+	cat, sub, rt := a.Annotation()
+	if rt {
+		a.CatRT(c, sub)
+	} else {
+		a.Cat(c, sub)
+	}
+	f()
+	a.Restore(cat, sub, rt)
+}
+
+// EmitIntTest branches to target when rs is (whenInt) or is not (!whenInt)
+// an integer item. It clobbers rtmp. On high-tag schemes this is the
+// paper's method 2 (§4.1): sign-extend the payload and compare with the
+// original, always 3 cycles. On low-tag schemes it is a 2-cycle mask and
+// compare.
+func EmitIntTest(a *mipsx.Asm, s Scheme, rs, rtmp uint8, whenInt bool, target mipsx.Label) {
+	if s.NeedsMask() {
+		b := int32(s.TagBits())
+		withCat(a, mipsx.CatTagExtract, func() {
+			a.Slli(rtmp, rs, b)
+			a.Srai(rtmp, rtmp, b)
+		})
+		withCat(a, mipsx.CatTagCheck, func() {
+			if whenInt {
+				a.Beq(rtmp, rs, target)
+			} else {
+				a.Bne(rtmp, rs, target)
+			}
+		})
+		return
+	}
+	withCat(a, mipsx.CatTagExtract, func() {
+		a.Andi(rtmp, rs, 3)
+	})
+	withCat(a, mipsx.CatTagCheck, func() {
+		if whenInt {
+			a.Beqi(rtmp, 0, target)
+		} else {
+			a.Bnei(rtmp, 0, target)
+		}
+	})
+}
+
+// EmitTypeTest branches to target when type(rs)==t (whenEq) or when
+// type(rs)!=t (!whenEq). It clobbers rtmp. t must not be TInt (use
+// EmitIntTest). On Low2, non-pair types additionally require loading the
+// object header.
+func EmitTypeTest(a *mipsx.Asm, s Scheme, hw HW, rs, rtmp uint8, t Type, whenEq bool, target mipsx.Label) {
+	if t == TInt {
+		EmitIntTest(a, s, rs, rtmp, whenEq, target)
+		return
+	}
+	tag := int32(s.Tag(t))
+	if !s.HeaderCheck(t) {
+		if hw.TagBranch {
+			withCat(a, mipsx.CatTagCheck, func() {
+				if whenEq {
+					a.Bteq(rs, uint8(tag), target)
+				} else {
+					a.Btne(rs, uint8(tag), target)
+				}
+			})
+			return
+		}
+		emitExtract(a, s, rtmp, rs)
+		withCat(a, mipsx.CatTagCheck, func() {
+			if whenEq {
+				a.Beqi(rtmp, tag, target)
+			} else {
+				a.Bnei(rtmp, tag, target)
+			}
+		})
+		return
+	}
+
+	// Low2 non-pair type: pointer tag says only "other heap object"; the
+	// header word supplies the concrete type.
+	hdrOff := s.OffAdjust(t) // header is word 0 of the object
+	typeField := int32(t) << hdrTypeShift
+	var skip mipsx.Label
+	if whenEq {
+		skip = a.NewLabel("")
+	}
+	if hw.TagBranch {
+		withCat(a, mipsx.CatTagCheck, func() {
+			if whenEq {
+				a.Btne(rs, uint8(tag), skip)
+			} else {
+				a.Btne(rs, uint8(tag), target)
+			}
+		})
+	} else {
+		emitExtract(a, s, rtmp, rs)
+		withCat(a, mipsx.CatTagCheck, func() {
+			if whenEq {
+				a.Bnei(rtmp, tag, skip)
+			} else {
+				a.Bnei(rtmp, tag, target)
+			}
+		})
+	}
+	withCat(a, mipsx.CatTagExtract, func() {
+		a.Ld(rtmp, rs, hdrOff)
+		a.Andi(rtmp, rtmp, 0xF<<hdrTypeShift)
+	})
+	withCat(a, mipsx.CatTagCheck, func() {
+		if whenEq {
+			a.Beqi(rtmp, typeField, target)
+		} else {
+			a.Bnei(rtmp, typeField, target)
+		}
+	})
+	if whenEq {
+		a.Bind(skip)
+	}
+}
+
+// emitExtract isolates the tag of rs into rtmp (one cycle).
+func emitExtract(a *mipsx.Asm, s Scheme, rtmp, rs uint8) {
+	withCat(a, mipsx.CatTagExtract, func() {
+		if s.NeedsMask() {
+			a.Srli(rtmp, rs, int32(s.HWShift()))
+		} else {
+			a.Andi(rtmp, rs, int32(s.HWMask()))
+		}
+	})
+}
+
+// EmitExtract isolates the tag of rs into rtmp for an explicit type
+// dispatch.
+func EmitExtract(a *mipsx.Asm, s Scheme, rtmp, rs uint8) { emitExtract(a, s, rtmp, rs) }
+
+// EmitInsertPtr tags the untagged pointer in rptr with t, leaving the item
+// in rd. It clobbers rtmp on high-tag schemes (two cycles: build the
+// shifted tag, then or); on low-tag schemes a single or suffices. When
+// hw.PreshiftedPairTag is set and preshift names a register holding the
+// pre-shifted pair tag, a pair insertion costs one cycle (§3.1).
+func EmitInsertPtr(a *mipsx.Asm, s Scheme, hw HW, rd, rptr, rtmp uint8, t Type, preshift uint8) {
+	withCat(a, mipsx.CatTagInsert, func() {
+		if !s.NeedsMask() {
+			if bits := int32(s.Tag(t) & 3); bits != 0 {
+				a.Ori(rd, rptr, bits)
+			} else if rd != rptr {
+				a.Mov(rd, rptr)
+			}
+			return
+		}
+		if hw.PreshiftedPairTag && t == TPair && preshift != 0 {
+			a.Or(rd, rptr, preshift)
+			return
+		}
+		a.Li(rtmp, int32(uint32(s.Tag(t))<<s.HWShift()))
+		a.Or(rd, rptr, rtmp)
+	})
+}
+
+// EmitLoadField loads word wordOff of the object rs points to into rd.
+// parallel selects a checked load (LDC) that verifies the pointer tag
+// during address calculation; the caller must only pass parallel=true when
+// the hardware configuration provides it for t. rtmp is clobbered on
+// high-tag schemes without tag-ignoring memory.
+func EmitLoadField(a *mipsx.Asm, s Scheme, hw HW, rd, rs, rtmp uint8, t Type, wordOff int32, parallel bool) {
+	off := 4 * wordOff
+	switch {
+	case parallel:
+		a.Ldc(rd, rs, off, s.Tag(t))
+	case !s.NeedsMask():
+		a.Ld(rd, rs, off+s.OffAdjust(t))
+	case hw.MemIgnoresTags:
+		a.Ldt(rd, rs, off)
+	default:
+		withCat(a, mipsx.CatTagRemove, func() {
+			a.And(rtmp, rs, mipsx.RMask)
+		})
+		a.Ld(rd, rtmp, off)
+	}
+}
+
+// EmitStoreField stores rval into word wordOff of the object rs points to.
+func EmitStoreField(a *mipsx.Asm, s Scheme, hw HW, rval, rs, rtmp uint8, t Type, wordOff int32, parallel bool) {
+	off := 4 * wordOff
+	switch {
+	case parallel:
+		a.Stc(rval, rs, off, s.Tag(t))
+	case !s.NeedsMask():
+		a.St(rval, rs, off+s.OffAdjust(t))
+	case hw.MemIgnoresTags:
+		a.Stt(rval, rs, off)
+	default:
+		withCat(a, mipsx.CatTagRemove, func() {
+			a.And(rtmp, rs, mipsx.RMask)
+		})
+		a.St(rval, rtmp, off)
+	}
+}
+
+// EmitUntag strips the tag of rs into rd, yielding a raw address or datum.
+func EmitUntag(a *mipsx.Asm, s Scheme, rd, rs uint8) {
+	withCat(a, mipsx.CatTagRemove, func() {
+		if s.NeedsMask() {
+			a.And(rd, rs, mipsx.RMask)
+		} else {
+			a.Andi(rd, rs, int32(s.PtrMaskConst()))
+		}
+	})
+}
+
+// ShadowTrapCycles is the trap entry/return overhead with shadow-register
+// assist (versus mipsx.DefaultTrapCycles without it).
+const ShadowTrapCycles = 2
+
+// HWConfig builds the simulator hardware description for scheme s under hw.
+// Trap handler entry points are resolved later by the linker.
+func HWConfig(s Scheme, hw HW) mipsx.HWConfig {
+	cfg := mipsx.HWConfig{
+		TagShift:         s.HWShift(),
+		TagMask:          s.HWMask(),
+		IsIntItem:        s.IsInt,
+		TrapHandler:      -1,
+		CheckFailHandler: -1,
+	}
+	if hw.MemIgnoresTags || hw.ParallelCheckList || hw.ParallelCheckAll || !s.NeedsMask() {
+		cfg.MemAddrMask = s.AddrMask()
+	}
+	if hw.ShadowRegisters {
+		cfg.TrapCycles = ShadowTrapCycles
+	}
+	return cfg
+}

@@ -1,0 +1,239 @@
+package tags
+
+import (
+	"testing"
+
+	"repro/internal/mipsx"
+)
+
+// runEmit assembles a fragment, runs it, and returns the machine. The
+// fragment must end with Halt.
+func runEmit(t *testing.T, s Scheme, hw HW, setup func(m *mipsx.Machine), f func(a *mipsx.Asm)) *mipsx.Machine {
+	t.Helper()
+	a := mipsx.NewAsm()
+	main := a.NewLabel("main")
+	a.Bind(main)
+	f(a)
+	p, err := a.Finish("main")
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	m := mipsx.NewMachine(p, 8192, HWConfig(s, hw))
+	m.Regs[mipsx.RMask] = s.PtrMaskConst()
+	if setup != nil {
+		setup(m)
+	}
+	m.MaxCycles = 100000
+	if err := m.Run(); err != nil {
+		t.Fatalf("%s run: %v", s.Kind(), err)
+	}
+	return m
+}
+
+// hwVariants covers the hardware configurations that change emitted code.
+var hwVariants = map[string]HW{
+	"soft":     {},
+	"tagbr":    {TagBranch: true},
+	"memtags":  {MemIgnoresTags: true},
+	"parallel": {ParallelCheckAll: true, MemIgnoresTags: true},
+}
+
+func TestEmitTypeTestAllSchemes(t *testing.T) {
+	for _, s := range All() {
+		for hwName, hw := range hwVariants {
+			for _, typ := range []Type{TPair, TSymbol, TVector} {
+				align, off := s.Align(typ)
+				addr := uint32(0x1000)/align*align + off
+				item := s.MakePtr(typ, addr)
+				hdr := s.MakeHeader(typ, 2)
+				for _, other := range []Type{TPair, TSymbol, TVector} {
+					m := runEmit(t, s, hw, func(m *mipsx.Machine) {
+						m.Mem[addr>>2] = hdr
+					}, func(a *mipsx.Asm) {
+						yes := a.NewLabel("yes")
+						a.Li(10, int32(item))
+						a.Li(11, 0)
+						EmitTypeTest(a, s, hw, 10, mipsx.RT0, other, true, yes)
+						a.Halt()
+						a.Bind(yes)
+						a.Li(11, 1)
+						a.Halt()
+					})
+					want := uint32(0)
+					if other == typ {
+						want = 1
+					}
+					// Low2 cannot distinguish symbol from vector by
+					// tag alone, but the header check resolves it;
+					// the result must still be exact.
+					if m.Regs[11] != want {
+						t.Errorf("%s/%s: test %s on a %s item = %d, want %d",
+							s.Kind(), hwName, other, typ, m.Regs[11], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEmitIntTest(t *testing.T) {
+	for _, s := range All() {
+		intItem, _ := s.MakeInt(-42)
+		pairItem := s.MakePtr(TPair, 0x1000)
+		for name, item := range map[string]uint32{"int": intItem, "pair": pairItem} {
+			m := runEmit(t, s, HW{}, nil, func(a *mipsx.Asm) {
+				yes := a.NewLabel("yes")
+				a.Li(10, int32(item))
+				a.Li(11, 0)
+				EmitIntTest(a, s, 10, mipsx.RT0, true, yes)
+				a.Halt()
+				a.Bind(yes)
+				a.Li(11, 1)
+				a.Halt()
+			})
+			want := uint32(0)
+			if name == "int" {
+				want = 1
+			}
+			if m.Regs[11] != want {
+				t.Errorf("%s: int test on %s = %d, want %d", s.Kind(), name, m.Regs[11], want)
+			}
+		}
+	}
+}
+
+func TestEmitIntTestCost(t *testing.T) {
+	// §4.1: the sign-extension integer test always costs 3 cycles on
+	// high-tag schemes; the low-tag mask test costs 2 (plus delay slots).
+	for _, s := range All() {
+		a := mipsx.NewAsm()
+		main := a.NewLabel("main")
+		yes := a.NewLabel("yes")
+		a.Bind(main)
+		EmitIntTest(a, s, 10, mipsx.RT0, true, yes)
+		a.Bind(yes)
+		a.Halt()
+		p, err := a.Finish("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, in := range p.Instrs {
+			if in.Op != mipsx.NOP && in.Op != mipsx.HALT {
+				n++
+			}
+		}
+		want := 2
+		if s.NeedsMask() {
+			want = 3
+		}
+		if n != want {
+			t.Errorf("%s: integer test is %d instructions, want %d", s.Kind(), n, want)
+		}
+	}
+}
+
+func TestEmitInsertAndLoadField(t *testing.T) {
+	for _, s := range All() {
+		for hwName, hw := range hwVariants {
+			align, off := s.Align(TPair)
+			addr := uint32(0x2000)/align*align + off
+			carItem, _ := s.MakeInt(123)
+			m := runEmit(t, s, hw, func(m *mipsx.Machine) {
+				m.Mem[addr>>2] = carItem
+			}, func(a *mipsx.Asm) {
+				a.Li(10, int32(addr)) // untagged pointer
+				EmitInsertPtr(a, s, hw, 11, 10, mipsx.RT0, TPair, 0)
+				par := hw.ParallelCheck(TPair)
+				EmitLoadField(a, s, hw, 12, 11, mipsx.RT0, TPair, 0, par)
+				a.Li(13, 99)
+				EmitStoreField(a, s, hw, 13, 11, mipsx.RT0, TPair, 1, par)
+				a.Halt()
+			})
+			if m.Regs[12] != carItem {
+				t.Errorf("%s/%s: load field = %#x, want %#x", s.Kind(), hwName, m.Regs[12], carItem)
+			}
+			if m.Mem[(addr+4)>>2] != 99 {
+				t.Errorf("%s/%s: store field missed", s.Kind(), hwName)
+			}
+		}
+	}
+}
+
+func TestInsertCost(t *testing.T) {
+	// §3.1: insertion costs 2 cycles on high-tag schemes (shift+or as
+	// li+or), 1 on low-tag schemes, and 1 with a pre-shifted pair tag.
+	count := func(s Scheme, hw HW, pre uint8) int {
+		a := mipsx.NewAsm()
+		main := a.NewLabel("main")
+		a.Bind(main)
+		EmitInsertPtr(a, s, hw, 11, 10, mipsx.RT0, TPair, pre)
+		a.Halt()
+		p, err := a.Finish("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, in := range p.Instrs {
+			if in.Cat == mipsx.CatTagInsert && in.Op != mipsx.NOP {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(New(High5), HW{}, 0); got != 2 {
+		t.Errorf("high5 insert = %d instrs, want 2", got)
+	}
+	if got := count(New(Low3), HW{}, 0); got != 1 {
+		t.Errorf("low3 insert = %d instrs, want 1", got)
+	}
+	if got := count(New(High5), HW{PreshiftedPairTag: true}, mipsx.RT5); got != 1 {
+		t.Errorf("high5 preshifted insert = %d instrs, want 1", got)
+	}
+}
+
+func TestLoadFieldMaskingCategories(t *testing.T) {
+	// High-tag software access must charge exactly one CatTagRemove
+	// cycle; low-tag and tag-ignoring accesses must charge none.
+	count := func(s Scheme, hw HW) int {
+		a := mipsx.NewAsm()
+		main := a.NewLabel("main")
+		a.Bind(main)
+		EmitLoadField(a, s, hw, 12, 11, mipsx.RT0, TPair, 0, false)
+		a.Halt()
+		p, err := a.Finish("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, in := range p.Instrs {
+			if in.Cat == mipsx.CatTagRemove && in.Op != mipsx.NOP {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(New(High5), HW{}); got != 1 {
+		t.Errorf("high5 soft load: %d removal instrs, want 1", got)
+	}
+	if got := count(New(High5), HW{MemIgnoresTags: true}); got != 0 {
+		t.Errorf("high5 ldt load: %d removal instrs, want 0", got)
+	}
+	if got := count(New(Low3), HW{}); got != 0 {
+		t.Errorf("low3 load: %d removal instrs, want 0", got)
+	}
+}
+
+func TestEmitUntag(t *testing.T) {
+	for _, s := range All() {
+		item := s.MakePtr(TPair, 0x1000)
+		m := runEmit(t, s, HW{}, nil, func(a *mipsx.Asm) {
+			a.Li(10, int32(item))
+			EmitUntag(a, s, 11, 10)
+			a.Halt()
+		})
+		if m.Regs[11] != 0x1000 {
+			t.Errorf("%s: untag = %#x", s.Kind(), m.Regs[11])
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package tags
+
+// highScheme keeps the tag in the most significant bits of the word, like
+// the PSL implementation on MIPS-X (§2.1). Positive integers are tagged 0
+// and negative integers all-ones, so a fixnum's item representation is its
+// two's-complement machine representation and integer arithmetic needs no
+// reformatting.
+type highScheme struct {
+	kind    Kind
+	bits    int // tag field width
+	tagVals [NumTypes]uint8
+	negInt  uint8
+}
+
+var high5Scheme = &highScheme{
+	kind: High5,
+	bits: 5,
+	tagVals: [NumTypes]uint8{
+		TInt: 0, TPair: 1, TSymbol: 2, TVector: 3, TString: 4,
+		TFloat: 5, TCode: 6, THeader: 7,
+	},
+	negInt: 31,
+}
+
+// high6Scheme implements the §4.2 encoding. The non-integer tags all lie in
+// [8, 24], so for any two non-integer tags Ta and Tb, Ta+Tb (+ a possible
+// carry from the data bits) lies in [16, 49] and can never alias the integer
+// tags 0 or 63; likewise an integer plus a non-integer yields a tag in
+// [7, 25]. A generic add can therefore run the machine add first and detect
+// both non-integer operands and overflow with a single integer test on the
+// result.
+var high6Scheme = &highScheme{
+	kind: High6,
+	bits: 6,
+	tagVals: [NumTypes]uint8{
+		TInt: 0, TPair: 8, TSymbol: 9, TVector: 10, TString: 11,
+		TFloat: 12, TCode: 13, THeader: 24,
+	},
+	negInt: 63,
+}
+
+func (h *highScheme) Kind() Kind       { return h.kind }
+func (h *highScheme) TagBits() int     { return h.bits }
+func (h *highScheme) FixnumBits() int  { return 32 - h.bits }
+func (h *highScheme) IntShift() uint32 { return 0 }
+func (h *highScheme) Tag(t Type) uint8 { return h.tagVals[t] }
+func (h *highScheme) HWShift() uint32  { return uint32(32 - h.bits) }
+func (h *highScheme) HWMask() uint32   { return 1<<h.bits - 1 }
+func (h *highScheme) AddrMask() uint32 { return h.PtrMaskConst() }
+func (h *highScheme) PtrMaskConst() uint32 {
+	return 1<<(32-h.bits) - 1
+}
+func (h *highScheme) NeedsMask() bool       { return true }
+func (h *highScheme) OffAdjust(Type) int32  { return 0 }
+func (h *highScheme) HeaderCheck(Type) bool { return false }
+
+func (h *highScheme) MakeInt(v int64) (uint32, bool) {
+	fb := h.FixnumBits()
+	if v < -(1<<(fb-1)) || v >= 1<<(fb-1) {
+		return 0, false
+	}
+	return uint32(int32(v)), true
+}
+
+func (h *highScheme) IntVal(item uint32) int32 {
+	return int32(item) << h.bits >> h.bits
+}
+
+func (h *highScheme) IsInt(item uint32) bool {
+	return uint32(h.IntVal(item)) == item
+}
+
+func (h *highScheme) MakePtr(t Type, addr uint32) uint32 {
+	if addr&^h.PtrMaskConst() != 0 {
+		panic("tags: address does not fit below the tag field")
+	}
+	return uint32(h.tagVals[t])<<h.HWShift() | addr
+}
+
+func (h *highScheme) Addr(item uint32) uint32 { return item & h.PtrMaskConst() }
+
+func (h *highScheme) TypeOf(item uint32, _ func(uint32) uint32) Type {
+	tag := uint8(item >> h.HWShift())
+	if tag == 0 || tag == h.negInt {
+		return TInt
+	}
+	for t := TPair; t < NumTypes; t++ {
+		if h.tagVals[t] == tag {
+			return t
+		}
+	}
+	return THeader
+}
+
+func (h *highScheme) MakeHeader(t Type, sizeWords int) uint32 {
+	return uint32(h.tagVals[THeader])<<h.HWShift() |
+		uint32(sizeWords)<<hdrSizeShift | uint32(t)<<hdrTypeShift
+}
+
+func (h *highScheme) IsHeader(w uint32) bool {
+	return uint8(w>>h.HWShift()) == h.tagVals[THeader]
+}
+
+func (h *highScheme) HeaderInfo(hdr uint32) (Type, int) {
+	size := (hdr & h.PtrMaskConst()) >> hdrSizeShift
+	return Type(hdr >> hdrTypeShift & 0xF), int(size)
+}
+
+func (h *highScheme) Align(Type) (alignBytes, offsetBytes uint32) { return 8, 0 }

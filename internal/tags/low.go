@@ -1,0 +1,149 @@
+package tags
+
+// lowScheme keeps the tag in the bottom bits of the word (§5.2). Integers
+// carry tag 00 in their bottom two bits (a fixnum is its value shifted left
+// by two), so integer add/subtract/compare work directly and indexing word
+// vectors needs no scaling. Pointer tags are absorbed into the compiler's
+// field offsets, so no masking is ever required before a memory access —
+// this is the software realization of Table 2 row 1.
+//
+// Low3 uses the alignment trick the paper describes ("data objects will
+// always be aligned on even or odd word boundaries"): only two tag bits are
+// stored in the item; the third tag bit is the address's own bit 2, supplied
+// by allocating pairs and symbols at 8-byte boundaries and vectors and
+// strings at odd word boundaries. Low2 distinguishes only integer / pair /
+// other; type tests for non-pair heap objects must read the object header.
+//
+// Compiled code entry points are byte-scaled instruction addresses, which
+// are word-aligned and therefore look like fixnums — the garbage collector
+// leaves them alone without any special case.
+type lowScheme struct {
+	kind    Kind
+	bits    int
+	tagVals [NumTypes]uint8 // full tag (3 bits for Low3, 2 for Low2)
+	// vecOdd is true when vectors/strings start at odd word addresses
+	// (Low3's borrowed third tag bit).
+	vecOdd bool
+}
+
+var low3Scheme = &lowScheme{
+	kind: Low3,
+	bits: 3,
+	tagVals: [NumTypes]uint8{
+		TInt: 0, TPair: 1, TSymbol: 2, TFloat: 3, TVector: 5, TString: 6,
+		TCode: 0, THeader: 7,
+	},
+	vecOdd: true,
+}
+
+var low2Scheme = &lowScheme{
+	kind: Low2,
+	bits: 2,
+	tagVals: [NumTypes]uint8{
+		TInt: 0, TPair: 1, TSymbol: 2, TFloat: 2, TVector: 2, TString: 2,
+		TCode: 0, THeader: 3,
+	},
+}
+
+func (l *lowScheme) Kind() Kind       { return l.kind }
+func (l *lowScheme) TagBits() int     { return l.bits }
+func (l *lowScheme) FixnumBits() int  { return 30 }
+func (l *lowScheme) IntShift() uint32 { return 2 }
+func (l *lowScheme) Tag(t Type) uint8 { return l.tagVals[t] }
+func (l *lowScheme) HWShift() uint32  { return 0 }
+func (l *lowScheme) HWMask() uint32   { return 1<<l.bits - 1 }
+
+// AddrMask clears only the two stored tag bits; for Low3 the third tag bit
+// is part of the address.
+func (l *lowScheme) AddrMask() uint32     { return ^uint32(3) }
+func (l *lowScheme) PtrMaskConst() uint32 { return ^uint32(3) }
+func (l *lowScheme) NeedsMask() bool      { return false }
+
+// OffAdjust cancels the stored low tag bits: addr = item - (tag & 3).
+func (l *lowScheme) OffAdjust(t Type) int32 { return -int32(l.tagVals[t] & 3) }
+
+func (l *lowScheme) HeaderCheck(t Type) bool {
+	if l.kind != Low2 {
+		return false
+	}
+	switch t {
+	case TSymbol, TVector, TString, TFloat:
+		return true
+	}
+	return false
+}
+
+func (l *lowScheme) MakeInt(v int64) (uint32, bool) {
+	if v < -(1<<29) || v >= 1<<29 {
+		return 0, false
+	}
+	return uint32(int32(v) << 2), true
+}
+
+func (l *lowScheme) IntVal(item uint32) int32 { return int32(item) >> 2 }
+
+func (l *lowScheme) IsInt(item uint32) bool { return item&3 == 0 }
+
+func (l *lowScheme) MakePtr(t Type, addr uint32) uint32 {
+	if t == TCode {
+		// Code entries are byte-scaled instruction addresses and carry
+		// the integer tag.
+		if addr&3 != 0 {
+			panic("tags: misaligned code address")
+		}
+		return addr
+	}
+	align, off := l.Align(t)
+	if addr%align != off {
+		panic("tags: misaligned object address for type " + t.String())
+	}
+	return addr | uint32(l.tagVals[t]&3)
+}
+
+func (l *lowScheme) Addr(item uint32) uint32 { return item &^ 3 }
+
+func (l *lowScheme) TypeOf(item uint32, readWord func(uint32) uint32) Type {
+	if item&3 == 0 {
+		return TInt
+	}
+	if l.kind == Low3 {
+		switch item & 7 {
+		case 1:
+			return TPair
+		case 2:
+			return TSymbol
+		case 3:
+			return TFloat
+		case 5:
+			return TVector
+		case 6:
+			return TString
+		}
+		return THeader
+	}
+	switch item & 3 {
+	case 1:
+		return TPair
+	case 2:
+		t, _ := l.HeaderInfo(readWord(l.Addr(item)))
+		return t
+	}
+	return THeader
+}
+
+func (l *lowScheme) MakeHeader(t Type, sizeWords int) uint32 {
+	return uint32(sizeWords)<<hdrSizeShift | uint32(t)<<hdrTypeShift | uint32(l.HWMask())
+}
+
+func (l *lowScheme) IsHeader(w uint32) bool { return w&l.HWMask() == l.HWMask() }
+
+func (l *lowScheme) HeaderInfo(hdr uint32) (Type, int) {
+	return Type(hdr >> hdrTypeShift & 0xF), int(hdr >> hdrSizeShift)
+}
+
+func (l *lowScheme) Align(t Type) (alignBytes, offsetBytes uint32) {
+	if l.vecOdd && (t == TVector || t == TString) {
+		return 8, 4
+	}
+	return 8, 0
+}

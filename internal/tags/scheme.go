@@ -1,0 +1,194 @@
+// Package tags defines the run-time tag schemes the paper compares and the
+// machine-code sequences for the four tag operations (insertion, removal,
+// extraction, checking) under each scheme and hardware configuration.
+//
+// Four schemes are provided:
+//
+//   - High5: the PSL baseline (§2.1) — a 5-bit tag in the most significant
+//     bits, positive integers tagged 0 and negative integers 31, so the Lisp
+//     integer representation equals the machine representation.
+//   - High6: the §4.2 encoding — 6 tag bits chosen so that the sum of two
+//     non-integer tags (with carry-in) can never produce an integer tag
+//     without overflow, letting generic addition check both operand types
+//     and overflow with one type test on the result.
+//   - Low3: tag in the bottom 3 bits (§5.2) — even/odd integers get x00,
+//     pointers carry 2 stored tag bits plus one bit borrowed from the
+//     object's 8-byte alignment; field offsets absorb the tag, so no
+//     masking is ever needed before a memory access.
+//   - Low2: tag in the bottom 2 bits (§5.2) — integer, pair and "other
+//     heap object"; non-pair types need a header check.
+//
+// All schemes share one heap object layout: pairs are two words with no
+// header; every other heap object starts with a self-identifying header word
+// encoding its type and size, which is what lets a copying collector scan
+// to-space word by word without confusing raw data for pointers.
+package tags
+
+import "fmt"
+
+// Type is a Lisp data type for tagging purposes.
+type Type uint8
+
+// The tagged data types.
+const (
+	TInt    Type = iota // fixnum, immediate
+	TPair               // cons cell: 2 words, no header
+	TSymbol             // header + name, value, plist, function cell
+	TVector             // header + elements
+	TString             // header + packed bytes
+	TFloat              // header + IEEE-754 single bits
+	TCode               // compiled code entry (byte-scaled instruction address)
+	THeader             // object header word (never a first-class item)
+
+	NumTypes
+)
+
+var typeNames = [NumTypes]string{"int", "pair", "symbol", "vector", "string", "float", "code", "header"}
+
+func (t Type) String() string {
+	if t < NumTypes {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Kind identifies a tag scheme.
+type Kind uint8
+
+// The schemes.
+const (
+	High5 Kind = iota
+	High6
+	Low3
+	Low2
+)
+
+func (k Kind) String() string {
+	switch k {
+	case High5:
+		return "high5"
+	case High6:
+		return "high6"
+	case Low3:
+		return "low3"
+	case Low2:
+		return "low2"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// HW selects the optional tag hardware of Table 2.
+type HW struct {
+	// MemIgnoresTags: loads and stores drop the tag bits of the address
+	// (Table 2 row 1 realized in hardware). Low-tag schemes get the same
+	// effect in software by folding the tag into the field offset.
+	MemIgnoresTags bool
+	// TagBranch: a conditional branch that compares the tag field in
+	// place, eliminating tag extraction (row 2, §6.1).
+	TagBranch bool
+	// ParallelCheckList: checked loads/stores (LDC/STC) that verify the
+	// pair tag during address calculation (row 5, §6.2.1).
+	ParallelCheckList bool
+	// ParallelCheckAll extends the parallel check to vectors, strings and
+	// other structures (row 6).
+	ParallelCheckAll bool
+	// ArithTrap: ADDTC/SUBTC integer arithmetic that traps on non-integer
+	// operands or overflow (row 4, §6.2.2).
+	ArithTrap bool
+	// PreshiftedPairTag keeps the pre-shifted pair tag in a dedicated
+	// register so tag insertion on cons costs one cycle instead of two
+	// (the §3.1 ablation; the paper estimates a 0.5% gain).
+	PreshiftedPairTag bool
+	// ShadowRegisters models the trap-assist hardware the paper cites
+	// from Ungar's Smalltalk work (§6.2.2): shadow registers cache the
+	// trapped operands, cutting trap entry/return overhead sharply.
+	// Only meaningful together with ArithTrap.
+	ShadowRegisters bool
+}
+
+// ParallelCheck reports whether a parallel-checked access is available for t.
+func (hw HW) ParallelCheck(t Type) bool {
+	if hw.ParallelCheckAll {
+		return t == TPair || t == TSymbol || t == TVector || t == TString || t == TFloat
+	}
+	return hw.ParallelCheckList && t == TPair
+}
+
+// Header field layout, common to all schemes: the header word carries the
+// scheme's header tag pattern plus (size << 8) | (type << 4). Size counts
+// words including the header itself.
+const (
+	hdrTypeShift = 4
+	hdrSizeShift = 8
+)
+
+// Scheme describes one tag implementation. Implementations are stateless
+// and safe for concurrent use.
+type Scheme interface {
+	Kind() Kind
+	// TagBits is the tag field width in bits.
+	TagBits() int
+	// FixnumBits is the signed payload width of an integer item.
+	FixnumBits() int
+	// IntShift is the left shift applied to an integer value to form its
+	// item (0 for high tags, 2 for low tags).
+	IntShift() uint32
+	// Tag returns the tag value of a pointer type as seen by the tag
+	// field hardware (BTEQ/LDC). For TInt it returns the canonical
+	// (positive) integer tag.
+	Tag(t Type) uint8
+	// HWShift and HWMask locate the tag field for the hardware.
+	HWShift() uint32
+	HWMask() uint32
+	// AddrMask is the hardware address mask for tag-ignoring accesses.
+	AddrMask() uint32
+	// PtrMaskConst is the constant loaded into the reserved mask register
+	// for software tag removal.
+	PtrMaskConst() uint32
+	// NeedsMask reports whether a pointer item must be masked before a
+	// plain (non-tag-ignoring) memory access. Low-tag schemes fold the
+	// tag into the offset instead.
+	NeedsMask() bool
+	// OffAdjust is the byte-offset correction that cancels the stored tag
+	// bits of a pointer of type t (0 for high-tag schemes).
+	OffAdjust(t Type) int32
+	// HeaderCheck reports whether a type test for t must consult the
+	// object header in addition to the pointer tag (Low2 non-pair types).
+	HeaderCheck(t Type) bool
+
+	// Host-side encoding, used by the image builder and result decoding.
+	MakeInt(v int64) (uint32, bool)
+	IntVal(item uint32) int32
+	IsInt(item uint32) bool
+	MakePtr(t Type, addr uint32) uint32
+	Addr(item uint32) uint32
+	// TypeOf classifies an item; readWord supplies memory access for
+	// schemes whose pointer tag alone is ambiguous.
+	TypeOf(item uint32, readWord func(addr uint32) uint32) Type
+	MakeHeader(t Type, sizeWords int) uint32
+	IsHeader(w uint32) bool
+	HeaderInfo(hdr uint32) (t Type, sizeWords int)
+	// Align returns the required alignment and the byte offset within the
+	// aligned block at which an object of type t must start.
+	Align(t Type) (alignBytes, offsetBytes uint32)
+}
+
+// New returns the scheme for k.
+func New(k Kind) Scheme {
+	switch k {
+	case High5:
+		return high5Scheme
+	case High6:
+		return high6Scheme
+	case Low3:
+		return low3Scheme
+	case Low2:
+		return low2Scheme
+	}
+	panic(fmt.Sprintf("unknown scheme kind %d", k))
+}
+
+// All returns every scheme, for table-driven tests and ablation sweeps.
+func All() []Scheme {
+	return []Scheme{high5Scheme, high6Scheme, low3Scheme, low2Scheme}
+}

@@ -1,0 +1,250 @@
+package tags
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var ptrTypes = []Type{TPair, TSymbol, TVector, TString, TFloat}
+
+func TestIntRoundTrip(t *testing.T) {
+	for _, s := range All() {
+		f := func(v int32) bool {
+			item, ok := s.MakeInt(int64(v))
+			if !ok {
+				// Out of fixnum range for this scheme.
+				fb := s.FixnumBits()
+				return int64(v) < -(1<<(fb-1)) || int64(v) >= 1<<(fb-1)
+			}
+			return s.IsInt(item) && s.IntVal(item) == v
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", s.Kind(), err)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	for _, s := range All() {
+		fb := s.FixnumBits()
+		max := int64(1)<<(fb-1) - 1
+		min := -int64(1) << (fb - 1)
+		for _, v := range []int64{0, 1, -1, max, min} {
+			item, ok := s.MakeInt(v)
+			if !ok {
+				t.Errorf("%s: MakeInt(%d) rejected in-range value", s.Kind(), v)
+				continue
+			}
+			if got := int64(s.IntVal(item)); got != v {
+				t.Errorf("%s: IntVal(MakeInt(%d)) = %d", s.Kind(), v, got)
+			}
+		}
+		for _, v := range []int64{max + 1, min - 1} {
+			if _, ok := s.MakeInt(v); ok {
+				t.Errorf("%s: MakeInt(%d) accepted out-of-range value", s.Kind(), v)
+			}
+		}
+	}
+}
+
+func TestPtrRoundTrip(t *testing.T) {
+	for _, s := range All() {
+		for _, typ := range ptrTypes {
+			align, off := s.Align(typ)
+			addr := uint32(0x1000)/align*align + off
+			item := s.MakePtr(typ, addr)
+			if got := s.Addr(item); got != addr {
+				t.Errorf("%s/%s: Addr = %#x, want %#x", s.Kind(), typ, got, addr)
+			}
+			if s.IsInt(item) {
+				t.Errorf("%s/%s: pointer item classified as int", s.Kind(), typ)
+			}
+			read := func(a uint32) uint32 {
+				if a != addr {
+					t.Errorf("%s/%s: header read at %#x, want %#x", s.Kind(), typ, a, addr)
+				}
+				return s.MakeHeader(typ, 2)
+			}
+			if got := s.TypeOf(item, read); got != typ {
+				t.Errorf("%s/%s: TypeOf = %s", s.Kind(), typ, got)
+			}
+		}
+	}
+}
+
+func TestCodeItemsLookLikeFixnumsOnLowSchemes(t *testing.T) {
+	for _, k := range []Kind{Low2, Low3} {
+		s := New(k)
+		item := s.MakePtr(TCode, 0x2A4)
+		if !s.IsInt(item) {
+			t.Errorf("%s: code item %#x is not fixnum-like; the GC would chase it", k, item)
+		}
+	}
+}
+
+func TestHeaderIdentification(t *testing.T) {
+	for _, s := range All() {
+		hdr := s.MakeHeader(TVector, 17)
+		if !s.IsHeader(hdr) {
+			t.Errorf("%s: header not identified", s.Kind())
+		}
+		typ, size := s.HeaderInfo(hdr)
+		if typ != TVector || size != 17 {
+			t.Errorf("%s: HeaderInfo = %s %d", s.Kind(), typ, size)
+		}
+		// No integer item and no pointer item may be mistaken for a
+		// header — the copying collector's to-space scan depends on it.
+		for _, v := range []int64{0, 1, -1, 123456, -123456} {
+			if item, ok := s.MakeInt(v); ok && s.IsHeader(item) {
+				t.Errorf("%s: fixnum %d looks like a header", s.Kind(), v)
+			}
+		}
+		for _, typ := range ptrTypes {
+			align, off := s.Align(typ)
+			item := s.MakePtr(typ, 0x2000/align*align+off)
+			if s.IsHeader(item) {
+				t.Errorf("%s: %s pointer looks like a header", s.Kind(), typ)
+			}
+		}
+	}
+}
+
+// TestHigh6SumClosure verifies the §4.2 property: adding any two items of
+// which at least one is a non-integer can never produce a word that passes
+// the integer test, and adding two integers produces a word that passes the
+// test exactly when the mathematical sum is in fixnum range. This is what
+// lets generic addition check types and overflow with one test.
+func TestHigh6SumClosure(t *testing.T) {
+	s := New(High6)
+	intItems := []uint32{}
+	for _, v := range []int64{0, 1, -1, 1<<25 - 1, -(1 << 25), 12345, -99} {
+		it, ok := s.MakeInt(v)
+		if !ok {
+			t.Fatalf("MakeInt(%d) failed", v)
+		}
+		intItems = append(intItems, it)
+	}
+	ptrItems := []uint32{}
+	for _, typ := range ptrTypes {
+		for _, addr := range []uint32{0, 8, 0x100, 0x03FFFFF8} {
+			align, off := s.Align(typ)
+			a := addr/align*align + off
+			ptrItems = append(ptrItems, s.MakePtr(typ, a))
+		}
+	}
+	// non-int + anything must fail the result integer test.
+	for _, p := range ptrItems {
+		for _, q := range append(append([]uint32{}, intItems...), ptrItems...) {
+			sum := p + q
+			if s.IsInt(sum) {
+				t.Errorf("sum of %#x and %#x (non-int involved) passes the integer test", p, q)
+			}
+		}
+	}
+	// int + int passes exactly when in range.
+	f := func(a, b int32) bool {
+		fb := s.FixnumBits()
+		va := int64(a) % (1 << (fb - 1))
+		vb := int64(b) % (1 << (fb - 1))
+		ia, _ := s.MakeInt(va)
+		ib, _ := s.MakeInt(vb)
+		sum := ia + ib
+		want := va+vb >= -(1<<(fb-1)) && va+vb < 1<<(fb-1)
+		return s.IsInt(sum) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHigh5SumNotClosed documents why High5 cannot use the one-test trick:
+// some pair+pair sums alias integer tags.
+func TestHigh5SumNotClosed(t *testing.T) {
+	s := New(High5)
+	// pair tag 1 + symbol tag 31-2? Construct a aliasing example: tags
+	// 1 (pair) + 31 (negint) is int+ptr; we need two non-int tags whose
+	// sum hits 0 or 31 mod 32: vector(3) + 28? Only 7 pointer tags are
+	// defined, so craft: symbol(2)+... simplest alias: float(5) tag plus
+	// a 27-bit carry-rich payload cannot reach 0/31 with defined tags —
+	// but pair(1)+pair(1)=2 is the symbol tag: a pair+pair sum would be
+	// mistaken for a *symbol*, showing sums are not type-honest either.
+	p := s.MakePtr(TPair, 0x100)
+	q := s.MakePtr(TPair, 0x200)
+	if got := s.TypeOf(p+q, nil); got != TSymbol {
+		t.Errorf("pair+pair classified as %s; expected the aliasing to TSymbol", got)
+	}
+}
+
+func TestOffAdjustCancelsTag(t *testing.T) {
+	for _, s := range All() {
+		if s.NeedsMask() {
+			// High-tag schemes remove the tag by masking; offset
+			// adjustment only applies to low-tag schemes.
+			continue
+		}
+		for _, typ := range ptrTypes {
+			align, off := s.Align(typ)
+			addr := uint32(0x3000)/align*align + off
+			item := s.MakePtr(typ, addr)
+			for w := int32(0); w < 3; w++ {
+				eff := int64(int32(item)) + int64(4*w+s.OffAdjust(typ))
+				want := int64(addr) + int64(4*w)
+				if eff != want {
+					t.Errorf("%s/%s word %d: item+adj = %#x, want %#x",
+						s.Kind(), typ, w, eff, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSchemeParams(t *testing.T) {
+	for _, s := range All() {
+		if s.NeedsMask() != (s.Kind() == High5 || s.Kind() == High6) {
+			t.Errorf("%s: NeedsMask = %v", s.Kind(), s.NeedsMask())
+		}
+		if got := New(s.Kind()); got.Kind() != s.Kind() {
+			t.Errorf("New(%s) returned %s", s.Kind(), got.Kind())
+		}
+	}
+	if New(High5).FixnumBits() != 27 {
+		t.Error("High5 fixnums must be 27-bit (PSL on MIPS-X)")
+	}
+	if New(High5).Tag(TInt) != 0 {
+		t.Error("High5 positive integer tag must be 0")
+	}
+	// The paper's key property: a High5 fixnum's item representation is
+	// its machine two's-complement representation.
+	s := New(High5)
+	for _, v := range []int64{0, 1, -1, 1000, -1000} {
+		item, _ := s.MakeInt(v)
+		if item != uint32(int32(v)) {
+			t.Errorf("High5 MakeInt(%d) = %#x, not the machine representation", v, item)
+		}
+	}
+}
+
+func TestLow3AlignmentTrick(t *testing.T) {
+	s := New(Low3)
+	// Pairs live at 0 mod 8 and read back tag 001.
+	p := s.MakePtr(TPair, 0x1008)
+	if p&7 != 1 {
+		t.Errorf("pair item low bits = %#b", p&7)
+	}
+	// Vectors live at 4 mod 8; the stored bits are 01 but the full
+	// 3-bit tag reads 101 thanks to the address bit.
+	v := s.MakePtr(TVector, 0x100C)
+	if v&7 != 5 {
+		t.Errorf("vector item low bits = %#b, want 101", v&7)
+	}
+	if v&3 != 1 {
+		t.Errorf("vector stored tag bits = %#b, want 01", v&3)
+	}
+	// Misaligned construction must panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("MakePtr with wrong alignment did not panic")
+		}
+	}()
+	s.MakePtr(TVector, 0x1008)
+}
