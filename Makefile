@@ -1,0 +1,28 @@
+GO ?= go
+
+# The standard pre-PR gate: vet, build, full tests, and a one-shot
+# benchmark smoke run (catches benchmark-only regressions cheaply).
+.PHONY: check
+check: vet build test smoke
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: smoke
+smoke:
+	$(GO) test -run '^$$' -bench BenchmarkPrograms -benchtime 1x -benchmem .
+
+# Full benchmark sweep: regenerates every table and figure and measures
+# simulator throughput. Slow.
+.PHONY: bench
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

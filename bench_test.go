@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"os"
 	"sync"
 	"testing"
 
@@ -187,7 +188,10 @@ func BenchmarkSection622Dispatch(b *testing.B) {
 
 // BenchmarkPrograms measures raw simulation throughput per program on the
 // baseline configuration (a property of this reproduction, not the paper).
+// Set SIM_ENGINE=reference to measure the single-step reference engine
+// instead of the fused loop.
 func BenchmarkPrograms(b *testing.B) {
+	reference := os.Getenv("SIM_ENGINE") == "reference"
 	for _, p := range programs.All() {
 		p := p
 		b.Run(p.Name, func(b *testing.B) {
@@ -197,17 +201,25 @@ func BenchmarkPrograms(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			var cycles uint64
+			var cycles, instrs uint64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				m := img.NewMachine()
 				m.MaxCycles = 3_000_000_000
-				if err := m.Run(); err != nil {
+				if reference {
+					err = m.RunReference()
+				} else {
+					err = m.Run()
+				}
+				if err != nil {
 					b.Fatal(err)
 				}
 				cycles = m.Stats.Cycles
+				instrs = m.Stats.Instrs
 			}
+			b.StopTimer()
 			b.ReportMetric(float64(cycles), "sim-cycles")
+			b.ReportMetric(float64(instrs)*float64(b.N)/float64(b.Elapsed().Nanoseconds())*1e3, "Minstr/s")
 		})
 	}
 }

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -45,10 +47,45 @@ func main() {
 		trace    = flag.Int("trace", 0, "with -program: print the first N executed instructions")
 		repl     = flag.Bool("repl", false, "interactive read-eval-print loop on the simulated machine")
 		t2row    = flag.String("table2-row", "", "per-program detail for one Table 2 row (1-7 or SPUR)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if err := run(*list, *progName, *scheme, *checking, *hwFlags, *table, *figure, *ablation, *all, *disasm, *profile, *trace, *repl, *t2row); err != nil {
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tagsim:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tagsim:", err)
+			os.Exit(1)
+		}
+	}
+
+	err := run(*list, *progName, *scheme, *checking, *hwFlags, *table, *figure, *ablation, *all, *disasm, *profile, *trace, *repl, *t2row)
+
+	// Profiles are written explicitly rather than deferred because the error
+	// path exits with os.Exit, which would skip deferred writers.
+	if *cpuprof != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		f, ferr := os.Create(*memprof)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "tagsim:", ferr)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			fmt.Fprintln(os.Stderr, "tagsim:", ferr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tagsim:", err)
 		os.Exit(1)
 	}

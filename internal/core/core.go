@@ -70,6 +70,9 @@ type Runner struct {
 	cache map[string]*Result
 	// MaxCycles bounds each run (default 2e9).
 	MaxCycles uint64
+	// Workers bounds Prewarm concurrency; zero or negative means one
+	// worker per available CPU (runtime.GOMAXPROCS).
+	Workers int
 }
 
 // NewRunner returns an empty runner.
@@ -131,9 +134,9 @@ func (r *Runner) Prewarm(ps []*programs.Program, cfgs []Config) error {
 	jobs := make(chan job)
 	errc := make(chan error, 1)
 	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
-	if workers > 8 {
-		workers = 8
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

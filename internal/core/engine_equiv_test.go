@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mipsx"
+	"repro/internal/programs"
+	"repro/internal/rt"
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+// TestEngineEquivalence is the differential harness for the fused execution
+// loop: every program under the baseline configurations and every Table 2
+// hardware row runs on both the fused Run and the single-step reference
+// path, and everything observable — statistics, registers, memory, output,
+// and the decoded result — must be identical. The fused engine is only a
+// valid optimization if it does not change a single reproduced number.
+func TestEngineEquivalence(t *testing.T) {
+	configs := []Config{Baseline(true), Baseline(false)}
+	for _, row := range Table2Rows {
+		configs = append(configs, Config{Scheme: tags.High5, HW: row.HW, Checking: true})
+	}
+	if testing.Short() {
+		configs = []Config{Baseline(true),
+			{Scheme: tags.High5, HW: Table2Rows[6].HW, Checking: true}}
+	}
+
+	for _, p := range programs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			for _, cfg := range configs {
+				img, err := rt.Build(p.Source, rt.BuildOptions{
+					Scheme:    cfg.Scheme,
+					HW:        cfg.HW,
+					Checking:  cfg.Checking,
+					HeapWords: p.HeapWords,
+				})
+				if err != nil {
+					t.Fatalf("%s: build: %v", cfg, err)
+				}
+
+				fused := img.NewMachine()
+				fused.MaxCycles = 2_000_000_000
+				if err := fused.Run(); err != nil {
+					t.Fatalf("%s: fused run: %v", cfg, err)
+				}
+				ref := img.NewMachine()
+				ref.MaxCycles = 2_000_000_000
+				if err := ref.RunReference(); err != nil {
+					t.Fatalf("%s: reference run: %v", cfg, err)
+				}
+
+				if fused.Stats != ref.Stats {
+					t.Errorf("%s: stats diverge:\nfused: %+v\nref:   %+v", cfg, fused.Stats, ref.Stats)
+				}
+				if fused.Regs != ref.Regs {
+					t.Errorf("%s: registers diverge:\nfused: %v\nref:   %v", cfg, fused.Regs, ref.Regs)
+				}
+				if fused.PC != ref.PC {
+					t.Errorf("%s: final PC diverges: fused %d, ref %d", cfg, fused.PC, ref.PC)
+				}
+				if got, want := fused.Output.String(), ref.Output.String(); got != want {
+					t.Errorf("%s: output diverges:\nfused: %q\nref:   %q", cfg, got, want)
+				}
+				for i := range fused.Mem {
+					if fused.Mem[i] != ref.Mem[i] {
+						t.Errorf("%s: memory diverges at word %d (addr %#x): fused %#x, ref %#x",
+							cfg, i, 4*i, fused.Mem[i], ref.Mem[i])
+						break
+					}
+				}
+				value := sexpr.String(img.DecodeItem(fused.Mem, fused.Regs[mipsx.RRet]))
+				refValue := sexpr.String(img.DecodeItem(ref.Mem, ref.Regs[mipsx.RRet]))
+				if value != refValue {
+					t.Errorf("%s: decoded value diverges: fused %s, ref %s", cfg, value, refValue)
+				}
+				if p.Expected != "" && value != p.Expected {
+					t.Errorf("%s: result %s, want %s", cfg, value, p.Expected)
+				}
+			}
+		})
+	}
+}

@@ -228,7 +228,7 @@ func BuildFigure2(r *Runner) (*Figure2, error) {
 		count := func(s *mipsx.Stats, ops ...mipsx.Op) float64 {
 			var n uint64
 			for _, op := range ops {
-				n += s.ByOp[op] // single-cycle ops: cycles == executions
+				n += s.ByOp[op] // ByOp holds execution counts
 			}
 			return float64(n)
 		}

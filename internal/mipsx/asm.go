@@ -1,6 +1,9 @@
 package mipsx
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Label identifies a code position before resolution.
 type Label int
@@ -352,6 +355,12 @@ type Program struct {
 	// Labels maps label names to instruction indices (for disassembly,
 	// tracing and locating runtime entry points).
 	Labels map[string]int
+
+	// Predecoded stream for the fused execution loop, built once on first
+	// use (see predecode.go). Instrs must not be mutated after execution
+	// starts.
+	predecodeOnce sync.Once
+	dec           []decoded
 }
 
 // Finish schedules delay slots, resolves labels and returns the executable

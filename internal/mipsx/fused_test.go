@@ -1,0 +1,259 @@
+package mipsx
+
+import (
+	"testing"
+)
+
+// runEngines executes p on both engines and asserts every observable —
+// statistics, registers, PC, memory, output, and any error — is identical.
+// It returns the fused machine for additional assertions.
+func runEngines(t *testing.T, p *Program, memWords int, hw HWConfig) *Machine {
+	t.Helper()
+	fused := NewMachine(p, memWords, hw)
+	fused.MaxCycles = 1_000_000
+	ferr := fused.Run()
+	ref := NewMachine(p, memWords, hw)
+	ref.MaxCycles = 1_000_000
+	rerr := ref.RunReference()
+
+	switch {
+	case (ferr == nil) != (rerr == nil):
+		t.Fatalf("error divergence: fused %v, ref %v", ferr, rerr)
+	case ferr != nil && ferr.Error() != rerr.Error():
+		t.Fatalf("error divergence:\nfused: %v\nref:   %v", ferr, rerr)
+	}
+	if fused.Stats != ref.Stats {
+		t.Errorf("stats diverge:\nfused: %+v\nref:   %+v", fused.Stats, ref.Stats)
+	}
+	if fused.Regs != ref.Regs {
+		t.Errorf("registers diverge:\nfused: %v\nref:   %v", fused.Regs, ref.Regs)
+	}
+	if fused.PC != ref.PC {
+		t.Errorf("final PC diverges: fused %d, ref %d", fused.PC, ref.PC)
+	}
+	if fused.Output.String() != ref.Output.String() {
+		t.Errorf("output diverges: fused %q, ref %q", fused.Output.String(), ref.Output.String())
+	}
+	for i := range fused.Mem {
+		if fused.Mem[i] != ref.Mem[i] {
+			t.Errorf("memory diverges at word %d: fused %#x, ref %#x", i, fused.Mem[i], ref.Mem[i])
+			break
+		}
+	}
+	return fused
+}
+
+// TestFusedMatchesReference pits the fused loop against the single-step
+// reference on small programs that exercise every special path: interlock
+// stalls, squashing branches, checked loads with and without a handler,
+// arithmetic traps, jumps, syscalls with output, and faults.
+func TestFusedMatchesReference(t *testing.T) {
+	tagged := HWConfig{TagShift: 27, TagMask: 31, IsIntItem: isInt27,
+		TrapHandler: -1, CheckFailHandler: -1}
+	plain := HWConfig{TrapHandler: -1, CheckFailHandler: -1}
+
+	cases := map[string]struct {
+		hw    HWConfig
+		build func(a *Asm) (handler string)
+	}{
+		"alu-loop-interlock": {plain, func(a *Asm) string {
+			loop := a.NewLabel("loop")
+			a.Li(10, 0x100)
+			a.Li(11, 7)
+			a.St(11, 10, 0)
+			a.Li(12, 0) // sum
+			a.Li(13, 0) // i
+			a.Bind(loop)
+			a.Ld(14, 10, 0)
+			a.Add(12, 12, 14) // immediate use: interlock stall
+			a.Addi(13, 13, 1)
+			a.Blti(13, 50, loop)
+			a.Mul(15, 12, 11)
+			a.Div(16, 15, 11)
+			a.Halt()
+			return ""
+		}},
+		"squashing-branch": {plain, func(a *Asm) string {
+			loop := a.NewLabel("loop")
+			a.Li(10, 0)
+			a.Li(11, 1)
+			a.Bind(loop)
+			a.Add(10, 10, 11)
+			a.Addi(11, 11, 1)
+			a.Li(12, 10)
+			a.Raw(Instr{Op: BLE, Rs1: 11, Rs2: 12, Target: int(loop), Squash: true})
+			a.Halt()
+			return ""
+		}},
+		"tag-branch-ldt": {tagged, func(a *Asm) string {
+			a.Li(10, int32(uint32(3)<<27|0x100))
+			yes := a.NewLabel("yes")
+			a.Bteq(10, 3, yes)
+			a.Halt()
+			a.Bind(yes)
+			a.Li(11, 99)
+			a.Stt(11, 10, 0)
+			a.Ldt(12, 10, 0)
+			a.Add(13, 12, 12) // interlock on a tag-ignoring load
+			a.Halt()
+			return ""
+		}},
+		"checked-load-ok": {tagged, func(a *Asm) string {
+			a.Li(10, int32(uint32(3)<<27|0x100))
+			a.Li(11, 1234)
+			a.Stc(11, 10, 0, 3)
+			a.Ldc(12, 10, 0, 3)
+			a.Halt()
+			return ""
+		}},
+		"checked-load-fail-nohandler": {tagged, func(a *Asm) string {
+			a.Li(10, int32(uint32(3)<<27|0x100))
+			a.Ldc(12, 10, 0, 5) // wrong tag, no handler: fault
+			a.Halt()
+			return ""
+		}},
+		"checked-load-fail-handler": {tagged, func(a *Asm) string {
+			handler := a.NewLabel("handler")
+			a.Li(10, int32(uint32(3)<<27|0x100))
+			a.Ldc(12, 10, 0, 5) // wrong tag: enters handler
+			a.Halt()
+			a.Bind(handler)
+			a.Mov(20, RT0)
+			a.Mov(21, RT1)
+			a.Halt()
+			return "handler"
+		}},
+		"arith-trap-handler": {tagged, func(a *Asm) string {
+			handler := a.NewLabel("trap")
+			a.Li(10, int32(uint32(1)<<27|0x100)) // non-integer
+			a.Li(11, 1)
+			a.Addtc(12, 10, 11)
+			a.Mov(13, 12)
+			a.Halt()
+			a.Bind(handler)
+			a.Li(RT0, 4242)
+			a.St(RT0, RZero, TrapResultAddr)
+			a.Sys(SysTrapReturn)
+			return "trap"
+		}},
+		"arith-trap-nohandler": {tagged, func(a *Asm) string {
+			a.Li(10, 1<<26-1)
+			a.Li(11, 1)
+			a.Addtc(12, 10, 11) // overflow, no handler: fault
+			a.Halt()
+			return ""
+		}},
+		"jumps-and-calls": {plain, func(a *Asm) string {
+			fn := a.NewLabel("fn")
+			over := a.NewLabel("over")
+			a.Jal(fn)
+			a.Jmp(over)
+			a.Bind(fn)
+			a.Addi(10, 10, 1)
+			a.Jr(RRA)
+			a.Bind(over)
+			a.Mov(11, RRA)
+			a.Halt()
+			return ""
+		}},
+		"syscalls-output": {plain, func(a *Asm) string {
+			a.Li(RRet, 'h')
+			a.Sys(SysPutChar)
+			a.Li(RRet, -42)
+			a.Sys(SysPutInt)
+			a.Li(RRet, 16)
+			a.Sys(SysGCNotify)
+			a.Halt()
+			return ""
+		}},
+		"runtime-error": {plain, func(a *Asm) string {
+			a.Li(3, 0x77)
+			a.Li(RRet, 5)
+			a.Sys(SysError)
+			return ""
+		}},
+		"div-zero-fault": {plain, func(a *Asm) string {
+			a.Li(10, 3)
+			a.Div(11, 10, 0)
+			a.Halt()
+			return ""
+		}},
+		"wild-load-fault": {plain, func(a *Asm) string {
+			a.Li(10, 1<<30)
+			a.Ld(11, 10, 0)
+			a.Halt()
+			return ""
+		}},
+	}
+
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			a := NewAsm()
+			main := a.NewLabel("main")
+			a.Bind(main)
+			handler := tc.build(a)
+			p, err := a.Finish("main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			hw := tc.hw
+			if handler != "" {
+				if name == "arith-trap-handler" {
+					hw.TrapHandler = p.Labels[handler]
+				} else {
+					hw.CheckFailHandler = p.Labels[handler]
+				}
+			}
+			runEngines(t, p, 4096, hw)
+		})
+	}
+}
+
+// TestFusedLoopZeroAlloc verifies the acceptance criterion that the fused
+// loop allocates nothing per simulated instruction: whole runs of a
+// load/branch loop must perform zero allocations.
+func TestFusedLoopZeroAlloc(t *testing.T) {
+	a := NewAsm()
+	main := a.NewLabel("main")
+	loop := a.NewLabel("loop")
+	a.Bind(main)
+	a.Li(10, 0x100)
+	a.Li(11, 3)
+	a.St(11, 10, 0)
+	a.Li(12, 0)
+	a.Li(13, 0)
+	a.Bind(loop)
+	a.Ld(14, 10, 0)
+	a.Add(12, 12, 14) // interlock stall every iteration
+	a.Addi(13, 13, 1)
+	a.Blti(13, 100_000, loop)
+	a.Halt()
+	p, err := a.Finish("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Predecode()
+
+	const runs = 5
+	// AllocsPerRun invokes the function runs+1 times (one warm-up call),
+	// so every invocation needs its own fresh machine.
+	machines := make([]*Machine, runs+1)
+	for i := range machines {
+		machines[i] = NewMachine(p, 1024, HWConfig{TrapHandler: -1, CheckFailHandler: -1})
+		machines[i].MaxCycles = 10_000_000
+	}
+	next := 0
+	allocs := testing.AllocsPerRun(runs, func() {
+		m := machines[next]
+		next++
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("fused loop allocated %.1f times per run, want 0", allocs)
+	}
+	if machines[0].Regs[13] != 100_000 {
+		t.Errorf("loop ran %d iterations, want 100000", machines[0].Regs[13])
+	}
+}

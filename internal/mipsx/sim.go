@@ -79,9 +79,15 @@ type Machine struct {
 	pendTarget int // -1 when no jump pending
 	pendCount  int
 	pendSquash bool
-	// load interlock state
+	// load interlock state: the register written by the previous
+	// instruction if it was a load (RZero otherwise) and that load's
+	// instruction index, for stall attribution.
 	lastLoadReg uint8
-	lastLoad    *Instr
+	lastLoad    int
+	// execCounts[i] is the number of times Run executed instruction i
+	// since the last flush; Run derives the per-category/op statistics
+	// from it on exit instead of updating them per instruction.
+	execCounts []uint64
 }
 
 // NewMachine creates a machine with memWords words of zeroed memory.
@@ -98,6 +104,7 @@ func NewMachine(prog *Program, memWords int, hw HWConfig) *Machine {
 		PC:         prog.Entry,
 		HW:         hw,
 		pendTarget: -1,
+		execCounts: make([]uint64, len(prog.Instrs)),
 	}
 }
 
@@ -135,8 +142,12 @@ func (m *Machine) tagOf(v uint32) uint8 {
 	return uint8((v >> m.HW.TagShift) & m.HW.TagMask)
 }
 
-// Run executes until HALT, a fault, a Lisp runtime error, or MaxCycles.
-func (m *Machine) Run() error {
+// RunReference executes until HALT, a fault, a Lisp runtime error, or
+// MaxCycles, one Step call per instruction. It is the reference engine: the
+// fused loop behind Run is validated against it by differential tests, and
+// anything that needs per-instruction observation (the tracer, profiling)
+// builds on the same Step path.
+func (m *Machine) RunReference() error {
 	for !m.halted {
 		if err := m.Step(); err != nil {
 			return err
@@ -178,11 +189,12 @@ func (m *Machine) Step() error {
 		rs, n := in.regsRead()
 		for i := 0; i < n; i++ {
 			if rs[i] == m.lastLoadReg {
+				ld := &m.Prog.Instrs[m.lastLoad]
 				m.Stats.Cycles++
 				m.Stats.Stalls++
-				m.Stats.ByCat[m.lastLoad.Cat]++
-				if m.lastLoad.RTCheck {
-					m.Stats.ByRTSub[m.lastLoad.Sub]++
+				m.Stats.ByCat[ld.Cat]++
+				if ld.RTCheck {
+					m.Stats.ByRTSub[ld.Sub]++
 				}
 				break
 			}
@@ -279,7 +291,7 @@ func (m *Machine) Step() error {
 			return err
 		}
 		setRd(v)
-		m.lastLoadReg, m.lastLoad = in.Rd, in
+		m.lastLoadReg, m.lastLoad = in.Rd, m.PC
 		m.advance()
 		return nil
 	case ST:
@@ -297,7 +309,7 @@ func (m *Machine) Step() error {
 			v = m.Mem[addr>>2]
 		}
 		setRd(v)
-		m.lastLoadReg, m.lastLoad = in.Rd, in
+		m.lastLoadReg, m.lastLoad = in.Rd, m.PC
 		m.advance()
 		return nil
 	case STT:
@@ -315,7 +327,7 @@ func (m *Machine) Step() error {
 				return err
 			}
 			setRd(v)
-			m.lastLoadReg, m.lastLoad = in.Rd, in
+			m.lastLoadReg, m.lastLoad = in.Rd, m.PC
 		} else if err := m.storeWord(addr, r[in.Rs2]); err != nil {
 			return err
 		}

@@ -27,7 +27,7 @@ func (s *Stats) add(in *Instr, cycles uint64) {
 	s.Cycles += cycles
 	s.Instrs++
 	s.ByCat[in.Cat] += cycles
-	s.ByOp[in.Op] += cycles
+	s.ByOp[in.Op]++
 	if in.Cat == CatTagCheck || in.Cat == CatTagExtract {
 		s.BySub[in.Sub] += cycles
 	}

@@ -139,6 +139,9 @@ func Build(programSrc string, opts BuildOptions) (*Image, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Predecode here so the one-time decode cost lands at build time and
+	// machines created from the image start executing immediately.
+	prog.Predecode()
 	img.Prog = prog
 	img.Procedures = c.Funcs
 
