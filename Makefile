@@ -26,3 +26,9 @@ smoke:
 .PHONY: bench
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Archive a throughput run (both engines) as BENCH_<n>.json at the repo
+# root, picking the lowest unused index.
+.PHONY: bench-json
+bench-json:
+	$(GO) run ./cmd/benchjson

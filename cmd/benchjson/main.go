@@ -1,0 +1,168 @@
+// Command benchjson runs the BenchmarkPrograms throughput benchmark under
+// both simulator engines and archives the result as BENCH_<n>.json at the
+// repository root (the lowest unused index). The Makefile target
+// `make bench-json` invokes it.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Doc is the archived benchmark record.
+type Doc struct {
+	Schema     string   `json:"schema"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Engines    []Engine `json:"engines"`
+}
+
+// Engine holds one engine's per-program results.
+type Engine struct {
+	Name     string    `json:"name"` // "fused" or "reference"
+	Programs []Program `json:"programs"`
+}
+
+// Program is one BenchmarkPrograms sub-benchmark line.
+type Program struct {
+	Name      string  `json:"name"`
+	Procs     int     `json:"procs"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	MinstrS   float64 `json:"minstr_per_s"`
+	SimCycles uint64  `json:"sim_cycles"`
+	BPerOp    float64 `json:"b_per_op"`
+	AllocsOp  float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	doc := Doc{
+		Schema:     "tagsim-bench/v1",
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, eng := range []struct{ name, env string }{
+		{"fused", ""},
+		{"reference", "reference"},
+	} {
+		out, err := runBench(eng.env)
+		if err != nil {
+			return fmt.Errorf("engine %s: %w", eng.name, err)
+		}
+		progs, err := parseBench(out)
+		if err != nil {
+			return fmt.Errorf("engine %s: %w", eng.name, err)
+		}
+		doc.Engines = append(doc.Engines, Engine{Name: eng.name, Programs: progs})
+	}
+	path := nextBenchFile()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func runBench(simEngine string) ([]byte, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^BenchmarkPrograms$", "-benchtime", "1x", "-benchmem", ".")
+	cmd.Env = append(os.Environ(), "SIM_ENGINE="+simEngine)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// parseBench extracts the sub-benchmark lines:
+//
+//	BenchmarkPrograms/boyer-8  1  12345 ns/op  9.87 Minstr/s  107955837 sim-cycles  0 B/op  0 allocs/op
+func parseBench(out []byte) ([]Program, error) {
+	var progs []Program
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "BenchmarkPrograms/") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "BenchmarkPrograms/")
+		procs := 1
+		if i := strings.LastIndexByte(name, '-'); i >= 0 {
+			if n, err := strconv.Atoi(name[i+1:]); err == nil {
+				procs = n
+				name = name[:i]
+			}
+		}
+		p := Program{Name: name, Procs: procs}
+		// After the iteration count, the line is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				p.NsPerOp = v
+			case "Minstr/s":
+				p.MinstrS = v
+			case "sim-cycles":
+				p.SimCycles = uint64(v)
+			case "B/op":
+				p.BPerOp = v
+			case "allocs/op":
+				p.AllocsOp = v
+			}
+		}
+		progs = append(progs, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(progs) == 0 {
+		return nil, fmt.Errorf("no BenchmarkPrograms lines in output:\n%s", out)
+	}
+	return progs, nil
+}
+
+// nextBenchFile returns BENCH_<n>.json for the lowest unused n.
+func nextBenchFile() string {
+	for n := 1; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}

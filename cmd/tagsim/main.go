@@ -7,6 +7,9 @@
 //	tagsim -list                                  # show the ten programs
 //	tagsim -program boyer -checking               # run one program
 //	tagsim -program trav -scheme low3 -hw mem,tbr # pick scheme and hardware
+//	tagsim -program boyer -trace-out boyer.json   # Chrome trace timeline
+//	tagsim -program boyer -flame boyer.folded     # flamegraph input
+//	tagsim -program inter -json                   # machine-readable output
 //	tagsim -table 1|2|3                           # regenerate a table
 //	tagsim -figure 1|2                            # regenerate a figure
 //	tagsim -ablation arith|preshift|lowtag|dispatch
@@ -16,8 +19,10 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -25,31 +30,66 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mipsx"
+	"repro/internal/obs"
 	"repro/internal/programs"
 	"repro/internal/rt"
 	"repro/internal/sexpr"
 	"repro/internal/tags"
 )
 
+// options collects every flag that shapes a run.
+type options struct {
+	list     bool
+	program  string
+	scheme   string
+	checking bool
+	hw       string
+	table    int
+	figure   int
+	ablation string
+	all      bool
+	disasm   string
+	profile  bool
+	trace    int
+	repl     bool
+	t2row    string
+
+	json         bool
+	traceOut     string
+	flame        string
+	eventsOut    string
+	eventsCap    int
+	samplePeriod uint64
+	sampleWindow uint64
+	metricsOut   string
+}
+
 func main() {
-	var (
-		list     = flag.Bool("list", false, "list benchmark programs")
-		progName = flag.String("program", "", "run one benchmark program")
-		scheme   = flag.String("scheme", "high5", "tag scheme: high5, high6, low3, low2")
-		checking = flag.Bool("checking", false, "enable full run-time type checking")
-		hwFlags  = flag.String("hw", "", "hardware: comma list of mem,tbr,atrap,pclist,pcall,preshift,shadow")
-		table    = flag.Int("table", 0, "regenerate paper table (1, 2 or 3)")
-		figure   = flag.Int("figure", 0, "regenerate paper figure (1 or 2)")
-		ablation = flag.String("ablation", "", "run an ablation: arith, preshift, lowtag, dispatch")
-		all      = flag.Bool("all", false, "regenerate every table, figure and ablation")
-		disasm   = flag.String("disasm", "", "print the compiled code of a program")
-		profile  = flag.Bool("profile", false, "with -program: per-function cycle profile")
-		trace    = flag.Int("trace", 0, "with -program: print the first N executed instructions")
-		repl     = flag.Bool("repl", false, "interactive read-eval-print loop on the simulated machine")
-		t2row    = flag.String("table2-row", "", "per-program detail for one Table 2 row (1-7 or SPUR)")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	)
+	var o options
+	flag.BoolVar(&o.list, "list", false, "list benchmark programs")
+	flag.StringVar(&o.program, "program", "", "run one benchmark program")
+	flag.StringVar(&o.scheme, "scheme", "high5", "tag scheme: high5, high6, low3, low2")
+	flag.BoolVar(&o.checking, "checking", false, "enable full run-time type checking")
+	flag.StringVar(&o.hw, "hw", "", "hardware: comma list of mem,tbr,atrap,pclist,pcall,preshift,shadow")
+	flag.IntVar(&o.table, "table", 0, "regenerate paper table (1, 2 or 3)")
+	flag.IntVar(&o.figure, "figure", 0, "regenerate paper figure (1 or 2)")
+	flag.StringVar(&o.ablation, "ablation", "", "run an ablation: arith, preshift, lowtag, dispatch")
+	flag.BoolVar(&o.all, "all", false, "regenerate every table, figure and ablation")
+	flag.StringVar(&o.disasm, "disasm", "", "print the compiled code of a program")
+	flag.BoolVar(&o.profile, "profile", false, "with -program: per-function cycle profile")
+	flag.IntVar(&o.trace, "trace", 0, "with -program: print the first N executed instructions")
+	flag.BoolVar(&o.repl, "repl", false, "interactive read-eval-print loop on the simulated machine")
+	flag.StringVar(&o.t2row, "table2-row", "", "per-program detail for one Table 2 row (1-7 or SPUR)")
+	flag.BoolVar(&o.json, "json", false, "emit machine-readable JSON (schema "+core.SchemaVersion+") instead of text")
+	flag.StringVar(&o.traceOut, "trace-out", "", "with -program: write a Chrome trace_event timeline (chrome://tracing) to this file")
+	flag.StringVar(&o.flame, "flame", "", "with -program: write folded call stacks (flamegraph input) to this file")
+	flag.StringVar(&o.eventsOut, "events-out", "", "with -program: write the event-stream tail as JSON lines (reference engine, per-instruction events)")
+	flag.IntVar(&o.eventsCap, "events-cap", 0, "ring capacity for -events-out (default 65536)")
+	flag.Uint64Var(&o.samplePeriod, "sample-period", 0, "with -events-out: sampling period in cycles (0 = trace everything)")
+	flag.Uint64Var(&o.sampleWindow, "sample-window", 0, "with -events-out: cycles traced at the start of each period")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the aggregated metrics registry snapshot (JSON) to this file")
+	cpuprof := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprof := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *cpuprof != "" {
@@ -64,7 +104,7 @@ func main() {
 		}
 	}
 
-	err := run(*list, *progName, *scheme, *checking, *hwFlags, *table, *figure, *ablation, *all, *disasm, *profile, *trace, *repl, *t2row)
+	err := run(o)
 
 	// Profiles are written explicitly rather than deferred because the error
 	// path exits with os.Exit, which would skip deferred writers.
@@ -91,36 +131,34 @@ func main() {
 	}
 }
 
-func run(list bool, progName, scheme string, checking bool, hwFlags string,
-	table, figure int, ablation string, all bool, disasm string, profile bool, trace int, repl bool, t2row string) error {
-
-	if list {
+func run(o options) error {
+	if o.list {
 		for _, p := range programs.All() {
 			fmt.Printf("%-8s %s\n", p.Name, p.Description)
 		}
 		return nil
 	}
 
-	kind, err := parseScheme(scheme)
+	kind, err := parseScheme(o.scheme)
 	if err != nil {
 		return err
 	}
-	hw, err := parseHW(hwFlags)
+	hw, err := parseHW(o.hw)
 	if err != nil {
 		return err
 	}
 
-	if repl {
-		return runRepl(kind, hw, checking)
+	if o.repl {
+		return runRepl(kind, hw, o.checking)
 	}
 
-	if disasm != "" {
-		p, ok := programs.ByName(disasm)
+	if o.disasm != "" {
+		p, ok := programs.ByName(o.disasm)
 		if !ok {
-			return fmt.Errorf("unknown program %q", disasm)
+			return fmt.Errorf("unknown program %q", o.disasm)
 		}
 		img, err := rt.Build(p.Source, rt.BuildOptions{
-			Scheme: kind, HW: hw, Checking: checking, HeapWords: p.HeapWords,
+			Scheme: kind, HW: hw, Checking: o.checking, HeapWords: p.HeapWords,
 		})
 		if err != nil {
 			return err
@@ -129,103 +167,143 @@ func run(list bool, progName, scheme string, checking bool, hwFlags string,
 		return nil
 	}
 
-	if progName != "" {
-		cfg := core.Config{Scheme: kind, HW: hw, Checking: checking}
-		if trace > 0 {
-			return runTrace(progName, cfg, trace)
+	if o.program != "" {
+		cfg := core.Config{Scheme: kind, HW: hw, Checking: o.checking}
+		if o.trace > 0 {
+			return runTrace(o.program, cfg, o.trace)
 		}
-		return runOne(progName, cfg, profile)
+		if o.profile {
+			p, ok := programs.ByName(o.program)
+			if !ok {
+				return fmt.Errorf("unknown program %q (try -list)", o.program)
+			}
+			return runProfiled(p, cfg)
+		}
+		return runOne(o.program, cfg, o)
 	}
 
 	r := core.NewRunner()
+	doc := core.NewReport()
 	ran := false
-	if t2row != "" {
+	emit := func(v any) {
+		if !o.json {
+			fmt.Println(v)
+		}
+	}
+	if o.t2row != "" {
 		for _, row := range core.Table2Rows {
-			if row.ID == t2row {
+			if row.ID == o.t2row {
 				d, err := core.BuildTable2Detail(r, row)
 				if err != nil {
 					return err
 				}
-				fmt.Println(d)
-				return nil
+				doc.Table2Detail = d
+				emit(d)
+				return finishSweep(o, r, doc)
 			}
 		}
-		return fmt.Errorf("unknown Table 2 row %q", t2row)
+		return fmt.Errorf("unknown Table 2 row %q", o.t2row)
 	}
-	if table == 1 || all {
+	if o.table == 1 || o.all {
 		t, err := core.BuildTable1(r)
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		doc.Table1 = t
+		emit(t)
 		ran = true
 	}
-	if table == 2 || all {
+	if o.table == 2 || o.all {
 		t, err := core.BuildTable2(r)
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		doc.Table2 = t
+		emit(t)
 		ran = true
 	}
-	if table == 3 || all {
+	if o.table == 3 || o.all {
 		t, err := core.BuildTable3(r)
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		doc.Table3 = t
+		emit(t)
 		ran = true
 	}
-	if figure == 1 || all {
+	if o.figure == 1 || o.all {
 		f, err := core.BuildFigure1(r)
 		if err != nil {
 			return err
 		}
-		fmt.Println(f)
+		doc.Figure1 = f
+		emit(f)
 		ran = true
 	}
-	if figure == 2 || all {
+	if o.figure == 2 || o.all {
 		f, err := core.BuildFigure2(r)
 		if err != nil {
 			return err
 		}
-		fmt.Println(f)
+		doc.Figure2 = f
+		emit(f)
 		ran = true
 	}
-	if ablation == "arith" || all {
+	if o.ablation == "arith" || o.all {
 		a, err := core.BuildArithEncoding(r)
 		if err != nil {
 			return err
 		}
-		fmt.Println(a)
+		doc.ArithEncoding = a
+		emit(a)
 		ran = true
 	}
-	if ablation == "preshift" || all {
+	if o.ablation == "preshift" || o.all {
 		p, err := core.BuildPreshift(r)
 		if err != nil {
 			return err
 		}
-		fmt.Println(p)
+		doc.Preshift = p
+		emit(p)
 		ran = true
 	}
-	if ablation == "lowtag" || all {
+	if o.ablation == "lowtag" || o.all {
 		rows, err := core.BuildLowTag(r)
 		if err != nil {
 			return err
 		}
-		fmt.Println(core.FormatLowTag(rows))
+		doc.LowTag = rows
+		emit(core.FormatLowTag(rows))
 		ran = true
 	}
-	if ablation == "dispatch" || all {
+	if o.ablation == "dispatch" || o.all {
 		d, err := core.BuildDispatchStress()
 		if err != nil {
 			return err
 		}
-		fmt.Println(d)
+		doc.DispatchStress = d
+		emit(d)
 		ran = true
 	}
 	if !ran {
 		flag.Usage()
+		return nil
+	}
+	return finishSweep(o, r, doc)
+}
+
+// finishSweep emits the JSON document and the metrics snapshot of a
+// table/figure/ablation sweep.
+func finishSweep(o options, r *core.Runner, doc *core.Report) error {
+	snap := r.Metrics.Snapshot()
+	if o.metricsOut != "" {
+		if err := writeFile(o.metricsOut, snap.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if o.json {
+		doc.Metrics = snap
+		return writeJSON(os.Stdout, doc)
 	}
 	return nil
 }
@@ -272,46 +350,123 @@ func parseHW(s string) (tags.HW, error) {
 	return hw, nil
 }
 
-func runOne(name string, cfg core.Config, profile bool) error {
+// runOne executes one program, with whatever observers the flags request
+// attached to the machine, and reports the run as text or JSON.
+func runOne(name string, cfg core.Config, o options) error {
 	p, ok := programs.ByName(name)
 	if !ok {
 		return fmt.Errorf("unknown program %q (try -list)", name)
 	}
-	if profile {
-		return runProfiled(p, cfg)
-	}
-	r := core.NewRunner()
-	res, err := r.Run(p, cfg)
+	img, err := rt.Build(p.Source, rt.BuildOptions{
+		Scheme: cfg.Scheme, HW: cfg.HW, Checking: cfg.Checking, HeapWords: p.HeapWords,
+	})
 	if err != nil {
 		return err
 	}
-	s := &res.Stats
-	fmt.Printf("program  %s (%s)\n", p.Name, p.Description)
-	fmt.Printf("config   %s\n", cfg)
-	fmt.Printf("result   %s\n", res.Value)
-	if res.Output != "" {
-		fmt.Printf("output   %q\n", res.Output)
-	}
-	fmt.Printf("cycles   %d (%d instructions, %d stalls, %d squashed, %d traps, %d GCs)\n",
-		s.Cycles, s.Instrs, s.Stalls, s.Squashed, s.Traps, s.GCs)
-	fmt.Printf("tag handling: %.2f%% of cycles\n", mipsx.Pct(s.TagCycles(), s.Cycles))
-	for c := mipsx.CatWork; c < mipsx.NumCat; c++ {
-		if s.ByCat[c] == 0 {
-			continue
+	m := img.NewMachine()
+	m.MaxCycles = 2_000_000_000
+
+	var observers []mipsx.Observer
+	var ct *obs.CallTracer
+	if o.traceOut != "" || o.flame != "" {
+		prof := mipsx.NewProfile(img.Prog, mipsx.IsFunctionLabel)
+		ct = obs.NewCallTracer(prof, m.PC)
+		if o.traceOut != "" {
+			ct.EnableChrome(0)
 		}
-		fmt.Printf("  %-10s %10d cycles  %6.2f%%\n", c, s.ByCat[c], s.CatPct(c))
+		observers = append(observers, ct)
 	}
-	if cfg.Checking {
-		fmt.Printf("run-time checking cost by cause:\n")
-		for sub := mipsx.SubCat(0); sub < mipsx.NumSub; sub++ {
-			if s.ByRTSub[sub] == 0 {
-				continue
+	var ring *obs.RingTracer
+	if o.eventsOut != "" {
+		ring = obs.NewRingTracer(o.eventsCap)
+		if o.samplePeriod > 0 {
+			observers = append(observers, obs.NewSampler(ring, o.samplePeriod, o.sampleWindow))
+		} else {
+			observers = append(observers, ring)
+		}
+	}
+	m.Obs = obs.Tee(observers...)
+
+	// The reference engine emits per-instruction events; -events-out wants
+	// them, everything else takes the fused engine's control-flow stream.
+	var runErr error
+	if o.eventsOut != "" {
+		runErr = m.RunReference()
+	} else {
+		runErr = m.Run()
+	}
+
+	// Artifacts are written even for a failed run — a trace that ends at
+	// the fault is exactly what one wants to look at.
+	if ct != nil {
+		ct.Finish(m.Stats.Cycles)
+		if o.traceOut != "" {
+			if err := writeFile(o.traceOut, ct.WriteChromeTrace); err != nil {
+				return err
 			}
-			fmt.Printf("  %-10s %10d cycles  %6.2f%%\n", sub, s.ByRTSub[sub],
-				mipsx.Pct(s.ByRTSub[sub], s.Cycles))
+		}
+		if o.flame != "" {
+			if err := writeFile(o.flame, ct.WriteFolded); err != nil {
+				return err
+			}
 		}
 	}
+	if ring != nil {
+		if err := writeFile(o.eventsOut, ring.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+
+	value := sexpr.String(img.DecodeItem(m.Mem, m.Regs[mipsx.RRet]))
+	if p.Expected != "" && value != p.Expected {
+		return fmt.Errorf("%s: result %s, want %s (configuration broke program semantics)",
+			p.Name, value, p.Expected)
+	}
+	res := &core.Result{
+		Program: p.Name,
+		Config:  cfg,
+		Stats:   m.Stats,
+		Units:   img.Units,
+		Value:   value,
+		Output:  m.Output.String(),
+	}
+	rep := core.NewRunReport(p, cfg, res)
+	if o.metricsOut != "" {
+		reg := obs.NewRegistry()
+		reg.RecordRun(p.Name, cfg.String(), &m.Stats)
+		if err := writeFile(o.metricsOut, reg.Snapshot().WriteJSON); err != nil {
+			return err
+		}
+	}
+	if o.json {
+		doc := core.NewReport()
+		doc.Run = rep
+		return writeJSON(os.Stdout, doc)
+	}
+	fmt.Print(rep)
 	return nil
+}
+
+// writeFile creates path and runs write against it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 // runRepl evaluates forms interactively. Each input is compiled together
@@ -431,10 +586,7 @@ func runProfiled(p *programs.Program, cfg core.Config) error {
 	}
 	m := img.NewMachine()
 	m.MaxCycles = 2_000_000_000
-	prof := mipsx.NewProfile(img.Prog, func(name string) bool {
-		return strings.HasPrefix(name, "fn:") || strings.HasPrefix(name, "sys:") ||
-			name == "__start"
-	})
+	prof := mipsx.NewProfile(img.Prog, mipsx.IsFunctionLabel)
 	if err := m.RunProfiled(prof); err != nil {
 		return err
 	}

@@ -15,16 +15,16 @@ import (
 
 // ArithEncodingRow compares generic-arithmetic cost under High5 and High6.
 type ArithEncodingRow struct {
-	Program      string
-	High5Pct     float64 // % of time in generic-arithmetic checking, High5
-	High6Pct     float64 // same under the §4.2 encoding
-	SpeedupTotal float64 // total cycles saved by High6, %
+	Program      string  `json:"program"`
+	High5Pct     float64 `json:"high5_pct"`     // % of time in generic-arithmetic checking, High5
+	High6Pct     float64 `json:"high6_pct"`     // same under the §4.2 encoding
+	SpeedupTotal float64 `json:"speedup_total"` // total cycles saved by High6, %
 }
 
 // ArithEncoding is the §4.2 ablation.
 type ArithEncoding struct {
-	Rows    []ArithEncodingRow
-	Average ArithEncodingRow
+	Rows    []ArithEncodingRow `json:"rows"`
+	Average ArithEncodingRow   `json:"average"`
 }
 
 // BuildArithEncoding measures, with full checking on, how much execution
@@ -83,9 +83,9 @@ func (a *ArithEncoding) String() string {
 // PreshiftResult measures keeping a pre-shifted list tag in a register,
 // which the paper estimates would buy only ~0.5%.
 type PreshiftResult struct {
-	AverageSpeedup float64
-	InsertPctBase  float64
-	InsertPctOpt   float64
+	AverageSpeedup float64 `json:"average_speedup"`
+	InsertPctBase  float64 `json:"insert_pct_base"`
+	InsertPctOpt   float64 `json:"insert_pct_opt"`
 }
 
 // BuildPreshift runs the §3.1 ablation with checking off.
@@ -127,9 +127,9 @@ func (p *PreshiftResult) String() string {
 
 // LowTagRow compares a software low-tag scheme against the High5 baseline.
 type LowTagRow struct {
-	Scheme       string
-	NoChecking   float64
-	WithChecking float64
+	Scheme       string  `json:"scheme"`
+	NoChecking   float64 `json:"no_checking"`
+	WithChecking float64 `json:"with_checking"`
 }
 
 // BuildLowTag verifies the paper's claim that a software low-tag scheme
@@ -220,13 +220,13 @@ const dispatchStressIntSource = `
 // fixnum loop (bias right) under checking, and reports the slowdown factor
 // of a mispredicted bias with and without arithmetic trap hardware.
 type DispatchStress struct {
-	IntCycles         uint64
-	FloatCycles       uint64
-	FloatTrapCycles   uint64 // with ArithTrap hardware: trap entry per op
-	FloatShadowCycles uint64 // ArithTrap + shadow-register assist (§6.2.2)
-	SoftwareOverhead  float64
-	TrapOverhead      float64
-	ShadowOverhead    float64
+	IntCycles         uint64  `json:"int_cycles"`
+	FloatCycles       uint64  `json:"float_cycles"`
+	FloatTrapCycles   uint64  `json:"float_trap_cycles"`   // with ArithTrap hardware: trap entry per op
+	FloatShadowCycles uint64  `json:"float_shadow_cycles"` // ArithTrap + shadow-register assist (§6.2.2)
+	SoftwareOverhead  float64 `json:"software_overhead"`
+	TrapOverhead      float64 `json:"trap_overhead"`
+	ShadowOverhead    float64 `json:"shadow_overhead"`
 }
 
 // BuildDispatchStress runs the synthetic workloads.

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/lispc"
 	"repro/internal/mipsx"
+	"repro/internal/obs"
 	"repro/internal/programs"
 	"repro/internal/rt"
 	"repro/internal/sexpr"
@@ -73,11 +74,23 @@ type Runner struct {
 	// Workers bounds Prewarm concurrency; zero or negative means one
 	// worker per available CPU (runtime.GOMAXPROCS).
 	Workers int
+	// Metrics aggregates the statistics of every uncached run. Always
+	// non-nil on a NewRunner; snapshot it after a sweep for a
+	// machine-readable account of the simulation work done.
+	Metrics *obs.Registry
+	// Observe, when non-nil, supplies an observer to attach to each
+	// uncached run's machine. Cached results bypass it, so only set it on
+	// runners whose cache discipline matches the tracing intent.
+	Observe func(p *programs.Program, cfg Config) mipsx.Observer
 }
 
 // NewRunner returns an empty runner.
 func NewRunner() *Runner {
-	return &Runner{cache: make(map[string]*Result), MaxCycles: 2_000_000_000}
+	return &Runner{
+		cache:     make(map[string]*Result),
+		MaxCycles: 2_000_000_000,
+		Metrics:   obs.NewRegistry(),
+	}
 }
 
 // Run executes program p under cfg (memoized).
@@ -101,7 +114,13 @@ func (r *Runner) Run(p *programs.Program, cfg Config) (*Result, error) {
 	}
 	m := img.NewMachine()
 	m.MaxCycles = r.MaxCycles
+	if r.Observe != nil {
+		m.Obs = r.Observe(p, cfg)
+	}
 	if err := m.Run(); err != nil {
+		if r.Metrics != nil {
+			r.Metrics.Add("run_errors_total", 1)
+		}
 		return nil, fmt.Errorf("%s: run: %w", key, err)
 	}
 	value := sexpr.String(img.DecodeItem(m.Mem, m.Regs[mipsx.RRet]))
@@ -116,6 +135,9 @@ func (r *Runner) Run(p *programs.Program, cfg Config) (*Result, error) {
 		Units:   img.Units,
 		Value:   value,
 		Output:  m.Output.String(),
+	}
+	if r.Metrics != nil {
+		r.Metrics.RecordRun(p.Name, cfg.String(), &m.Stats)
 	}
 	r.mu.Lock()
 	r.cache[key] = res
@@ -184,9 +206,9 @@ func Baseline(checking bool) Config {
 
 // HWRow names one degree of hardware support from Table 2.
 type HWRow struct {
-	ID    string
-	Label string
-	HW    tags.HW
+	ID    string  `json:"id"`
+	Label string  `json:"label"`
+	HW    tags.HW `json:"hw"`
 }
 
 // Table2Rows are the seven rows of Table 2 plus the SPUR-like subset

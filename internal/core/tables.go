@@ -15,17 +15,17 @@ import (
 
 // Table1Row is one program's entry.
 type Table1Row struct {
-	Program string
-	Arith   float64 // generic-arithmetic checking, % of unchecked time
-	Vector  float64 // vector type/index/bounds checking
-	List    float64 // car/cdr (and symbol-cell) checking
-	Total   float64 // total slowdown from enabling checking
+	Program string  `json:"program"`
+	Arith   float64 `json:"arith"`  // generic-arithmetic checking, % of unchecked time
+	Vector  float64 `json:"vector"` // vector type/index/bounds checking
+	List    float64 `json:"list"`   // car/cdr (and symbol-cell) checking
+	Total   float64 `json:"total"`  // total slowdown from enabling checking
 }
 
 // Table1 holds all rows plus the average.
 type Table1 struct {
-	Rows    []Table1Row
-	Average Table1Row
+	Rows    []Table1Row `json:"rows"`
+	Average Table1Row   `json:"average"`
 }
 
 // BuildTable1 runs every program with checking off and on under the
@@ -82,21 +82,21 @@ func (t *Table1) String() string {
 
 // Figure1Bar is one operation's three bars.
 type Figure1Bar struct {
-	Op      string
-	Without float64 // % of unchecked execution time
-	Added   float64 // checking-only part, % of checked execution time
-	With    float64 // % of checked execution time
+	Op      string  `json:"op"`
+	Without float64 `json:"without"` // % of unchecked execution time
+	Added   float64 `json:"added"`   // checking-only part, % of checked execution time
+	With    float64 `json:"with"`    // % of checked execution time
 }
 
 // Figure1 holds the four operation groups, averaged over the programs, plus
 // the totals line and the cross-program standard deviations reported in
 // §3.5 (the paper: 5.6%% and 7.5%% — "fairly constant across all programs").
 type Figure1 struct {
-	Bars          []Figure1Bar
-	TotalWithout  float64
-	TotalWith     float64
-	StddevWithout float64
-	StddevWith    float64
+	Bars          []Figure1Bar `json:"bars"`
+	TotalWithout  float64      `json:"total_without"`
+	TotalWith     float64      `json:"total_with"`
+	StddevWithout float64      `json:"stddev_without"`
+	StddevWith    float64      `json:"stddev_with"`
 }
 
 // BuildFigure1 averages the per-category shares over the ten programs. Per
@@ -200,11 +200,11 @@ func (f *Figure1) String() string {
 // Figure2 reports deltas as a percentage of the baseline instruction count,
 // averaged over the programs. Negative means fewer.
 type Figure2 struct {
-	And    float64
-	Move   float64
-	Noop   float64
-	Squash float64
-	Total  float64
+	And    float64 `json:"and"`
+	Move   float64 `json:"move"`
+	Noop   float64 `json:"noop"`
+	Squash float64 `json:"squash"`
+	Total  float64 `json:"total"`
 }
 
 // BuildFigure2 compares executed-instruction mixes.
@@ -266,17 +266,17 @@ func (f *Figure2) String() string {
 // the software baseline, averaged over the programs, with the tag-removal
 // and tag-checking components broken out.
 type Table2Row struct {
-	ID            string
-	Label         string
-	NoChecking    float64
-	WithChecking  float64
-	CheckSavedChk float64 // checking-mode savings attributable to checks
-	MaskSavedChk  float64 // checking-mode savings attributable to masking
+	ID            string  `json:"id"`
+	Label         string  `json:"label"`
+	NoChecking    float64 `json:"no_checking"`
+	WithChecking  float64 `json:"with_checking"`
+	CheckSavedChk float64 `json:"check_saved_chk"` // checking-mode savings attributable to checks
+	MaskSavedChk  float64 `json:"mask_saved_chk"`  // checking-mode savings attributable to masking
 }
 
 // Table2 is the full grid.
 type Table2 struct {
-	Rows []Table2Row
+	Rows []Table2Row `json:"rows"`
 }
 
 // BuildTable2 measures each hardware row against the software baseline.
@@ -346,15 +346,15 @@ func (t *Table2) String() string {
 // Table3Row describes one program's static size. Like the paper, the
 // library code a program links against is counted with it.
 type Table3Row struct {
-	Program    string
-	Procedures int
-	Lines      int
-	Words      int
+	Program    string `json:"program"`
+	Procedures int    `json:"procedures"`
+	Lines      int    `json:"lines"`
+	Words      int    `json:"words"`
 }
 
 // Table3 is the program-size table.
 type Table3 struct {
-	Rows []Table3Row
+	Rows []Table3Row `json:"rows"`
 }
 
 // BuildTable3 compiles each program once and reports sizes.
@@ -391,9 +391,10 @@ func (t *Table3) String() string {
 
 // Table2Detail breaks one hardware row down by program.
 type Table2Detail struct {
-	Row      HWRow
-	Programs []string
-	Off, On  []float64
+	Row      HWRow     `json:"row"`
+	Programs []string  `json:"programs"`
+	Off      []float64 `json:"off"`
+	On       []float64 `json:"on"`
 }
 
 // BuildTable2Detail measures one hardware row per program.

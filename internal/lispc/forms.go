@@ -540,17 +540,19 @@ func (f *fnc) withSub(sub mipsx.SubCat, rt bool) {
 	}
 }
 
-// Runtime error codes raised via SysError.
+// Runtime error codes raised via SysError. The canonical values (and
+// their symbolic names) live with the simulator, which records them in
+// Stats and renders them in error messages.
 const (
-	errNotPair = iota + 1
-	errNotSymbol
-	errNotVector
-	errNotInt
-	errBadIndex
-	errNotNumber
-	errOverflow
-	errNotFunction
-	errUser
+	errNotPair     = mipsx.ErrNotPair
+	errNotSymbol   = mipsx.ErrNotSymbol
+	errNotVector   = mipsx.ErrNotVector
+	errNotInt      = mipsx.ErrNotInt
+	errBadIndex    = mipsx.ErrBadIndex
+	errNotNumber   = mipsx.ErrNotNumber
+	errOverflow    = mipsx.ErrOverflow
+	errNotFunction = mipsx.ErrNotFunction
+	errUser        = mipsx.ErrUser
 )
 
 // errLabel returns a label for a deferred error raise: the offending item

@@ -1211,7 +1211,7 @@ func primEnsureHeap(f *fnc, _ string, args []sexpr.Value) operand {
 	return operand{reg: mipsx.RNil}
 }
 
-const errHeapFull = errUser + 1
+const errHeapFull = mipsx.ErrHeapOverflow
 
 func primTrapCell(f *fnc, name string, _ []sexpr.Value) operand {
 	var addr int32

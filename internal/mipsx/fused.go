@@ -34,6 +34,11 @@ func (m *Machine) Run() error {
 	trapCycles := m.HW.TrapCycles
 	maxCycles := m.MaxCycles
 	st := &m.Stats
+	// The observer is consulted only on control-flow events (branches,
+	// jumps, traps, syscalls), which already leave the straight-line
+	// dispatch path, so a nil observer costs the per-instruction path
+	// nothing and the zero-allocation property is preserved.
+	obsv := m.Obs
 
 	// Hot machine state, kept in locals until exit.
 	halted := m.halted
@@ -290,6 +295,10 @@ loop:
 				r[RT1] = uint32(d.tag)
 				cycles += trapCycles
 				st.Traps++
+				if obsv != nil {
+					obsv.Event(Event{Kind: EvTrap, Cycle: cycles, PC: int32(pc),
+						Target: int32(m.HW.CheckFailHandler), Arg: uint32(d.tag)})
+				}
 				pendTarget, pendCount, pendSquash = -1, pendIdle, false
 				pc = m.HW.CheckFailHandler
 				if maxCycles != 0 && cycles > maxCycles {
@@ -364,6 +373,10 @@ loop:
 				mem[TrapPCAddr>>2] = uint32(pc + 1)
 				cycles += trapCycles
 				st.Traps++
+				if obsv != nil {
+					obsv.Event(Event{Kind: EvTrap, Cycle: cycles, PC: int32(pc),
+						Target: int32(m.HW.TrapHandler), Arg: uint32(d.op)})
+				}
 				pc = m.HW.TrapHandler
 				if maxCycles != 0 && cycles > maxCycles {
 					failf, failargs = "cycle limit %d exceeded", []any{maxCycles}
@@ -404,6 +417,10 @@ loop:
 				taken = uint8((r[d.rs1&31]>>tagShift)&tagMask) == d.tag
 			case BTNE:
 				taken = uint8((r[d.rs1&31]>>tagShift)&tagMask) != d.tag
+			}
+			if taken && obsv != nil {
+				obsv.Event(Event{Kind: EvBranch, Cycle: cycles,
+					PC: int32(pc), Target: d.target})
 			}
 			if d.slotsNop {
 				// Both delay slots are NOPs: consume them here instead
@@ -466,6 +483,17 @@ loop:
 				}
 				t = int(r[d.rs1&31] >> 2)
 			}
+			if obsv != nil {
+				k := EvJump
+				switch d.op {
+				case JAL, JALR:
+					k = EvCall
+				case JR:
+					k = EvReturn
+				}
+				obsv.Event(Event{Kind: k, Cycle: cycles,
+					PC: int32(pc), Target: int32(t)})
+			}
 			if d.slotsNop {
 				// Both delay slots are NOPs: consume them without
 				// dispatching and redirect immediately.
@@ -488,15 +516,31 @@ loop:
 			switch d.imm {
 			case SysHalt:
 				halted = true
+				if obsv != nil {
+					obsv.Event(Event{Kind: EvHalt, Cycle: cycles,
+						PC: int32(pc), Target: -1})
+				}
 				break loop
 			case SysPutChar:
 				m.Output.WriteByte(byte(r[RRet]))
+				if obsv != nil {
+					obsv.Event(Event{Kind: EvSyscall, Cycle: cycles,
+						PC: int32(pc), Target: -1, Arg: uint32(d.imm)})
+				}
 			case SysPutInt:
 				m.Output.WriteString(strconv.FormatInt(int64(int32(r[RRet])), 10))
+				if obsv != nil {
+					obsv.Event(Event{Kind: EvSyscall, Cycle: cycles,
+						PC: int32(pc), Target: -1, Arg: uint32(d.imm)})
+				}
 			case SysError:
 				st.ErrorCode = int32(r[RRet])
 				st.ErrorItem = r[3]
 				halted = true
+				if obsv != nil {
+					obsv.Event(Event{Kind: EvHalt, Cycle: cycles,
+						PC: int32(pc), Target: -1, Arg: r[RRet]})
+				}
 				break loop
 			case SysTrapReturn:
 				if pendCount > 0 {
@@ -512,6 +556,10 @@ loop:
 					r[rd] = mem[TrapResultAddr>>2]
 				}
 				cycles += trapCycles
+				if obsv != nil {
+					obsv.Event(Event{Kind: EvTrapRet, Cycle: cycles,
+						PC: int32(pc), Target: int32(mem[TrapPCAddr>>2])})
+				}
 				pc = int(mem[TrapPCAddr>>2])
 				if maxCycles != 0 && cycles > maxCycles {
 					failf, failargs = "cycle limit %d exceeded", []any{maxCycles}
@@ -521,6 +569,10 @@ loop:
 			case SysGCNotify:
 				st.GCs++
 				st.GCWords += uint64(r[RRet])
+				if obsv != nil {
+					obsv.Event(Event{Kind: EvGC, Cycle: cycles,
+						PC: int32(pc), Target: -1, Arg: r[RRet]})
+				}
 			default:
 				failf, failargs = "bad syscall %d", []any{d.imm}
 				break loop
@@ -528,6 +580,10 @@ loop:
 
 		case HALT:
 			halted = true
+			if obsv != nil {
+				obsv.Event(Event{Kind: EvHalt, Cycle: cycles,
+					PC: int32(pc), Target: -1})
+			}
 			break loop
 
 		default:

@@ -32,7 +32,15 @@ func NewProfile(prog *Program, keep func(name string) bool) *Profile {
 		}
 		regions = append(regions, region{start: idx, name: name})
 	}
-	sort.Slice(regions, func(i, j int) bool { return regions[i].start < regions[j].start })
+	// Sort by (start, name) so the region map is deterministic: when
+	// several labels share an address, the lexicographically smallest name
+	// wins regardless of map iteration order.
+	sort.Slice(regions, func(i, j int) bool {
+		if regions[i].start != regions[j].start {
+			return regions[i].start < regions[j].start
+		}
+		return regions[i].name < regions[j].name
+	})
 	p := &Profile{regionOf: make([]uint16, len(prog.Instrs))}
 	p.names = append(p.names, "(prelude)")
 	p.starts = append(p.starts, 0)
@@ -59,6 +67,31 @@ func (p *Profile) add(pc int, cycles uint64) {
 	if pc >= 0 && pc < len(p.regionOf) {
 		p.Cycles[p.regionOf[pc]] += cycles
 	}
+}
+
+// NumRegions returns the number of regions, including the "(prelude)"
+// bucket that covers code before the first kept label.
+func (p *Profile) NumRegions() int { return len(p.names) }
+
+// RegionName returns the name of region i.
+func (p *Profile) RegionName(i int) string { return p.names[i] }
+
+// RegionOf returns the region index covering instruction index pc, or -1
+// when pc is outside the program.
+func (p *Profile) RegionOf(pc int) int {
+	if pc < 0 || pc >= len(p.regionOf) {
+		return -1
+	}
+	return int(p.regionOf[pc])
+}
+
+// IsFunctionLabel reports whether a label names a function-level region
+// under the compiler's conventions: compiled functions ("fn:"), runtime
+// glue ("sys:"), and the image entry point. It is the keep predicate the
+// profiler and the call tracer share.
+func IsFunctionLabel(name string) bool {
+	return strings.HasPrefix(name, "fn:") || strings.HasPrefix(name, "sys:") ||
+		name == "__start"
 }
 
 // Entry is one profile row.

@@ -1,0 +1,166 @@
+package mipsx
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildProfileProg assembles a program with a prelude (code at address 0,
+// where any label is folded into the "(prelude)" bucket), a function with
+// two labels at the same address, and a second function called from the
+// first.
+func buildProfileProg(t *testing.T) *Program {
+	t.Helper()
+	a := NewAsm()
+	start := a.NewLabel("__start")
+	alpha := a.NewLabel("fn:alpha")
+	zeta := a.NewLabel("fn:zeta") // alias of fn:alpha (same address)
+	beta := a.NewLabel("fn:beta")
+	loop := a.NewLabel("loop") // not a function label
+	a.Bind(start)
+	a.Li(10, 0)
+	a.Li(13, 0)
+	a.Bind(loop)
+	a.Addi(13, 13, 1)
+	a.Blti(13, 5, loop)
+	a.Jal(alpha)
+	a.Halt()
+	a.Bind(alpha)
+	a.Bind(zeta)
+	a.Mov(20, 31) // save return address around the inner call
+	a.Jal(beta)
+	a.Addi(10, 10, 1)
+	a.Jr(20)
+	a.Bind(beta)
+	a.Addi(10, 10, 10)
+	a.Jr(31)
+	p, err := a.Finish("__start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProfileRegions(t *testing.T) {
+	p := buildProfileProg(t)
+	prof := NewProfile(p, IsFunctionLabel)
+
+	// __start sits at address 0, so it folds into "(prelude)"; "loop" is
+	// rejected by the keep predicate; fn:zeta shares fn:alpha's address.
+	want := []string{"(prelude)", "fn:alpha", "fn:beta"}
+	if prof.NumRegions() != len(want) {
+		t.Fatalf("NumRegions = %d, want %d", prof.NumRegions(), len(want))
+	}
+	for i, name := range want {
+		if got := prof.RegionName(i); got != name {
+			t.Errorf("RegionName(%d) = %q, want %q", i, got, name)
+		}
+	}
+
+	// Every instruction from a region's label up to the next label belongs
+	// to that region.
+	if r := prof.RegionOf(0); r != 0 {
+		t.Errorf("RegionOf(0) = %d, want 0 (prelude)", r)
+	}
+	if r := prof.RegionOf(p.Labels["fn:alpha"]); prof.RegionName(r) != "fn:alpha" {
+		t.Errorf("fn:alpha entry attributed to %q", prof.RegionName(r))
+	}
+	if r := prof.RegionOf(p.Labels["fn:beta"]); prof.RegionName(r) != "fn:beta" {
+		t.Errorf("fn:beta entry attributed to %q", prof.RegionName(r))
+	}
+	if r := prof.RegionOf(p.Labels["fn:beta"] - 1); prof.RegionName(r) != "fn:alpha" {
+		t.Errorf("last fn:alpha instruction attributed to %q", prof.RegionName(r))
+	}
+	if prof.RegionOf(-1) != -1 || prof.RegionOf(len(p.Instrs)) != -1 {
+		t.Error("RegionOf outside the program should be -1")
+	}
+}
+
+// TestProfileMultiLabelDeterministic pins the tie-break at a shared
+// address: the lexicographically smallest name wins, independent of map
+// iteration order.
+func TestProfileMultiLabelDeterministic(t *testing.T) {
+	p := buildProfileProg(t)
+	for i := 0; i < 32; i++ {
+		prof := NewProfile(p, IsFunctionLabel)
+		r := prof.RegionOf(p.Labels["fn:zeta"])
+		if got := prof.RegionName(r); got != "fn:alpha" {
+			t.Fatalf("iteration %d: shared-address region named %q, want fn:alpha", i, got)
+		}
+	}
+}
+
+func TestProfileKeepNil(t *testing.T) {
+	p := buildProfileProg(t)
+	prof := NewProfile(p, nil)
+	// nil keeps every label, so "loop" becomes a region too.
+	found := false
+	for i := 0; i < prof.NumRegions(); i++ {
+		if prof.RegionName(i) == "loop" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("keep=nil should retain the non-function label \"loop\"")
+	}
+}
+
+func TestRunProfiledAttribution(t *testing.T) {
+	p := buildProfileProg(t)
+	prof := NewProfile(p, IsFunctionLabel)
+	m := NewMachine(p, 1024, HWConfig{TrapHandler: -1, CheckFailHandler: -1})
+	m.MaxCycles = 1_000_000
+	if err := m.RunProfiled(prof); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[10] != 11 {
+		t.Fatalf("program computed %d, want 11", m.Regs[10])
+	}
+	var sum uint64
+	for _, c := range prof.Cycles {
+		sum += c
+	}
+	if sum != m.Stats.Cycles {
+		t.Errorf("profile cycles sum %d, want Stats.Cycles %d", sum, m.Stats.Cycles)
+	}
+	for _, name := range []string{"(prelude)", "fn:alpha", "fn:beta"} {
+		hit := false
+		for i := 0; i < prof.NumRegions(); i++ {
+			if prof.RegionName(i) == name && prof.Cycles[i] > 0 {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("region %q received no cycles", name)
+		}
+	}
+
+	top := prof.Top(0)
+	for i := 1; i < len(top); i++ {
+		if top[i].Cycles > top[i-1].Cycles {
+			t.Errorf("Top not sorted: %v", top)
+		}
+	}
+	if got := prof.Top(1); len(got) != 1 {
+		t.Errorf("Top(1) returned %d entries", len(got))
+	}
+	text := prof.Format(10, m.Stats.Cycles)
+	if !strings.Contains(text, "(prelude)") {
+		t.Errorf("Format output missing prelude bucket:\n%s", text)
+	}
+}
+
+func TestIsFunctionLabel(t *testing.T) {
+	for name, want := range map[string]bool{
+		"fn:rewrite": true,
+		"sys:gc":     true,
+		"__start":    true,
+		"loop":       false,
+		"err3":       false,
+		"":           false,
+	} {
+		if got := IsFunctionLabel(name); got != want {
+			t.Errorf("IsFunctionLabel(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

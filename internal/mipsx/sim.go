@@ -57,7 +57,7 @@ type RuntimeError struct {
 }
 
 func (e *RuntimeError) Error() string {
-	return fmt.Sprintf("lisp runtime error %d (item %#x)", e.Code, e.Item)
+	return fmt.Sprintf("lisp runtime error %d (%s, item %#x)", e.Code, ErrorCodeName(e.Code), e.Item)
 }
 
 // Machine executes a Program against a word-addressed memory.
@@ -73,6 +73,14 @@ type Machine struct {
 
 	// MaxCycles aborts runaway programs; 0 means no limit.
 	MaxCycles uint64
+
+	// Obs, when non-nil, receives execution events from both engines: the
+	// fused loop emits control-flow events (branches taken, jumps, calls,
+	// returns, traps, syscalls, GC, halt), the reference engine emits those
+	// plus one EvInstr per executed instruction. A nil observer costs the
+	// fused loop nothing on the per-instruction path, and an attached
+	// observer never changes architectural state or Stats.
+	Obs Observer
 
 	halted bool
 	// branch pipeline state
@@ -203,6 +211,10 @@ func (m *Machine) Step() error {
 	}
 
 	m.Stats.add(in, in.Op.Cycles())
+	if m.Obs != nil {
+		m.Obs.Event(Event{Kind: EvInstr, Cycle: m.Stats.Cycles,
+			PC: int32(m.PC), Target: -1, Arg: uint32(in.Op)})
+	}
 
 	r := &m.Regs
 	sx := func(i uint8) int32 { return int32(r[i]) }
@@ -384,6 +396,10 @@ func (m *Machine) Step() error {
 			taken = m.tagOf(r[in.Rs1]) != in.Tag
 		}
 		if taken {
+			if m.Obs != nil {
+				m.Obs.Event(Event{Kind: EvBranch, Cycle: m.Stats.Cycles,
+					PC: int32(m.PC), Target: int32(in.Target)})
+			}
 			m.pendTarget = in.Target
 			m.pendCount = delaySlots
 		} else if in.Squash {
@@ -418,6 +434,17 @@ func (m *Machine) Step() error {
 			}
 			m.pendTarget = int(r[in.Rs1] >> 2)
 		}
+		if m.Obs != nil {
+			k := EvJump
+			switch in.Op {
+			case JAL, JALR:
+				k = EvCall
+			case JR:
+				k = EvReturn
+			}
+			m.Obs.Event(Event{Kind: k, Cycle: m.Stats.Cycles,
+				PC: int32(m.PC), Target: int32(m.pendTarget)})
+		}
 		m.pendCount = delaySlots
 		m.lastLoadReg = RZero
 		m.PC++
@@ -432,6 +459,10 @@ func (m *Machine) Step() error {
 		}
 	case HALT:
 		m.halted = true
+		if m.Obs != nil {
+			m.Obs.Event(Event{Kind: EvHalt, Cycle: m.Stats.Cycles,
+				PC: int32(m.PC), Target: -1})
+		}
 		return nil
 	default:
 		return m.fault("bad opcode %v", in.Op)
@@ -461,14 +492,30 @@ func (m *Machine) syscall(in *Instr) error {
 	switch in.Imm {
 	case SysHalt:
 		m.halted = true
+		if m.Obs != nil {
+			m.Obs.Event(Event{Kind: EvHalt, Cycle: m.Stats.Cycles,
+				PC: int32(m.PC), Target: -1})
+		}
 	case SysPutChar:
 		m.Output.WriteByte(byte(m.Regs[RRet]))
+		if m.Obs != nil {
+			m.Obs.Event(Event{Kind: EvSyscall, Cycle: m.Stats.Cycles,
+				PC: int32(m.PC), Target: -1, Arg: uint32(in.Imm)})
+		}
 	case SysPutInt:
 		m.Output.WriteString(strconv.FormatInt(int64(int32(m.Regs[RRet])), 10))
+		if m.Obs != nil {
+			m.Obs.Event(Event{Kind: EvSyscall, Cycle: m.Stats.Cycles,
+				PC: int32(m.PC), Target: -1, Arg: uint32(in.Imm)})
+		}
 	case SysError:
 		m.Stats.ErrorCode = int32(m.Regs[RRet])
 		m.Stats.ErrorItem = m.Regs[3]
 		m.halted = true
+		if m.Obs != nil {
+			m.Obs.Event(Event{Kind: EvHalt, Cycle: m.Stats.Cycles,
+				PC: int32(m.PC), Target: -1, Arg: m.Regs[RRet]})
+		}
 	case SysTrapReturn:
 		if m.pendCount > 0 {
 			return m.fault("trap return in delay slot")
@@ -481,10 +528,19 @@ func (m *Machine) syscall(in *Instr) error {
 			m.Regs[rd] = m.Mem[TrapResultAddr>>2]
 		}
 		m.Stats.Cycles += m.HW.TrapCycles
+		pc := m.PC
 		m.PC = int(m.Mem[TrapPCAddr>>2])
+		if m.Obs != nil {
+			m.Obs.Event(Event{Kind: EvTrapRet, Cycle: m.Stats.Cycles,
+				PC: int32(pc), Target: int32(m.PC)})
+		}
 	case SysGCNotify:
 		m.Stats.GCs++
 		m.Stats.GCWords += uint64(m.Regs[RRet])
+		if m.Obs != nil {
+			m.Obs.Event(Event{Kind: EvGC, Cycle: m.Stats.Cycles,
+				PC: int32(m.PC), Target: -1, Arg: m.Regs[RRet]})
+		}
 	default:
 		return m.fault("bad syscall %d", in.Imm)
 	}
@@ -506,6 +562,10 @@ func (m *Machine) arithTrap(in *Instr, a, b uint32) error {
 	m.Mem[TrapPCAddr>>2] = uint32(m.PC + 1)
 	m.Stats.Cycles += m.HW.TrapCycles
 	m.Stats.Traps++
+	if m.Obs != nil {
+		m.Obs.Event(Event{Kind: EvTrap, Cycle: m.Stats.Cycles,
+			PC: int32(m.PC), Target: int32(m.HW.TrapHandler), Arg: uint32(in.Op)})
+	}
 	m.lastLoadReg = RZero
 	m.PC = m.HW.TrapHandler
 	return nil
@@ -520,6 +580,10 @@ func (m *Machine) checkFail(item uint32, want uint8) error {
 	m.Regs[RT1] = uint32(want)
 	m.Stats.Cycles += m.HW.TrapCycles
 	m.Stats.Traps++
+	if m.Obs != nil {
+		m.Obs.Event(Event{Kind: EvTrap, Cycle: m.Stats.Cycles,
+			PC: int32(m.PC), Target: int32(m.HW.CheckFailHandler), Arg: uint32(want)})
+	}
 	m.lastLoadReg = RZero
 	m.pendTarget = -1
 	m.pendCount = 0

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/mipsx"
+)
+
+// maxStackDepth bounds the tracked call stack. Frames beyond it are still
+// counted (so returns stay balanced) but reuse their parent's call path,
+// keeping folded-key memory bounded under deep recursion.
+const maxStackDepth = 512
+
+// DefaultChromeEvents is the Chrome trace event cap used when
+// EnableChrome is given a non-positive one. 256Ki B/E records keep the
+// JSON comfortably loadable in a browser.
+const DefaultChromeEvents = 1 << 18
+
+// CallTracer derives function-level activity from the control-flow event
+// stream: calls and traps push frames, returns pop them, and inter-region
+// jumps are treated as tail transfers. Regions come from a mipsx.Profile
+// (with the compiler's "fn:" convention, regions are functions), which
+// extends the flat per-region profile to full call paths: every simulated
+// cycle is attributed to the call stack that was live when it ran.
+//
+// Two exports are available after the run: a folded-stack map
+// ("fn:a;fn:b" -> exclusive cycles, the flamegraph input format) and —
+// when EnableChrome was called before the run — a Chrome trace_event JSON
+// timeline (load via chrome://tracing or https://ui.perfetto.dev; one
+// simulated cycle is displayed as one microsecond).
+type CallTracer struct {
+	prof   *mipsx.Profile
+	stack  []frame
+	last   uint64
+	folded map[string]uint64
+
+	finished   bool
+	finalCycle uint64
+
+	chromeOn      bool
+	chromeMax     int
+	chrome        []chromeEvent
+	chromeDropped uint64
+}
+
+type frame struct {
+	region int
+	path   string
+}
+
+type chromeEvent struct {
+	name string
+	ts   uint64
+	ph   byte // 'B', 'E' or 'i'
+}
+
+// NewCallTracer builds a tracer over prof's regions, with the frame
+// covering entryPC as the root of every call path.
+func NewCallTracer(prof *mipsx.Profile, entryPC int) *CallTracer {
+	t := &CallTracer{prof: prof, folded: make(map[string]uint64)}
+	t.push(entryPC, 0)
+	return t
+}
+
+// EnableChrome turns on Chrome trace collection, retaining at most
+// maxEvents records (non-positive selects DefaultChromeEvents). Call it
+// before the run: it opens a frame for everything already on the stack.
+func (t *CallTracer) EnableChrome(maxEvents int) {
+	if maxEvents <= 0 {
+		maxEvents = DefaultChromeEvents
+	}
+	t.chromeOn, t.chromeMax = true, maxEvents
+	for _, f := range t.stack {
+		t.emitChrome('B', t.prof.RegionName(f.region), t.last)
+	}
+}
+
+// Event implements mipsx.Observer.
+func (t *CallTracer) Event(e Event) {
+	if t.finished {
+		return
+	}
+	t.accrue(e.Cycle)
+	switch e.Kind {
+	case mipsx.EvCall, mipsx.EvTrap:
+		t.push(int(e.Target), e.Cycle)
+	case mipsx.EvReturn, mipsx.EvTrapRet:
+		t.pop(e.Cycle)
+	case mipsx.EvJump, mipsx.EvBranch:
+		// A control transfer into another region without a call/return is
+		// a tail transfer: the top frame is replaced.
+		if r := t.prof.RegionOf(int(e.Target)); r >= 0 && r != t.top().region {
+			t.pop(e.Cycle)
+			t.push(int(e.Target), e.Cycle)
+		}
+	case mipsx.EvGC:
+		t.emitChrome('i', "GC", e.Cycle)
+	case mipsx.EvHalt:
+		t.Finish(e.Cycle)
+	}
+}
+
+// Finish closes the trace at finalCycle, attributing the remaining cycles
+// to the live stack and balancing the Chrome timeline. The engine emits
+// EvHalt on normal termination, which calls it implicitly; call it
+// explicitly (with Stats.Cycles) after a faulted run. Idempotent.
+func (t *CallTracer) Finish(finalCycle uint64) {
+	if t.finished {
+		return
+	}
+	t.accrue(finalCycle)
+	for len(t.stack) > 1 {
+		t.pop(finalCycle)
+	}
+	t.emitChrome('E', t.prof.RegionName(t.top().region), finalCycle)
+	t.finished = true
+	t.finalCycle = finalCycle
+}
+
+// accrue charges the cycles since the previous event to the live path.
+func (t *CallTracer) accrue(cycle uint64) {
+	if cycle > t.last {
+		t.folded[t.top().path] += cycle - t.last
+		t.last = cycle
+	}
+}
+
+func (t *CallTracer) top() *frame { return &t.stack[len(t.stack)-1] }
+
+func (t *CallTracer) push(targetPC int, cycle uint64) {
+	r := t.prof.RegionOf(targetPC)
+	if r < 0 {
+		r = 0
+	}
+	name := t.prof.RegionName(r)
+	var path string
+	switch {
+	case len(t.stack) == 0:
+		path = name
+	case len(t.stack) >= maxStackDepth:
+		path = t.top().path
+	default:
+		path = t.top().path + ";" + name
+	}
+	t.stack = append(t.stack, frame{region: r, path: path})
+	t.emitChrome('B', name, cycle)
+}
+
+func (t *CallTracer) pop(cycle uint64) {
+	if len(t.stack) <= 1 {
+		return // never drop the root; unbalanced returns cannot underflow
+	}
+	f := t.top()
+	t.emitChrome('E', t.prof.RegionName(f.region), cycle)
+	t.stack = t.stack[:len(t.stack)-1]
+}
+
+func (t *CallTracer) emitChrome(ph byte, name string, ts uint64) {
+	if !t.chromeOn {
+		return
+	}
+	if len(t.chrome) >= t.chromeMax {
+		t.chromeDropped++
+		return
+	}
+	t.chrome = append(t.chrome, chromeEvent{name: name, ts: ts, ph: ph})
+}
+
+// Folded returns exclusive cycles per call path ("root;fn:a;fn:b").
+func (t *CallTracer) Folded() map[string]uint64 { return t.folded }
+
+// ChromeDropped returns how many Chrome records were discarded after the
+// event cap was reached (the folded attribution is never truncated).
+func (t *CallTracer) ChromeDropped() uint64 { return t.chromeDropped }
+
+// WriteFolded writes the call-path attribution in the folded-stack format
+// consumed by flamegraph tools: one "path cycles" line per path, sorted.
+func (t *CallTracer) WriteFolded(w io.Writer) error {
+	paths := make([]string, 0, len(t.folded))
+	for p := range t.folded {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	bw := bufio.NewWriter(w)
+	for _, p := range paths {
+		fmt.Fprintf(bw, "%s %d\n", p, t.folded[p])
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace writes the collected timeline in Chrome trace_event
+// JSON object format. Timestamps are simulated cycles rendered as
+// microseconds.
+func (t *CallTracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, `{"traceEvents":[`)
+	fmt.Fprint(bw, `{"name":"process_name","ph":"M","pid":1,"tid":1,"args":{"name":"tagsim"}}`)
+	for _, e := range t.chrome {
+		switch e.ph {
+		case 'i':
+			fmt.Fprintf(bw, `,{"name":%s,"ph":"i","s":"t","ts":%d,"pid":1,"tid":1}`,
+				strconv.Quote(e.name), e.ts)
+		default:
+			fmt.Fprintf(bw, `,{"name":%s,"ph":%q,"ts":%d,"pid":1,"tid":1}`,
+				strconv.Quote(e.name), string(e.ph), e.ts)
+		}
+	}
+	fmt.Fprintf(bw, `],"displayTimeUnit":"ms","otherData":{"clock":"simulated cycles (1 cycle = 1us)","droppedEvents":%d}}`,
+		t.chromeDropped)
+	fmt.Fprintln(bw)
+	return bw.Flush()
+}

@@ -1,0 +1,55 @@
+// Package obs is the observability layer over the mipsx simulator: a set
+// of mipsx.Observer implementations with bounded memory, and exporters
+// that turn event streams and run statistics into machine-readable
+// artifacts.
+//
+//   - RingTracer retains the most recent events in a fixed ring.
+//   - Sampler gates another observer to recurring cycle windows, so long
+//     runs can be traced at bounded cost.
+//   - CallTracer derives function-level activity (enter/leave) from the
+//     control-flow event stream and a Profile's label regions, exporting
+//     Chrome trace_event JSON timelines and folded-stack flamegraph
+//     input with cycles attributed per call path.
+//   - Registry aggregates mipsx.Stats across runs into named counters and
+//     histograms and snapshots them as JSON.
+//
+// All observers here are synchronous and single-goroutine, matching the
+// engine contract; only Registry is safe for concurrent use (the sweep
+// harness records runs from several workers).
+package obs
+
+import "repro/internal/mipsx"
+
+// Observer and Event alias the engine-level contract so callers can build
+// against this package alone.
+type (
+	Observer = mipsx.Observer
+	Event    = mipsx.Event
+)
+
+type tee []mipsx.Observer
+
+func (t tee) Event(e Event) {
+	for _, o := range t {
+		o.Event(e)
+	}
+}
+
+// Tee fans events out to several observers in order, skipping nils.
+// It returns nil when no non-nil observer remains, and the observer
+// itself when only one does.
+func Tee(obs ...mipsx.Observer) mipsx.Observer {
+	var live tee
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

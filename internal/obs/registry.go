@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/mipsx"
+)
+
+// Registry aggregates execution statistics across runs into named
+// counters and histograms. The sweep harness records every simulated run
+// into one registry, so a whole table regeneration leaves behind a single
+// machine-readable account of the work done. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]uint64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Add increments counter name by v.
+func (g *Registry) Add(name string, v uint64) {
+	g.mu.Lock()
+	g.counters[name] += v
+	g.mu.Unlock()
+}
+
+// Observe records v into histogram name, creating it with decade buckets
+// (1, 10, ..., 1e12) on first use.
+func (g *Registry) Observe(name string, v float64) {
+	g.mu.Lock()
+	h := g.hists[name]
+	if h == nil {
+		h = NewHistogram(nil)
+		g.hists[name] = h
+	}
+	h.Observe(v)
+	g.mu.Unlock()
+}
+
+// RecordRun folds one completed run into the registry: global counters,
+// per-(program, config) cycle counters, and distribution histograms.
+func (g *Registry) RecordRun(program, config string, st *mipsx.Stats) {
+	g.Add("runs_total", 1)
+	g.Add("cycles_total", st.Cycles)
+	g.Add("instrs_total", st.Instrs)
+	g.Add("stalls_total", st.Stalls)
+	g.Add("squashed_total", st.Squashed)
+	g.Add("traps_total", st.Traps)
+	g.Add("gcs_total", st.GCs)
+	g.Add("gc_words_total", st.GCWords)
+	g.Add("tag_cycles_total", st.TagCycles())
+	g.Add("cycles_total/"+program+"/"+config, st.Cycles)
+	g.Observe("run_cycles", float64(st.Cycles))
+	g.Observe("run_instrs", float64(st.Instrs))
+	g.Observe("run_tag_pct", mipsx.Pct(st.TagCycles(), st.Cycles))
+}
+
+// Snapshot is a point-in-time copy of a Registry, shaped for JSON.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state.
+func (g *Registry) Snapshot() *Snapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := &Snapshot{Counters: make(map[string]uint64, len(g.counters))}
+	for k, v := range g.counters {
+		s.Counters[k] = v
+	}
+	if len(g.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(g.hists))
+		for k, h := range g.hists {
+			s.Histograms[k] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Histogram counts observations into fixed buckets. Not safe for
+// concurrent use on its own; Registry serializes access.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; counts has one extra +Inf slot
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// defaultBounds are decade buckets wide enough for cycle counts and
+// narrow enough for percentages.
+var defaultBounds = []float64{
+	1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12,
+}
+
+// NewHistogram builds a histogram over ascending upper bounds (nil
+// selects the decade buckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = defaultBounds
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// HistogramSnapshot is the JSON shape of a histogram: parallel
+// upper-bound/count arrays (the final bucket is unbounded) plus summary
+// statistics.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+}

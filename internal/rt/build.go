@@ -254,7 +254,7 @@ func emitCheckFailGlue(a *mipsx.Asm) {
 }
 
 // errWrongTypeHW is the error code raised by the hardware check-fail path.
-const errWrongTypeHW = 20
+const errWrongTypeHW = mipsx.ErrWrongTypeHW
 
 // NewMachine instantiates a fresh machine for the image: memory template
 // copied, registers initialized, trap vectors wired.
