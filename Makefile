@@ -32,3 +32,22 @@ bench:
 .PHONY: bench-json
 bench-json:
 	$(GO) run ./cmd/benchjson
+
+# Race-detector pass over the concurrent machinery: the runner cache and
+# single-flight, context cancellation in the engines, and the whole server
+# package. The full core suite (table sweeps) is too slow under -race, so
+# core/mipsx are filtered to the concurrency tests; server runs entirely.
+.PHONY: race
+race:
+	$(GO) test -race -run 'Concurrent|Parallel|Cancel|Deadline|CacheLRU|Prewarm' ./internal/core ./internal/mipsx
+	$(GO) test -race ./internal/server
+
+# Run the simulation service on :8372.
+.PHONY: serve
+serve:
+	$(GO) run ./cmd/tagsimd
+
+# Closed-loop load test against a running `make serve` (10s, 8 in-flight).
+.PHONY: loadtest
+loadtest:
+	$(GO) run ./cmd/tagsimload -addr http://localhost:8372 -c 8 -d 10s

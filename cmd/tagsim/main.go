@@ -53,6 +53,7 @@ type options struct {
 	trace    int
 	repl     bool
 	t2row    string
+	workers  int
 
 	json         bool
 	traceOut     string
@@ -80,6 +81,7 @@ func main() {
 	flag.IntVar(&o.trace, "trace", 0, "with -program: print the first N executed instructions")
 	flag.BoolVar(&o.repl, "repl", false, "interactive read-eval-print loop on the simulated machine")
 	flag.StringVar(&o.t2row, "table2-row", "", "per-program detail for one Table 2 row (1-7 or SPUR)")
+	flag.IntVar(&o.workers, "workers", 0, "parallel simulations in table/figure sweeps (default: one per CPU, GOMAXPROCS)")
 	flag.BoolVar(&o.json, "json", false, "emit machine-readable JSON (schema "+core.SchemaVersion+") instead of text")
 	flag.StringVar(&o.traceOut, "trace-out", "", "with -program: write a Chrome trace_event timeline (chrome://tracing) to this file")
 	flag.StringVar(&o.flame, "flame", "", "with -program: write folded call stacks (flamegraph input) to this file")
@@ -183,6 +185,7 @@ func run(o options) error {
 	}
 
 	r := core.NewRunner()
+	r.Workers = o.workers
 	doc := core.NewReport()
 	ran := false
 	emit := func(v any) {
@@ -308,47 +311,11 @@ func finishSweep(o options, r *core.Runner, doc *core.Report) error {
 	return nil
 }
 
-func parseScheme(s string) (tags.Kind, error) {
-	switch s {
-	case "high5":
-		return tags.High5, nil
-	case "high6":
-		return tags.High6, nil
-	case "low3":
-		return tags.Low3, nil
-	case "low2":
-		return tags.Low2, nil
-	}
-	return 0, fmt.Errorf("unknown scheme %q", s)
-}
+// parseScheme and parseHW delegate to the canonical parsers in core, which
+// the server's API shares.
+func parseScheme(s string) (tags.Kind, error) { return core.ParseScheme(s) }
 
-func parseHW(s string) (tags.HW, error) {
-	var hw tags.HW
-	if s == "" {
-		return hw, nil
-	}
-	for _, f := range strings.Split(s, ",") {
-		switch strings.TrimSpace(f) {
-		case "mem":
-			hw.MemIgnoresTags = true
-		case "tbr":
-			hw.TagBranch = true
-		case "atrap":
-			hw.ArithTrap = true
-		case "pclist":
-			hw.ParallelCheckList = true
-		case "pcall":
-			hw.ParallelCheckAll = true
-		case "preshift":
-			hw.PreshiftedPairTag = true
-		case "shadow":
-			hw.ShadowRegisters = true
-		default:
-			return hw, fmt.Errorf("unknown hardware flag %q", f)
-		}
-	}
-	return hw, nil
-}
+func parseHW(s string) (tags.HW, error) { return core.ParseHW(s) }
 
 // runOne executes one program, with whatever observers the flags request
 // attached to the machine, and reports the run as text or JSON.

@@ -1,0 +1,105 @@
+// Command tagsimd serves the simulation harness over HTTP/JSON: compile,
+// run and sweep the paper's benchmark programs across tag-handling
+// configurations, with admission control, per-request deadlines, an LRU
+// result cache and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	tagsimd                          # listen on :8372
+//	tagsimd -addr :9000 -workers 8   # bound simulation concurrency
+//	tagsimd -prewarm                 # fill the cache with the baseline sweep
+//
+// Endpoints: POST /v1/run, POST /v1/sweep, GET /v1/programs,
+// GET /v1/configs, GET /healthz, GET /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/programs"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8372", "listen address")
+	workers := flag.Int("workers", 0, "max concurrently executing simulations (default: one per CPU, GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max requests waiting beyond the executing ones before 429 (default: 4x workers)")
+	cacheCap := flag.Int("cache", 4096, "LRU result-cache capacity (results)")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request simulation deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "largest per-request deadline a client may ask for")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
+	maxCycles := flag.Uint64("max-cycles", 2_000_000_000, "per-run simulated cycle limit")
+	prewarm := flag.Bool("prewarm", false, "fill the cache with every program under the baseline configs before serving")
+	flag.Parse()
+
+	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	runner := core.NewRunner()
+	runner.CacheCap = *cacheCap
+	runner.MaxCycles = *maxCycles
+	runner.Workers = *workers
+
+	srv := server.New(server.Options{
+		Runner:         runner,
+		MaxConcurrent:  *workers,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Log:            log,
+	})
+
+	if *prewarm {
+		start := time.Now()
+		cfgs := []core.Config{core.Baseline(false), core.Baseline(true)}
+		if err := runner.Prewarm(programs.All(), cfgs); err != nil {
+			log.Error("prewarm", "err", err)
+			os.Exit(1)
+		}
+		log.Info("prewarmed", "pairs", len(programs.All())*len(cfgs), "dur", time.Since(start).String())
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Info("listening", "addr", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Error("serve", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop advertising health, refuse new simulation
+	// work, let in-flight requests finish within the drain budget.
+	log.Info("draining", "timeout", drainTimeout.String())
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("shutdown", "err", err)
+		fmt.Fprintln(os.Stderr, "tagsimd: forced shutdown:", err)
+		os.Exit(1)
+	}
+	log.Info("stopped")
+}

@@ -1,0 +1,197 @@
+// Command tagsimload is a closed-loop load generator for tagsimd: a fixed
+// number of workers each keep exactly one POST /v1/run in flight, cycling
+// round-robin through programs × configs, and the tool reports latency
+// percentiles and throughput. Closed-loop means offered load adapts to the
+// server — it measures service latency under a concurrency level, not an
+// open arrival rate.
+//
+// Usage:
+//
+//	tagsimload -addr http://localhost:8372 -c 8 -d 10s
+//	tagsimload -n 200 -programs comp,trav -configs high5,high5+check -json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+type options struct {
+	addr     string
+	conc     int
+	dur      time.Duration
+	count    int
+	programs string
+	configs  string
+	timeout  time.Duration
+	jsonOut  bool
+}
+
+type runReq struct {
+	Program   string `json:"program"`
+	Config    string `json:"config"`
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+// sample is one completed request.
+type sample struct {
+	lat    time.Duration
+	status int
+}
+
+type report struct {
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	Rejected   int     `json:"rejected"` // 429s, counted apart from errors
+	ElapsedSec float64 `json:"elapsed_sec"`
+	Throughput float64 `json:"throughput_rps"`
+	P50MS      float64 `json:"p50_ms"`
+	P90MS      float64 `json:"p90_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "http://localhost:8372", "tagsimd base URL")
+	flag.IntVar(&o.conc, "c", 4, "closed-loop concurrency (in-flight requests)")
+	flag.DurationVar(&o.dur, "d", 10*time.Second, "test duration (ignored when -n > 0)")
+	flag.IntVar(&o.count, "n", 0, "stop after this many requests instead of after -d")
+	flag.StringVar(&o.programs, "programs", "comp,trav,rat,inter", "comma-separated program names")
+	flag.StringVar(&o.configs, "configs", "high5,high5+check,high5+check+mem", "comma-separated config specs")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request client timeout")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit the report as JSON")
+	flag.Parse()
+
+	progs := strings.Split(o.programs, ",")
+	var cfgs []string
+	for _, spec := range strings.Split(o.configs, ",") {
+		spec = strings.TrimSpace(spec)
+		if _, err := core.ParseConfig(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "tagsimload: bad config %q: %v\n", spec, err)
+			os.Exit(2)
+		}
+		cfgs = append(cfgs, spec)
+	}
+
+	// Pre-encode every distinct request body once; workers pick jobs
+	// round-robin off a shared counter so the mix stays even.
+	var bodies [][]byte
+	for _, p := range progs {
+		for _, c := range cfgs {
+			b, err := json.Marshal(runReq{Program: strings.TrimSpace(p), Config: c})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tagsimload:", err)
+				os.Exit(2)
+			}
+			bodies = append(bodies, b)
+		}
+	}
+
+	client := &http.Client{Timeout: o.timeout}
+	deadline := time.Now().Add(o.dur)
+	var next, issued atomic.Int64
+	next.Store(-1)
+	samples := make([][]sample, o.conc)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < o.conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if o.count > 0 {
+					if issued.Add(1) > int64(o.count) {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				i := int(next.Add(1)) % len(bodies)
+				t0 := time.Now()
+				status := doRun(client, o.addr, bodies[i])
+				samples[w] = append(samples[w], sample{lat: time.Since(t0), status: status})
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []sample
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	if len(all) == 0 {
+		fmt.Fprintln(os.Stderr, "tagsimload: no requests completed")
+		os.Exit(1)
+	}
+	rep := summarize(all, elapsed)
+	if o.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep) //nolint:errcheck
+		return
+	}
+	fmt.Printf("requests   %d (%d errors, %d rejected)\n", rep.Requests, rep.Errors, rep.Rejected)
+	fmt.Printf("elapsed    %.2fs\n", rep.ElapsedSec)
+	fmt.Printf("throughput %.1f req/s\n", rep.Throughput)
+	fmt.Printf("latency    p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+		rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS)
+}
+
+// doRun issues one POST /v1/run and returns the HTTP status (0 on
+// transport error). The body is drained so connections are reused.
+func doRun(client *http.Client, addr string, body []byte) int {
+	resp, err := client.Post(addr+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func summarize(all []sample, elapsed time.Duration) report {
+	sort.Slice(all, func(i, j int) bool { return all[i].lat < all[j].lat })
+	rep := report{
+		Requests:   len(all),
+		ElapsedSec: elapsed.Seconds(),
+		Throughput: float64(len(all)) / elapsed.Seconds(),
+		P50MS:      ms(pct(all, 50)),
+		P90MS:      ms(pct(all, 90)),
+		P99MS:      ms(pct(all, 99)),
+		MaxMS:      ms(all[len(all)-1].lat),
+	}
+	for _, s := range all {
+		switch {
+		case s.status == http.StatusTooManyRequests:
+			rep.Rejected++
+		case s.status != http.StatusOK:
+			rep.Errors++
+		}
+	}
+	return rep
+}
+
+func pct(sorted []sample, p int) time.Duration {
+	i := p * len(sorted) / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].lat
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }

@@ -10,6 +10,9 @@
 package core
 
 import (
+	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -65,18 +68,31 @@ type Result struct {
 	Output  string
 }
 
-// Runner executes and memoizes benchmark runs. Safe for concurrent use.
+// Runner executes and memoizes benchmark runs. Safe for concurrent use:
+// results are cached in an LRU keyed by (program name, Config.Key), and
+// concurrent requests for the same key are single-flighted so one
+// simulation serves every waiter and the metrics registry records each
+// unique run exactly once.
 type Runner struct {
-	mu    sync.Mutex
-	cache map[string]*Result
+	mu       sync.Mutex
+	entries  map[string]*list.Element // key → element whose Value is *cacheEntry
+	lru      *list.List               // front = most recently used
+	inflight map[string]*flight
 	// MaxCycles bounds each run (default 2e9).
 	MaxCycles uint64
 	// Workers bounds Prewarm concurrency; zero or negative means one
 	// worker per available CPU (runtime.GOMAXPROCS).
 	Workers int
-	// Metrics aggregates the statistics of every uncached run. Always
-	// non-nil on a NewRunner; snapshot it after a sweep for a
-	// machine-readable account of the simulation work done.
+	// CacheCap bounds the number of cached results; the least recently
+	// used entry is evicted beyond it. Zero means unbounded, which is
+	// right for table sweeps (a sweep revisits every pair) and wrong for
+	// a long-lived service (set it from the server's cache size).
+	CacheCap int
+	// Metrics aggregates the statistics of every uncached run plus the
+	// cache counters (run_cache_hits_total, run_cache_misses_total,
+	// run_cache_evictions_total, runs_canceled_total). Always non-nil on
+	// a NewRunner; snapshot it after a sweep for a machine-readable
+	// account of the simulation work done.
 	Metrics *obs.Registry
 	// Observe, when non-nil, supplies an observer to attach to each
 	// uncached run's machine. Cached results bypass it, so only set it on
@@ -84,25 +100,127 @@ type Runner struct {
 	Observe func(p *programs.Program, cfg Config) mipsx.Observer
 }
 
+// cacheEntry is one LRU slot.
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// flight is one in-progress uncached run; waiters block on done.
+type flight struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
 // NewRunner returns an empty runner.
 func NewRunner() *Runner {
 	return &Runner{
-		cache:     make(map[string]*Result),
+		entries:   make(map[string]*list.Element),
+		lru:       list.New(),
+		inflight:  make(map[string]*flight),
 		MaxCycles: 2_000_000_000,
 		Metrics:   obs.NewRegistry(),
 	}
 }
 
+// CacheLen returns the number of cached results.
+func (r *Runner) CacheLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len()
+}
+
+// cacheGet returns the cached result for key, marking it most recently
+// used. Caller holds r.mu.
+func (r *Runner) cacheGet(key string) (*Result, bool) {
+	e, ok := r.entries[key]
+	if !ok {
+		return nil, false
+	}
+	r.lru.MoveToFront(e)
+	return e.Value.(*cacheEntry).res, true
+}
+
+// cacheAdd inserts a result, evicting the least recently used entry past
+// CacheCap. Caller holds r.mu.
+func (r *Runner) cacheAdd(key string, res *Result) {
+	if e, ok := r.entries[key]; ok {
+		r.lru.MoveToFront(e)
+		e.Value.(*cacheEntry).res = res
+		return
+	}
+	r.entries[key] = r.lru.PushFront(&cacheEntry{key: key, res: res})
+	for r.CacheCap > 0 && r.lru.Len() > r.CacheCap {
+		oldest := r.lru.Back()
+		r.lru.Remove(oldest)
+		delete(r.entries, oldest.Value.(*cacheEntry).key)
+		r.Metrics.Add("run_cache_evictions_total", 1)
+	}
+}
+
 // Run executes program p under cfg (memoized).
 func (r *Runner) Run(p *programs.Program, cfg Config) (*Result, error) {
-	key := p.Name + "/" + cfg.String()
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
-		r.mu.Unlock()
-		return res, nil
-	}
-	r.mu.Unlock()
+	return r.RunCtx(context.Background(), p, cfg)
+}
 
+// RunCtx is Run with cancellation: the context's cancellation or deadline
+// is polled by the simulator engine mid-run, so a canceled request stops
+// burning cycles within ~64K simulated cycles. A run canceled by the
+// context of the request that started it is not cached, and concurrent
+// waiters on the same key retry (their own context may still be live); a
+// deterministic failure (build error, fault, runtime error) is returned
+// to every waiter.
+func (r *Runner) RunCtx(ctx context.Context, p *programs.Program, cfg Config) (*Result, error) {
+	key := p.Name + "/" + cfg.Key()
+	for {
+		r.mu.Lock()
+		if res, ok := r.cacheGet(key); ok {
+			r.mu.Unlock()
+			r.Metrics.Add("run_cache_hits_total", 1)
+			return res, nil
+		}
+		if f, ok := r.inflight[key]; ok {
+			r.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if f.err == nil {
+				r.Metrics.Add("run_cache_hits_total", 1)
+				return f.res, nil
+			}
+			if isCancellation(f.err) {
+				continue // the leader's request died, not the run; retry
+			}
+			return nil, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		r.inflight[key] = f
+		r.mu.Unlock()
+
+		r.Metrics.Add("run_cache_misses_total", 1)
+		f.res, f.err = r.runUncached(ctx, p, cfg, key)
+		r.mu.Lock()
+		delete(r.inflight, key)
+		if f.err == nil {
+			r.cacheAdd(key, f.res)
+		}
+		r.mu.Unlock()
+		close(f.done)
+		return f.res, f.err
+	}
+}
+
+// isCancellation reports whether err stems from a canceled or expired
+// context rather than from the simulation itself.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// runUncached builds and executes one run; key labels errors.
+func (r *Runner) runUncached(ctx context.Context, p *programs.Program, cfg Config, key string) (*Result, error) {
 	img, err := rt.Build(p.Source, rt.BuildOptions{
 		Scheme:    cfg.Scheme,
 		HW:        cfg.HW,
@@ -114,11 +232,16 @@ func (r *Runner) Run(p *programs.Program, cfg Config) (*Result, error) {
 	}
 	m := img.NewMachine()
 	m.MaxCycles = r.MaxCycles
+	if ctx != context.Background() {
+		m.Ctx = ctx
+	}
 	if r.Observe != nil {
 		m.Obs = r.Observe(p, cfg)
 	}
 	if err := m.Run(); err != nil {
-		if r.Metrics != nil {
+		if isCancellation(err) {
+			r.Metrics.Add("runs_canceled_total", 1)
+		} else {
 			r.Metrics.Add("run_errors_total", 1)
 		}
 		return nil, fmt.Errorf("%s: run: %w", key, err)
@@ -136,12 +259,7 @@ func (r *Runner) Run(p *programs.Program, cfg Config) (*Result, error) {
 		Value:   value,
 		Output:  m.Output.String(),
 	}
-	if r.Metrics != nil {
-		r.Metrics.RecordRun(p.Name, cfg.String(), &m.Stats)
-	}
-	r.mu.Lock()
-	r.cache[key] = res
-	r.mu.Unlock()
+	r.Metrics.RecordRun(p.Name, cfg.String(), &m.Stats)
 	return res, nil
 }
 
@@ -149,6 +267,12 @@ func (r *Runner) Run(p *programs.Program, cfg Config) (*Result, error) {
 // the table builders call it so sweeps use all cores. The first error (if
 // any) is returned; successfully completed runs stay cached either way.
 func (r *Runner) Prewarm(ps []*programs.Program, cfgs []Config) error {
+	return r.PrewarmCtx(context.Background(), ps, cfgs)
+}
+
+// PrewarmCtx is Prewarm with cancellation: canceling ctx stops feeding
+// new pairs and interrupts the runs in flight.
+func (r *Runner) PrewarmCtx(ctx context.Context, ps []*programs.Program, cfgs []Config) error {
 	type job struct {
 		p   *programs.Program
 		cfg Config
@@ -165,7 +289,7 @@ func (r *Runner) Prewarm(ps []*programs.Program, cfgs []Config) error {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				if _, err := r.Run(j.p, j.cfg); err != nil {
+				if _, err := r.RunCtx(ctx, j.p, j.cfg); err != nil {
 					select {
 					case errc <- err:
 					default:
@@ -174,9 +298,14 @@ func (r *Runner) Prewarm(ps []*programs.Program, cfgs []Config) error {
 			}
 		}()
 	}
+feed:
 	for _, p := range ps {
 		for _, cfg := range cfgs {
-			jobs <- job{p, cfg}
+			select {
+			case jobs <- job{p, cfg}:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 	}
 	close(jobs)
@@ -185,7 +314,7 @@ func (r *Runner) Prewarm(ps []*programs.Program, cfgs []Config) error {
 	case err := <-errc:
 		return err
 	default:
-		return nil
+		return ctx.Err()
 	}
 }
 

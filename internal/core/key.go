@@ -1,0 +1,46 @@
+package core
+
+// Key returns a canonical, collision-free identity for the configuration,
+// covering every field. Config.String() is for display and deliberately
+// compresses (ParallelCheckList disappears behind ParallelCheckAll,
+// ShadowRegisters is not shown at all), so two distinct configurations can
+// render identically; anything that memoizes by configuration — the run
+// cache, the server's result cache — must key on Key instead.
+//
+// The format is "<scheme>|<bit per field>" with one fixed position per
+// field. TestConfigKeyCoversEveryField walks tags.HW by reflection and
+// fails when a field is added without extending keyHWBits, so new fields
+// cannot silently alias cache entries.
+func (c Config) Key() string {
+	b := make([]byte, 0, 16)
+	b = append(b, c.Scheme.String()...)
+	b = append(b, '|')
+	bits := c.keyBits()
+	for _, on := range bits {
+		if on {
+			b = append(b, '1')
+		} else {
+			b = append(b, '0')
+		}
+	}
+	return string(b)
+}
+
+// keyHWBits is the number of fields of tags.HW encoded in Key.
+const keyHWBits = 7
+
+// keyBits lists every boolean degree of freedom of the configuration, in
+// fixed order: Checking first, then each tags.HW field.
+func (c Config) keyBits() [1 + keyHWBits]bool {
+	hw := c.HW
+	return [1 + keyHWBits]bool{
+		c.Checking,
+		hw.MemIgnoresTags,
+		hw.TagBranch,
+		hw.ParallelCheckList,
+		hw.ParallelCheckAll,
+		hw.ArithTrap,
+		hw.PreshiftedPairTag,
+		hw.ShadowRegisters,
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/tags"
+)
+
+// TestConfigKeyCoversEveryField flips every field of the configuration by
+// reflection and demands a distinct Key. Adding a field to tags.HW without
+// extending Config.keyBits fails here, which is the point: the run cache
+// keys on Key, and a missed field would silently alias cache entries.
+func TestConfigKeyCoversEveryField(t *testing.T) {
+	base := Config{Scheme: tags.High5}
+	baseKey := base.Key()
+
+	hwType := reflect.TypeOf(tags.HW{})
+	if hwType.NumField() != keyHWBits {
+		t.Fatalf("tags.HW has %d fields but Config.Key encodes %d — update keyBits",
+			hwType.NumField(), keyHWBits)
+	}
+	for i := 0; i < hwType.NumField(); i++ {
+		f := hwType.Field(i)
+		if f.Type.Kind() != reflect.Bool {
+			t.Fatalf("tags.HW.%s is %s, not bool — Config.Key needs a new encoding for it",
+				f.Name, f.Type)
+		}
+		c := base
+		reflect.ValueOf(&c.HW).Elem().Field(i).SetBool(true)
+		if c.Key() == baseKey {
+			t.Errorf("flipping HW.%s does not change Config.Key()", f.Name)
+		}
+	}
+
+	c := base
+	c.Checking = true
+	if c.Key() == baseKey {
+		t.Error("flipping Checking does not change Config.Key()")
+	}
+	for _, k := range []tags.Kind{tags.High6, tags.Low3, tags.Low2} {
+		c := base
+		c.Scheme = k
+		if c.Key() == baseKey {
+			t.Errorf("scheme %s does not change Config.Key()", k)
+		}
+	}
+}
+
+// Config.String compresses for display; Key must not. These two pairs
+// render identically but are different machines.
+func TestConfigKeyDistinguishesStringAliases(t *testing.T) {
+	a := Config{Scheme: tags.High5, HW: tags.HW{ParallelCheckAll: true}}
+	b := Config{Scheme: tags.High5, HW: tags.HW{ParallelCheckAll: true, ParallelCheckList: true}}
+	if a.String() != b.String() {
+		t.Skip("String no longer aliases these; update the test with a new alias pair")
+	}
+	if a.Key() == b.Key() {
+		t.Errorf("Key %q fails to distinguish configs that String aliases as %q", a.Key(), a.String())
+	}
+
+	c := Config{Scheme: tags.Low3, HW: tags.HW{ArithTrap: true}}
+	d := c
+	d.HW.ShadowRegisters = true
+	if c.Key() == d.Key() {
+		t.Error("Key fails to distinguish ShadowRegisters, which String never shows")
+	}
+}
+
+func TestParseConfigRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"high5", "high5+check", "low3+mem", "high6+check+atrap",
+	} {
+		cfg, err := ParseConfig(spec)
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", spec, err)
+		}
+		// Round-trip through the display string, which for these specs is
+		// the same spelling.
+		cfg2, err := ParseConfig(cfg.String())
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", cfg.String(), err)
+		}
+		if cfg2.Key() != cfg.Key() {
+			t.Errorf("round trip of %q: %q != %q", spec, cfg2.Key(), cfg.Key())
+		}
+	}
+	if _, err := ParseConfig("high5+bogus"); err == nil {
+		t.Error("ParseConfig accepted an unknown flag")
+	}
+	if _, err := ParseConfig("nope"); err == nil {
+		t.Error("ParseConfig accepted an unknown scheme")
+	}
+}
+
+func TestHWFlagNamesInverse(t *testing.T) {
+	hw := tags.HW{MemIgnoresTags: true, ArithTrap: true, ShadowRegisters: true}
+	names := HWFlagNames(hw)
+	back, err := ParseHWList(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != hw {
+		t.Errorf("ParseHWList(HWFlagNames(%+v)) = %+v", hw, back)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tags"
+)
+
+// SchemeNames are the accepted -scheme / API spellings, in paper order.
+var SchemeNames = []string{"high5", "high6", "low3", "low2"}
+
+// ParseScheme maps a scheme name to its tags.Kind.
+func ParseScheme(s string) (tags.Kind, error) {
+	switch s {
+	case "high5":
+		return tags.High5, nil
+	case "high6":
+		return tags.High6, nil
+	case "low3":
+		return tags.Low3, nil
+	case "low2":
+		return tags.Low2, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want one of %s)", s, strings.Join(SchemeNames, ", "))
+}
+
+// HWFlagInfo names one optional-hardware flag as spelled on the command
+// line and in the API, with the Table 2 row it models.
+type HWFlagInfo struct {
+	Name string `json:"name"`
+	Desc string `json:"desc"`
+}
+
+// HWFlags lists every hardware flag, in Config.String() order.
+var HWFlags = []HWFlagInfo{
+	{"mem", "loads/stores ignore tag bits in addresses (Table 2 row 1)"},
+	{"tbr", "tag-field compare-and-branch (row 2)"},
+	{"atrap", "trapping integer arithmetic ADDTC/SUBTC (row 4)"},
+	{"pclist", "parallel tag check on list accesses (row 5)"},
+	{"pcall", "parallel tag check on all structure accesses (row 6)"},
+	{"preshift", "pre-shifted pair tag register (§3.1 ablation)"},
+	{"shadow", "shadow registers cutting trap overhead (§6.2.2)"},
+}
+
+// setHWFlag sets the field named by one flag.
+func setHWFlag(hw *tags.HW, name string) error {
+	switch name {
+	case "mem":
+		hw.MemIgnoresTags = true
+	case "tbr":
+		hw.TagBranch = true
+	case "atrap":
+		hw.ArithTrap = true
+	case "pclist":
+		hw.ParallelCheckList = true
+	case "pcall":
+		hw.ParallelCheckAll = true
+	case "preshift":
+		hw.PreshiftedPairTag = true
+	case "shadow":
+		hw.ShadowRegisters = true
+	default:
+		return fmt.Errorf("unknown hardware flag %q", name)
+	}
+	return nil
+}
+
+// ParseHWList builds a tags.HW from a list of flag names.
+func ParseHWList(names []string) (tags.HW, error) {
+	var hw tags.HW
+	for _, n := range names {
+		if err := setHWFlag(&hw, strings.TrimSpace(n)); err != nil {
+			return hw, err
+		}
+	}
+	return hw, nil
+}
+
+// ParseHW parses the -hw comma-list form ("mem,tbr,atrap"); the empty
+// string selects no optional hardware.
+func ParseHW(s string) (tags.HW, error) {
+	if s == "" {
+		return tags.HW{}, nil
+	}
+	return ParseHWList(strings.Split(s, ","))
+}
+
+// HWFlagNames is the inverse of ParseHWList: the flag names set in hw, in
+// canonical order.
+func HWFlagNames(hw tags.HW) []string {
+	var names []string
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{
+		{hw.MemIgnoresTags, "mem"},
+		{hw.TagBranch, "tbr"},
+		{hw.ArithTrap, "atrap"},
+		{hw.ParallelCheckList, "pclist"},
+		{hw.ParallelCheckAll, "pcall"},
+		{hw.PreshiftedPairTag, "preshift"},
+		{hw.ShadowRegisters, "shadow"},
+	} {
+		if f.on {
+			names = append(names, f.name)
+		}
+	}
+	return names
+}
+
+// ParseConfig parses the compact "+"-joined configuration spelling used by
+// the API and the load generator: a scheme name, then any mix of "check"
+// and hardware flags — e.g. "high5+check+mem+tbr".
+func ParseConfig(s string) (Config, error) {
+	parts := strings.Split(s, "+")
+	kind, err := ParseScheme(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Config{}, fmt.Errorf("config %q: %w", s, err)
+	}
+	cfg := Config{Scheme: kind}
+	for _, p := range parts[1:] {
+		p = strings.TrimSpace(p)
+		if p == "check" {
+			cfg.Checking = true
+			continue
+		}
+		if err := setHWFlag(&cfg.HW, p); err != nil {
+			return Config{}, fmt.Errorf("config %q: %w", s, err)
+		}
+	}
+	return cfg, nil
+}

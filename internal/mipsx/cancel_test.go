@@ -1,0 +1,99 @@
+package mipsx
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// spinProgram assembles an infinite counting loop: the only way out is
+// cancellation (or a cycle limit).
+func spinProgram(t *testing.T) *Program {
+	t.Helper()
+	a := NewAsm()
+	a.Work()
+	main := a.NewLabel("main")
+	a.Bind(main)
+	a.Addi(5, 5, 1)
+	a.Jmp(main)
+	p, err := a.Finish("main")
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return p
+}
+
+func TestRunCanceledMidFlight(t *testing.T) {
+	for _, engine := range []struct {
+		name string
+		run  func(m *Machine) error
+	}{
+		{"fused", (*Machine).Run},
+		{"reference", (*Machine).RunReference},
+	} {
+		t.Run(engine.name, func(t *testing.T) {
+			m := NewMachine(spinProgram(t), 64, HWConfig{})
+			ctx, cancel := context.WithCancel(context.Background())
+			m.Ctx = ctx
+			go func() {
+				time.Sleep(10 * time.Millisecond)
+				cancel()
+			}()
+			done := make(chan error, 1)
+			go func() { done <- engine.run(m) }()
+			select {
+			case err := <-done:
+				var c *Canceled
+				if !errors.As(err, &c) {
+					t.Fatalf("run returned %v, want *Canceled", err)
+				}
+				if !errors.Is(err, context.Canceled) {
+					t.Errorf("error %v does not unwrap to context.Canceled", err)
+				}
+				if c.Cycle == 0 || c.Cycle != m.Stats.Cycles {
+					t.Errorf("Canceled.Cycle = %d, Stats.Cycles = %d", c.Cycle, m.Stats.Cycles)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("cancellation did not stop the run")
+			}
+		})
+	}
+}
+
+func TestRunDeadlineExceeded(t *testing.T) {
+	m := NewMachine(spinProgram(t), 64, HWConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	m.Ctx = ctx
+	done := make(chan error, 1)
+	go func() { done <- m.Run() }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("run returned %v, want context.DeadlineExceeded", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadline did not stop the run")
+	}
+}
+
+// A pre-canceled context must stop the run on the first control transfer,
+// and a nil context must leave MaxCycles as the only limit.
+func TestRunPreCanceledAndNilCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := NewMachine(spinProgram(t), 64, HWConfig{})
+	m.Ctx = ctx
+	if err := m.Run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled run returned %v", err)
+	}
+
+	m = NewMachine(spinProgram(t), 64, HWConfig{})
+	m.MaxCycles = 200_000 // past a cancellation poll boundary
+	err := m.Run()
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("nil-ctx run returned %v, want cycle-limit fault", err)
+	}
+}

@@ -1,6 +1,7 @@
 package mipsx
 
 import (
+	"context"
 	"math"
 	"strconv"
 )
@@ -10,7 +11,8 @@ import (
 // per-instruction decrement cannot reach zero within any bounded run.
 const pendIdle = -1 << 40
 
-// Run executes until HALT, a fault, a Lisp runtime error, or MaxCycles.
+// Run executes until HALT, a fault, a Lisp runtime error, MaxCycles, or
+// cancellation of Ctx.
 //
 // This is the production engine: a single fused dispatch loop over the
 // predecoded instruction stream. The program counter, branch-pipeline
@@ -34,6 +36,15 @@ func (m *Machine) Run() error {
 	trapCycles := m.HW.TrapCycles
 	maxCycles := m.MaxCycles
 	st := &m.Stats
+	// Cancellation state: with a nil Ctx the next-poll threshold is
+	// unreachable, so the cost is one compare per control transfer.
+	var ctx context.Context
+	nextCancel := ^uint64(0)
+	if m.Ctx != nil {
+		ctx = m.Ctx
+		nextCancel = st.Cycles // poll on the first control transfer
+	}
+	var cancelErr error
 	// The observer is consulted only on control-flow events (branches,
 	// jumps, traps, syscalls), which already leave the straight-line
 	// dispatch path, so a nil observer costs the per-instruction path
@@ -305,6 +316,12 @@ loop:
 					failf, failargs = "cycle limit %d exceeded", []any{maxCycles}
 					break loop
 				}
+				if cycles >= nextCancel {
+					if cancelErr = ctx.Err(); cancelErr != nil {
+						break loop
+					}
+					nextCancel = cycles + cancelCheckCycles
+				}
 				continue
 			}
 			addr := uint32(int32(r[d.rs1&31])+d.imm) & memAddrMask
@@ -382,6 +399,12 @@ loop:
 					failf, failargs = "cycle limit %d exceeded", []any{maxCycles}
 					break loop
 				}
+				if cycles >= nextCancel {
+					if cancelErr = ctx.Err(); cancelErr != nil {
+						break loop
+					}
+					nextCancel = cycles + cancelCheckCycles
+				}
 				continue
 			}
 			r[d.rd&31] = res
@@ -455,6 +478,12 @@ loop:
 				failf, failargs = "cycle limit %d exceeded", []any{maxCycles}
 				break loop
 			}
+			if cycles >= nextCancel {
+				if cancelErr = ctx.Err(); cancelErr != nil {
+					break loop
+				}
+				nextCancel = cycles + cancelCheckCycles
+			}
 			continue
 
 		case JMP, JAL, JALR, JR:
@@ -510,6 +539,12 @@ loop:
 				failf, failargs = "cycle limit %d exceeded", []any{maxCycles}
 				break loop
 			}
+			if cycles >= nextCancel {
+				if cancelErr = ctx.Err(); cancelErr != nil {
+					break loop
+				}
+				nextCancel = cycles + cancelCheckCycles
+			}
 			continue
 
 		case SYS:
@@ -564,6 +599,12 @@ loop:
 				if maxCycles != 0 && cycles > maxCycles {
 					failf, failargs = "cycle limit %d exceeded", []any{maxCycles}
 					break loop
+				}
+				if cycles >= nextCancel {
+					if cancelErr = ctx.Err(); cancelErr != nil {
+						break loop
+					}
+					nextCancel = cycles + cancelCheckCycles
 				}
 				continue
 			case SysGCNotify:
@@ -646,6 +687,9 @@ flush:
 	// exit dispatches a non-load last, so no interlock can be pending here.
 	// The halted-entry path above must not clobber state Step left behind.
 
+	if cancelErr != nil {
+		return &Canceled{Cycle: st.Cycles, Err: cancelErr}
+	}
 	if failf != "" {
 		return m.fault(failf, failargs...)
 	}

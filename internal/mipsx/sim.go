@@ -2,6 +2,7 @@ package mipsx
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -60,6 +61,27 @@ func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("lisp runtime error %d (%s, item %#x)", e.Code, ErrorCodeName(e.Code), e.Item)
 }
 
+// Canceled reports a run stopped mid-flight because its Machine.Ctx was
+// canceled or its deadline passed. It unwraps to the context error, so
+// errors.Is(err, context.Canceled) and context.DeadlineExceeded both work.
+type Canceled struct {
+	Cycle uint64
+	Err   error
+}
+
+func (c *Canceled) Error() string {
+	return fmt.Sprintf("run canceled at cycle %d: %v", c.Cycle, c.Err)
+}
+
+func (c *Canceled) Unwrap() error { return c.Err }
+
+// cancelCheckCycles is how many simulated cycles may pass between two
+// polls of Machine.Ctx. At the fused engine's throughput (hundreds of
+// simulated Mcycles per wall second) 64K cycles bounds cancellation
+// latency to well under a millisecond while keeping the poll off the
+// per-control-transfer path.
+const cancelCheckCycles = 1 << 16
+
 // Machine executes a Program against a word-addressed memory.
 type Machine struct {
 	Prog *Program
@@ -73,6 +95,13 @@ type Machine struct {
 
 	// MaxCycles aborts runaway programs; 0 means no limit.
 	MaxCycles uint64
+
+	// Ctx, when non-nil, makes the run cancelable: both engines poll
+	// Ctx.Err() at control transfers, at most once per cancelCheckCycles
+	// simulated cycles, and abort with a *Canceled error once it is
+	// non-nil. A nil Ctx costs the fused loop one integer compare per
+	// control transfer and nothing on the straight-line path.
+	Ctx context.Context
 
 	// Obs, when non-nil, receives execution events from both engines: the
 	// fused loop emits control-flow events (branches taken, jumps, calls,
@@ -156,7 +185,14 @@ func (m *Machine) tagOf(v uint32) uint8 {
 // anything that needs per-instruction observation (the tracer, profiling)
 // builds on the same Step path.
 func (m *Machine) RunReference() error {
+	var nextCancel uint64
 	for !m.halted {
+		if m.Ctx != nil && m.Stats.Cycles >= nextCancel {
+			if err := m.Ctx.Err(); err != nil {
+				return &Canceled{Cycle: m.Stats.Cycles, Err: err}
+			}
+			nextCancel = m.Stats.Cycles + cancelCheckCycles
+		}
 		if err := m.Step(); err != nil {
 			return err
 		}

@@ -1,0 +1,345 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/programs"
+)
+
+// ConfigSpec is a core.Config as it appears in request bodies: either the
+// compact string form ("high5+check+mem+tbr") or the structured form
+// {"scheme": "high5", "checking": true, "hw": ["mem", "tbr"]}.
+type ConfigSpec struct {
+	core.Config
+}
+
+func (c *ConfigSpec) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		cfg, err := core.ParseConfig(s)
+		if err != nil {
+			return err
+		}
+		c.Config = cfg
+		return nil
+	}
+	var obj struct {
+		Scheme   string   `json:"scheme"`
+		Checking bool     `json:"checking"`
+		HW       []string `json:"hw"`
+	}
+	if err := json.Unmarshal(b, &obj); err != nil {
+		return err
+	}
+	kind, err := core.ParseScheme(obj.Scheme)
+	if err != nil {
+		return err
+	}
+	hw, err := core.ParseHWList(obj.HW)
+	if err != nil {
+		return err
+	}
+	c.Config = core.Config{Scheme: kind, HW: hw, Checking: obj.Checking}
+	return nil
+}
+
+func (c ConfigSpec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.Config.String())
+}
+
+// RunRequest asks for one program under one configuration.
+type RunRequest struct {
+	Program string     `json:"program"`
+	Config  ConfigSpec `json:"config"`
+	// TimeoutMS overrides the server's default per-request deadline,
+	// clamped to the server's maximum.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// SweepRequest asks for the cross product programs × configs.
+type SweepRequest struct {
+	Programs  []string     `json:"programs"`
+	Configs   []ConfigSpec `json:"configs"`
+	TimeoutMS int          `json:"timeout_ms,omitempty"`
+}
+
+// SweepResult is one cell of a sweep: a report or an error.
+type SweepResult struct {
+	Program string          `json:"program"`
+	Config  string          `json:"config"`
+	Run     *core.RunReport `json:"run,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// SweepResponse is the body of POST /v1/sweep.
+type SweepResponse struct {
+	Schema    string        `json:"schema"`
+	Jobs      int           `json:"jobs"`
+	Errors    int           `json:"errors"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Results   []SweepResult `json:"results"`
+}
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client is gone if this fails
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// requestCtx derives the simulation context for a request: the client's
+// context (canceled when the connection drops) plus the effective
+// deadline.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.opts.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// runStatus maps a simulation error to an HTTP status: cancellation and
+// deadline become 504 (the simulation was stopped, not wrong), everything
+// else — build failures, faults, Lisp runtime errors — is a 422 since the
+// request was well-formed but the simulated machine rejected it.
+func runStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	p, ok := programs.ByName(req.Program)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown program %q", req.Program)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	if err := s.acquire(ctx); err != nil {
+		writeError(w, runStatus(err), "queued past deadline: %v", err)
+		return
+	}
+	res, err := s.runner.RunCtx(ctx, p, req.Config.Config)
+	s.releaseSlot()
+	if err != nil {
+		writeError(w, runStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, core.NewRunReport(p, req.Config.Config, res))
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Programs) == 0 || len(req.Configs) == 0 {
+		writeError(w, http.StatusBadRequest, "sweep needs at least one program and one config")
+		return
+	}
+	type job struct {
+		p   *programs.Program
+		cfg core.Config
+	}
+	var jobs []job
+	for _, name := range req.Programs {
+		p, ok := programs.ByName(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown program %q", name)
+			return
+		}
+		for _, cfg := range req.Configs {
+			jobs = append(jobs, job{p, cfg.Config})
+		}
+	}
+	if len(jobs) > s.opts.MaxSweepJobs {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"sweep of %d jobs exceeds the limit of %d", len(jobs), s.opts.MaxSweepJobs)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	// Fan out over a bounded pool: per-sweep parallelism is capped by
+	// MaxConcurrent workers, and each job additionally takes a global
+	// execution slot so concurrent sweeps cannot oversubscribe the host.
+	start := time.Now()
+	results := make([]SweepResult, len(jobs))
+	var next atomic.Int64
+	next.Store(-1)
+	workers := s.opts.MaxConcurrent
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				results[i] = SweepResult{Program: j.p.Name, Config: j.cfg.String()}
+				if err := s.acquire(ctx); err != nil {
+					results[i].Error = err.Error()
+					continue
+				}
+				res, err := s.runner.RunCtx(ctx, j.p, j.cfg)
+				s.releaseSlot()
+				if err != nil {
+					results[i].Error = err.Error()
+					continue
+				}
+				results[i].Run = core.NewRunReport(j.p, j.cfg, res)
+			}
+		}()
+	}
+	wg.Wait()
+
+	resp := SweepResponse{
+		Schema:    core.SchemaVersion,
+		Jobs:      len(jobs),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+		Results:   results,
+	}
+	for _, res := range results {
+		if res.Error != "" {
+			resp.Errors++
+		}
+	}
+	s.reg.Add("sweep_jobs_total", uint64(len(jobs)))
+	status := http.StatusOK
+	if resp.Errors == len(results) {
+		// Nothing succeeded; surface the first failure's class.
+		for _, res := range results {
+			if res.Error != "" {
+				if ctx.Err() != nil {
+					status = http.StatusGatewayTimeout
+				} else {
+					status = http.StatusUnprocessableEntity
+				}
+				break
+			}
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+// programInfo is one entry of GET /v1/programs.
+type programInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
+	var out []programInfo
+	for _, p := range programs.All() {
+		out = append(out, programInfo{Name: p.Name, Description: p.Description})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Programs []programInfo `json:"programs"`
+	}{out})
+}
+
+// configsResponse is the discovery document of GET /v1/configs.
+type configsResponse struct {
+	Schemes []string          `json:"schemes"`
+	HWFlags []core.HWFlagInfo `json:"hw_flags"`
+	Presets []configPreset    `json:"presets"`
+}
+
+type configPreset struct {
+	ID    string   `json:"id"`
+	Label string   `json:"label"`
+	HW    []string `json:"hw"`
+}
+
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	resp := configsResponse{
+		Schemes: core.SchemeNames,
+		HWFlags: core.HWFlags,
+		Presets: []configPreset{{ID: "0", Label: "software only (baseline)", HW: []string{}}},
+	}
+	for _, row := range core.Table2Rows {
+		resp.Presets = append(resp.Presets, configPreset{
+			ID: row.ID, Label: row.Label, HW: core.HWFlagNames(row.HW),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status   string `json:"status"`
+		Inflight int64  `json:"inflight"`
+		Cached   int    `json:"cached"`
+	}
+	h := health{Status: "ok", Inflight: s.inflight.Load(), Cached: s.runner.CacheLen()}
+	if s.draining.Load() {
+		h.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	s.reg.Snapshot().WriteJSON(w) //nolint:errcheck // client gone
+}
