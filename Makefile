@@ -42,6 +42,23 @@ race:
 	$(GO) test -race -run 'Concurrent|Parallel|Cancel|Deadline|CacheLRU|Prewarm' ./internal/core ./internal/mipsx
 	$(GO) test -race ./internal/server
 
+# Short-budget coverage-guided fuzzing over every fuzz target: the
+# differential program generator, the raw-source pipeline, and the
+# compiler/interpreter differential in lispc. FUZZTIME=10m for a longer
+# local campaign; crashers land in the packages' testdata/fuzz corpora.
+FUZZTIME ?= 30s
+.PHONY: fuzz
+fuzz:
+	$(GO) test ./internal/difftest -run '^$$' -fuzz '^FuzzGenerated$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/difftest -run '^$$' -fuzz '^FuzzSource$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lispc -run '^$$' -fuzz '^FuzzCompilerDifferential$$' -fuzztime $(FUZZTIME)
+
+# Deterministic seeded campaign through the same oracle (no coverage
+# feedback, no corpus mutation) — fast sanity sweep with JSON artifacts.
+.PHONY: fuzz-sweep
+fuzz-sweep:
+	$(GO) run ./cmd/tagsimfuzz -seeds 500 -invariants -out fuzz-artifacts
+
 # Run the simulation service on :8372.
 .PHONY: serve
 serve:

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := []byte(`goos: linux
+goarch: amd64
+BenchmarkPrograms/boyer-8         1   12345678 ns/op   9.87 Minstr/s   107955837 sim-cycles   120 B/op   3 allocs/op
+BenchmarkPrograms/trav-8          1    2345678 ns/op  11.20 Minstr/s    22334455 sim-cycles     0 B/op   0 allocs/op
+PASS
+`)
+	progs, err := parseBench(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 2 {
+		t.Fatalf("parsed %d programs, want 2", len(progs))
+	}
+	p := progs[0]
+	if p.Name != "boyer" || p.Procs != 8 {
+		t.Fatalf("name/procs: %+v", p)
+	}
+	if p.NsPerOp != 12345678 || p.MinstrS != 9.87 || p.SimCycles != 107955837 ||
+		p.BPerOp != 120 || p.AllocsOp != 3 {
+		t.Fatalf("metrics: %+v", p)
+	}
+	if _, err := parseBench([]byte("PASS\n")); err == nil {
+		t.Fatal("empty benchmark output accepted")
+	}
+}
+
+// TestDocSchema pins the archived JSON field names: BENCH_*.json files are
+// long-lived artifacts, so key renames are breaking changes.
+func TestDocSchema(t *testing.T) {
+	doc := Doc{Schema: "tagsim-bench/v1", Engines: []Engine{
+		{Name: "fused", Programs: []Program{{Name: "boyer"}}},
+	}}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "date", "go_version", "goos", "goarch", "gomaxprocs", "engines"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("Doc JSON lost key %q: %s", key, b)
+		}
+	}
+	eng := m["engines"].([]any)[0].(map[string]any)
+	prog := eng["programs"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "procs", "ns_per_op", "minstr_per_s", "sim_cycles", "b_per_op", "allocs_per_op"} {
+		if _, ok := prog[key]; !ok {
+			t.Fatalf("Program JSON lost key %q: %s", key, b)
+		}
+	}
+}

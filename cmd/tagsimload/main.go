@@ -75,15 +75,10 @@ func main() {
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the report as JSON")
 	flag.Parse()
 
-	progs := strings.Split(o.programs, ",")
-	var cfgs []string
-	for _, spec := range strings.Split(o.configs, ",") {
-		spec = strings.TrimSpace(spec)
-		if _, err := core.ParseConfig(spec); err != nil {
-			fmt.Fprintf(os.Stderr, "tagsimload: bad config %q: %v\n", spec, err)
-			os.Exit(2)
-		}
-		cfgs = append(cfgs, spec)
+	progs, cfgs, err := parseSpecs(o.programs, o.configs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tagsimload:", err)
+		os.Exit(2)
 	}
 
 	// Pre-encode every distinct request body once; workers pick jobs
@@ -91,7 +86,7 @@ func main() {
 	var bodies [][]byte
 	for _, p := range progs {
 		for _, c := range cfgs {
-			b, err := json.Marshal(runReq{Program: strings.TrimSpace(p), Config: c})
+			b, err := json.Marshal(runReq{Program: p, Config: c})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "tagsimload:", err)
 				os.Exit(2)
@@ -150,6 +145,26 @@ func main() {
 	fmt.Printf("throughput %.1f req/s\n", rep.Throughput)
 	fmt.Printf("latency    p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
 		rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS)
+}
+
+// parseSpecs validates the -programs and -configs flag values, rejecting any
+// config spec the core parser would refuse before load starts.
+func parseSpecs(programs, configs string) (progs, cfgs []string, err error) {
+	for _, p := range strings.Split(programs, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, nil, fmt.Errorf("empty program name in %q", programs)
+		}
+		progs = append(progs, p)
+	}
+	for _, spec := range strings.Split(configs, ",") {
+		spec = strings.TrimSpace(spec)
+		if _, err := core.ParseConfig(spec); err != nil {
+			return nil, nil, fmt.Errorf("bad config %q: %v", spec, err)
+		}
+		cfgs = append(cfgs, spec)
+	}
+	return progs, cfgs, nil
 }
 
 // doRun issues one POST /v1/run and returns the HTTP status (0 on

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestParseSpecs(t *testing.T) {
+	progs, cfgs, err := parseSpecs("comp, trav", "high5, high5+check+mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 2 || progs[0] != "comp" || progs[1] != "trav" {
+		t.Fatalf("programs parsed as %v", progs)
+	}
+	if len(cfgs) != 2 || cfgs[1] != "high5+check+mem" {
+		t.Fatalf("configs parsed as %v", cfgs)
+	}
+	if _, _, err := parseSpecs("comp", "not-a-scheme"); err == nil {
+		t.Fatal("bad config spec accepted")
+	}
+	if _, _, err := parseSpecs("comp,,trav", "high5"); err == nil {
+		t.Fatal("empty program name accepted")
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	// 100 samples at 1..100ms: p50 and p99 must index without going out of
+	// range, and the max is exact.
+	var all []sample
+	for i := 1; i <= 100; i++ {
+		status := http.StatusOK
+		switch {
+		case i%25 == 0:
+			status = http.StatusTooManyRequests
+		case i%40 == 0:
+			status = http.StatusInternalServerError
+		}
+		all = append(all, sample{lat: time.Duration(i) * time.Millisecond, status: status})
+	}
+	rep := summarize(all, 2*time.Second)
+	if rep.Requests != 100 || rep.Rejected != 4 || rep.Errors != 2 {
+		t.Fatalf("counts: %+v", rep)
+	}
+	if rep.Throughput != 50 {
+		t.Fatalf("throughput %v, want 50 req/s", rep.Throughput)
+	}
+	// pct uses the nearest-rank-above convention on the sorted slice.
+	if rep.P50MS != 51 || rep.P90MS != 91 || rep.P99MS != 100 || rep.MaxMS != 100 {
+		t.Fatalf("percentiles: %+v", rep)
+	}
+}
+
+func TestPctClamps(t *testing.T) {
+	one := []sample{{lat: 7 * time.Millisecond}}
+	if got := pct(one, 99); got != 7*time.Millisecond {
+		t.Fatalf("single-sample p99 = %v", got)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestGoldenTables pins the rendered text of every paper-reproduction table
+// and figure. Numbers in these files are the repo's claims about the paper's
+// evaluation; any accounting or formatting drift must show up as a diff here,
+// reviewed and re-pinned deliberately with:
+//
+//	go test ./internal/core -run TestGoldenTables -update
+func TestGoldenTables(t *testing.T) {
+	r := NewRunner()
+	builds := []struct {
+		name   string
+		render func() (string, error)
+	}{
+		{"table1", func() (string, error) {
+			v, err := BuildTable1(r)
+			return str(v, err)
+		}},
+		{"figure1", func() (string, error) {
+			v, err := BuildFigure1(r)
+			return str(v, err)
+		}},
+		{"figure2", func() (string, error) {
+			v, err := BuildFigure2(r)
+			return str(v, err)
+		}},
+		{"table2", func() (string, error) {
+			v, err := BuildTable2(r)
+			return str(v, err)
+		}},
+		{"table3", func() (string, error) {
+			v, err := BuildTable3(r)
+			return str(v, err)
+		}},
+		{"arith-encoding", func() (string, error) {
+			v, err := BuildArithEncoding(r)
+			return str(v, err)
+		}},
+		{"preshift", func() (string, error) {
+			v, err := BuildPreshift(r)
+			return str(v, err)
+		}},
+		{"lowtag", func() (string, error) {
+			rows, err := BuildLowTag(r)
+			if err != nil {
+				return "", err
+			}
+			return FormatLowTag(rows), nil
+		}},
+	}
+	for _, b := range builds {
+		t.Run(b.name, func(t *testing.T) {
+			got, err := b.render()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", b.name+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from its golden file.\n--- got ---\n%s\n--- want ---\n%s\nre-pin deliberately with: go test ./internal/core -run TestGoldenTables -update",
+					b.name, got, want)
+			}
+		})
+	}
+}
+
+// str adapts a (Stringer, error) build result.
+func str(v interface{ String() string }, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return v.String(), nil
+}

@@ -1,0 +1,88 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+)
+
+// ArtifactSchema versions the failure-artifact JSON format.
+const ArtifactSchema = "tagsimfuzz-failure/v1"
+
+// Artifact is a machine-readable failure record: everything needed to
+// reproduce the failure byte-for-byte (the seed and the exact source it
+// generated) and to triage it (the failure kind, the configuration, and a
+// minimized reproducer when the shrinker ran).
+type Artifact struct {
+	Schema    string `json:"schema"`
+	Seeded    bool   `json:"seeded"`
+	Seed      uint64 `json:"seed,omitempty"`
+	Source    string `json:"source"`
+	Minimized string `json:"minimized,omitempty"`
+	Kind      string `json:"kind"`
+	Config    string `json:"config"`
+	Detail    string `json:"detail"`
+}
+
+// NewArtifact records a failure found on a seeded program.
+func NewArtifact(seed uint64, src string, f *Failure) *Artifact {
+	return &Artifact{
+		Schema: ArtifactSchema, Seeded: true, Seed: seed, Source: src,
+		Kind: f.Kind, Config: f.Config, Detail: f.Detail,
+	}
+}
+
+// Verify checks the artifact's internal consistency: a seeded artifact must
+// regenerate its recorded source byte-for-byte from its seed, so the
+// failure is reproducible from the seed alone.
+func (a *Artifact) Verify() error {
+	if a.Schema != ArtifactSchema {
+		return fmt.Errorf("unknown artifact schema %q (want %q)", a.Schema, ArtifactSchema)
+	}
+	if a.Source == "" {
+		return fmt.Errorf("artifact has no source")
+	}
+	if a.Seeded {
+		if regen := Generate(NewSeeded(a.Seed)); regen != a.Source {
+			return fmt.Errorf("seed %d regenerates a different program:\n%s\nartifact recorded:\n%s",
+				a.Seed, regen, a.Source)
+		}
+	}
+	return nil
+}
+
+// Write saves the artifact under dir with a content-addressed name and
+// returns the path.
+func (a *Artifact) Write(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write([]byte(a.Source))
+	h.Write([]byte(a.Config))
+	name := fmt.Sprintf("fail-%s-%016x.json", a.Kind, h.Sum64())
+	path := filepath.Join(dir, name)
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadArtifact reads one failure artifact.
+func LoadArtifact(path string) (*Artifact, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(b, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if a.Schema != ArtifactSchema {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, a.Schema)
+	}
+	return &a, nil
+}

@@ -1,0 +1,66 @@
+// Package difftest is the differential fuzzing and invariant-checking
+// harness: a seeded random program generator closed over the Lisp dialect
+// that internal/interp and internal/lispc share, an oracle that runs each
+// program through the interpreter and through compiled code on both
+// simulator engines under every tag scheme × hardware configuration, and a
+// shrinker that bisects failures to minimal reproducers.
+//
+// The paper's accounting (Tables 1–3) only means something if every
+// implementation spectrum point computes the same results; this package is
+// the executable statement of that property.
+package difftest
+
+import "hash/fnv"
+
+// Rand is the harness PRNG. It has two faces over one interface: a seeded
+// splitmix64 stream (deterministic campaigns, byte-for-byte reproducible
+// from the uint64 seed in a failure artifact), and a byte-stream front end
+// for go's native fuzzing, where each decision consumes one corpus byte so
+// the mutator's byte flips map to local changes in the generated program.
+// When the corpus bytes run out the stream falls back to splitmix64 seeded
+// from a hash of the input, so short corpus entries still yield complete
+// programs.
+type Rand struct {
+	state uint64
+	data  []byte
+	pos   int
+}
+
+// NewSeeded returns a PRNG whose entire decision stream is a pure function
+// of seed.
+func NewSeeded(seed uint64) *Rand { return &Rand{state: seed} }
+
+// FromBytes returns a PRNG that replays data as its decision stream.
+func FromBytes(data []byte) *Rand {
+	h := fnv.New64a()
+	h.Write(data)
+	return &Rand{state: h.Sum64(), data: data}
+}
+
+// next is splitmix64: full 64-bit period, every seed usable.
+func (r *Rand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). While corpus bytes remain, one byte is
+// consumed per decision.
+func (r *Rand) Intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if r.pos < len(r.data) {
+		b := r.data[r.pos]
+		r.pos++
+		return int(b) % n
+	}
+	return int(r.next() % uint64(n))
+}
+
+// pick returns one element of choices.
+func pick[T any](r *Rand, choices []T) T {
+	return choices[r.Intn(len(choices))]
+}

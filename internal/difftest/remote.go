@@ -1,0 +1,80 @@
+package difftest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/programs"
+)
+
+// RemoteCheck replays src against a live tagsimd service via POST /v1/run
+// (inline source) and compares the service's verdict with a local
+// simulation of the same program under the same configuration: rendered
+// value, printed output, and cycle/instruction counts must all agree. This
+// closes the loop between the fuzzing harness and the deployed service — a
+// service running different code, or corrupting results through its cache,
+// diverges here.
+func RemoteCheck(ctx context.Context, client *http.Client, baseURL, src string, cfg core.Config) *Failure {
+	fail := func(format string, args ...any) *Failure {
+		return &Failure{Kind: "remote", Config: cfg.String(),
+			Detail: fmt.Sprintf(format, args...)}
+	}
+
+	// Local ground truth, built exactly as the service builds inline
+	// programs (default heap, runner defaults).
+	p := &programs.Program{Name: "difftest-remote", Source: src}
+	local, err := core.NewRunner().Run(p, cfg)
+	if err != nil {
+		return fail("local run failed: %v", err)
+	}
+
+	body, err := json.Marshal(map[string]any{
+		"source": src,
+		"config": cfg.String(),
+	})
+	if err != nil {
+		return fail("encode request: %v", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		baseURL+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		return fail("build request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fail("request failed: %v", err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fail("read response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fail("service returned %d: %s", resp.StatusCode, payload)
+	}
+	var report core.RunReport
+	if err := json.Unmarshal(payload, &report); err != nil {
+		return fail("decode response: %v", err)
+	}
+
+	if report.Result != local.Value {
+		return fail("service value %s, local %s", report.Result, local.Value)
+	}
+	if report.Output != local.Output {
+		return fail("service output %q, local %q", report.Output, local.Output)
+	}
+	if report.Cycles != local.Stats.Cycles || report.Instrs != local.Stats.Instrs {
+		return fail("service counted %d cycles / %d instrs, local %d / %d",
+			report.Cycles, report.Instrs, local.Stats.Cycles, local.Stats.Instrs)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package difftest
+
+import (
+	"strings"
+
+	"repro/internal/sexpr"
+)
+
+// Predicate reports whether a candidate program still exhibits the failure
+// being minimized. Minimize only accepts reductions the predicate keeps, so
+// a predicate that pins the failure kind and config prevents an unrelated
+// breakage (for instance a syntax error introduced by a reduction) from
+// hijacking the minimization.
+type Predicate func(src string) bool
+
+// Minimize greedily shrinks a failing program: it repeatedly tries
+// single-step reductions — dropping a top-level form, promoting a
+// subexpression over its parent, or replacing a subtree with an atom — and
+// restarts from the first reduction the predicate keeps, until a full pass
+// finds nothing or the evaluation budget is spent. The result is a local
+// minimum: every single-step reduction of it no longer fails.
+func Minimize(src string, keep Predicate, budget int) string {
+	in := sexpr.NewInterner()
+	forms, err := sexpr.NewReader(in, src).ReadAll()
+	if err != nil || len(forms) == 0 {
+		return src
+	}
+	best := forms
+	bestText := render(best)
+
+	try := func(cand []sexpr.Value) bool {
+		if budget <= 0 {
+			return false
+		}
+		text := render(cand)
+		if len(text) >= len(bestText) {
+			return false
+		}
+		budget--
+		if !keep(text) {
+			return false
+		}
+		best, bestText = cand, text
+		return true
+	}
+
+	for improved := true; improved && budget > 0; {
+		improved = false
+		// Drop one top-level form.
+		for i := 0; len(best) > 1 && i < len(best); i++ {
+			cand := make([]sexpr.Value, 0, len(best)-1)
+			cand = append(cand, best[:i]...)
+			cand = append(cand, best[i+1:]...)
+			if try(cand) {
+				improved = true
+				break
+			}
+		}
+		if improved {
+			continue
+		}
+		// Reduce one node inside one form.
+		for fi := 0; fi < len(best) && !improved; fi++ {
+			var nodes []sexpr.Value
+			collect(best[fi], &nodes)
+			for ni := 0; ni < len(nodes) && !improved; ni++ {
+				for _, repl := range reductions(nodes[ni]) {
+					cand := make([]sexpr.Value, len(best))
+					copy(cand, best)
+					n := 0
+					cand[fi] = replaceNth(best[fi], &n, ni, repl)
+					if try(cand) {
+						improved = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return bestText
+}
+
+func render(forms []sexpr.Value) string {
+	var b strings.Builder
+	for _, f := range forms {
+		b.WriteString(sexpr.String(f))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// collect enumerates every node of v in the same order replaceNth visits.
+func collect(v sexpr.Value, out *[]sexpr.Value) {
+	*out = append(*out, v)
+	if c, ok := v.(*sexpr.Cell); ok {
+		collect(c.Car, out)
+		collect(c.Cdr, out)
+	}
+}
+
+// replaceNth rebuilds v with its target'th node (in collect order) replaced.
+// Untouched subtrees are shared, which is safe because the shrinker never
+// mutates them.
+func replaceNth(v sexpr.Value, n *int, target int, repl sexpr.Value) sexpr.Value {
+	if *n == target {
+		*n++
+		return repl
+	}
+	*n++
+	c, ok := v.(*sexpr.Cell)
+	if !ok {
+		return v
+	}
+	car := replaceNth(c.Car, n, target, repl)
+	cdr := replaceNth(c.Cdr, n, target, repl)
+	if car == c.Car && cdr == c.Cdr {
+		return c
+	}
+	return &sexpr.Cell{Car: car, Cdr: cdr}
+}
+
+// reductions proposes strictly smaller replacements for one node: each of a
+// call's argument subtrees (promoting a child over its parent), the
+// constants 0 and nil for any non-atom. Atoms are already minimal.
+func reductions(v sexpr.Value) []sexpr.Value {
+	c, ok := v.(*sexpr.Cell)
+	if !ok {
+		return nil
+	}
+	var out []sexpr.Value
+	if items, err := sexpr.ListVals(c); err == nil {
+		for _, it := range items {
+			out = append(out, it)
+		}
+	}
+	out = append(out, sexpr.Int(0), nil)
+	return out
+}

@@ -150,21 +150,22 @@ func (ip *Interp) evalForm(cell *sexpr.Cell, en *env) Value {
 	case "dotimes":
 		// Matches the compiler's desugaring exactly: the bound counter
 		// is an ordinary mutable variable re-read by the loop test, so
-		// a body that assigns it changes the iteration.
+		// a body that assigns it changes the iteration. The test and
+		// increment are the generic (< i n) and (1+ i), like the
+		// desugared form, so a float count behaves identically.
 		spec, err := sexpr.ListVals(args[0])
 		if err != nil || len(spec) != 2 {
 			panic(fmt.Errorf("interp: bad dotimes spec"))
 		}
 		sym := spec[0].(*sexpr.Sym)
-		n := ip.wantInt(ip.eval(spec[1], en))
+		n := ip.eval(spec[1], en)
 		inner := &env{sym: sym, val: sexpr.Int(0), parent: en}
 		for {
-			i := ip.wantInt(inner.val)
-			if i >= n {
+			if !truthy(ip.numCmp(inner.val, n, cmpLT)) {
 				return nil
 			}
 			ip.evalBody(args[1:], inner)
-			inner.val = sexpr.Int(ip.wantInt(inner.val) + 1)
+			inner.val = ip.numOp(inner.val, sexpr.Int(1), addOp)
 		}
 
 	case "and":

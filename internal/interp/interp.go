@@ -18,7 +18,7 @@ import (
 )
 
 // Value is an interpreter value: nil, sexpr.Int, sexpr.Str, *sexpr.Sym,
-// *sexpr.Cell (mutable pairs), *Vector, or Float.
+// *sexpr.Cell (mutable pairs), *Vector, or *Float.
 type Value = any
 
 // Vector is a Lisp vector.
@@ -26,7 +26,10 @@ type Vector struct {
 	Elems []Value
 }
 
-// Float is an IEEE single value (the compiled runtime boxes float32).
+// Float is an IEEE single value. It is always handled through a pointer:
+// the compiled runtime boxes every float result on the heap, so eq on two
+// separately computed floats is false even when their values agree, and the
+// interpreter must reproduce that identity semantics exactly.
 type Float float32
 
 // Err is a Lisp-level error (the analogue of SysError).
@@ -57,7 +60,7 @@ func writeValue(sb *strings.Builder, v Value) {
 		fmt.Fprintf(sb, "%q", string(x))
 	case *sexpr.Sym:
 		sb.WriteString(x.Name)
-	case Float:
+	case *Float:
 		fmt.Fprintf(sb, "#float")
 	case *Vector:
 		sb.WriteString("(vector")
@@ -78,6 +81,18 @@ func writeValue(sb *strings.Builder, v Value) {
 				sb.WriteByte(' ')
 				x = cdr
 			default:
+				// The image decoder renders a vector as the list
+				// (vector e...), which in cdr position flattens into the
+				// enclosing list; match that notation here.
+				if vec, ok := unwrap(cdr).(*Vector); ok {
+					sb.WriteString(" vector")
+					for _, e := range vec.Elems {
+						sb.WriteByte(' ')
+						writeValue(sb, e)
+					}
+					sb.WriteByte(')')
+					return
+				}
 				sb.WriteString(" . ")
 				writeCar(sb, cdr)
 				sb.WriteByte(')')
@@ -134,6 +149,17 @@ type Interp struct {
 	Out     strings.Builder
 	// Steps bounds evaluation to catch runaway programs.
 	Steps int
+	// Floats records whether evaluation ever boxed a float. The compiled
+	// runtime's unchecked configurations assume fixnum operands, so the
+	// differential harness only compares machine results against the
+	// interpreter under Checking=false when this stayed false.
+	Floats bool
+	// FixnumBits, when nonzero, is the signed payload width of the tag
+	// scheme under test: integer results outside [-2^(n-1), 2^(n-1)) box a
+	// float32, exactly like the runtime's generic-add/sub/mul overflow
+	// paths. Zero means unbounded int64 arithmetic (the standalone
+	// interpreter default).
+	FixnumBits int
 }
 
 type fn struct {
@@ -155,7 +181,10 @@ func New() *Interp {
 }
 
 // Run evaluates src (defining its functions) and returns the final
-// top-level value.
+// top-level value. Function definitions are declarations: like the
+// compiler, which hoists defuns out of the synthesized main body, they do
+// not contribute to the program value — a program whose forms are all
+// defuns yields nil.
 func (ip *Interp) Run(src string) (v Value, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -171,7 +200,13 @@ func (ip *Interp) Run(src string) (v Value, err error) {
 		return nil, rerr
 	}
 	for _, f := range forms {
-		v = ip.eval(f, nil)
+		r := ip.eval(f, nil)
+		if c, ok := f.(*sexpr.Cell); ok {
+			if h, ok := c.Car.(*sexpr.Sym); ok && h.Name == "defun" {
+				continue
+			}
+		}
+		v = r
 	}
 	return v, nil
 }
@@ -206,11 +241,19 @@ func (ip *Interp) bool2v(b bool) Value {
 
 func truthy(v Value) bool { return v != nil }
 
-func (ip *Interp) eval(e sexpr.Value, en *env) Value {
+// tick charges one unit against the step budget. Besides eval, the
+// list-walking primitives and the printer call it per iteration so that a
+// cyclic structure (built with rplacd) exhausts the budget instead of
+// hanging — mirroring the machine, whose walks burn cycles until MaxCycles.
+func (ip *Interp) tick() {
 	ip.Steps--
 	if ip.Steps < 0 {
 		panic(fmt.Errorf("interp: step budget exhausted"))
 	}
+}
+
+func (ip *Interp) eval(e sexpr.Value, en *env) Value {
+	ip.tick()
 	switch v := e.(type) {
 	case nil:
 		return nil

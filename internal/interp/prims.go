@@ -11,6 +11,178 @@ type primitive func(ip *Interp, args []Value) Value
 
 var primitives map[string]primitive
 
+// --- generic numerics ------------------------------------------------------
+//
+// The compiled runtime's arithmetic is integer-biased generic (§2.2): an
+// inline fixnum fast path falling out to the generic-add/sub/mul/quot/rem
+// library routines, which coerce through IEEE single floats and raise
+// error 6 (not-a-number) on anything else. The interpreter mirrors those
+// routines exactly — including float32 rounding, the boxed-float results,
+// and the NaN behavior of the library's comparison encodings — because the
+// differential harness compares the two implementations bit for bit.
+
+// numOpFns pairs the fixnum and float flavors of one arithmetic operation.
+type numOpFns struct {
+	i func(x, y int64) int64
+	f func(x, y float32) float32
+}
+
+var (
+	addOp = numOpFns{func(x, y int64) int64 { return x + y }, func(x, y float32) float32 { return x + y }}
+	subOp = numOpFns{func(x, y int64) int64 { return x - y }, func(x, y float32) float32 { return x - y }}
+	mulOp = numOpFns{func(x, y int64) int64 { return x * y }, func(x, y float32) float32 { return x * y }}
+)
+
+// cmpOp encodes a comparison like the library's generic-compare op codes.
+type cmpOp int
+
+const (
+	cmpEQ cmpOp = iota
+	cmpLT
+	cmpLE
+	cmpGT
+	cmpGE
+)
+
+func (ip *Interp) newFloat(f float32) Value {
+	ip.Floats = true
+	x := Float(f)
+	return &x
+}
+
+// toF is sys-to-fbits: ints convert, floats pass through, anything else is
+// error 6 (not-a-number).
+func (ip *Interp) toF(v Value) float32 {
+	switch x := v.(type) {
+	case sexpr.Int:
+		return float32(int64(x))
+	case *Float:
+		return float32(*x)
+	}
+	ip.fail(6, v)
+	return 0
+}
+
+// fitsFixnum reports whether an exact integer result fits the configured
+// fixnum payload. With FixnumBits unset everything fits. For multiplication
+// the library wraps the raw product to 32 bits and re-derives a factor to
+// detect the wrap; since every fixnum payload is at most 30 bits, that test
+// accepts exactly the products whose exact value is in range, so checking
+// the exact int64 result here is equivalent.
+func (ip *Interp) fitsFixnum(r int64) bool {
+	if ip.FixnumBits == 0 {
+		return true
+	}
+	lim := int64(1) << (ip.FixnumBits - 1)
+	return r >= -lim && r < lim
+}
+
+func (ip *Interp) numOp(a, b Value, op numOpFns) Value {
+	if xi, ok := a.(sexpr.Int); ok {
+		if yi, ok := b.(sexpr.Int); ok {
+			if r := op.i(int64(xi), int64(yi)); ip.fitsFixnum(r) {
+				return sexpr.Int(r)
+			}
+			// Fixnum overflow: like the library, convert each operand and
+			// redo the operation in float32 — operand-wise, not a
+			// conversion of the exact result.
+			return ip.newFloat(op.f(float32(int64(xi)), float32(int64(yi))))
+		}
+	}
+	return ip.newFloat(op.f(ip.toF(a), ip.toF(b)))
+}
+
+// numCmp follows sys-cmp-raw / sys-cmp-float: note the float encodings
+// derive <=, > and >= from a single %flt primitive, which fixes the NaN
+// behavior — (<= NaN x) is true because it is "not (x < NaN)".
+func (ip *Interp) numCmp(a, b Value, op cmpOp) Value {
+	if xi, ok := a.(sexpr.Int); ok {
+		if yi, ok := b.(sexpr.Int); ok {
+			x, y := int64(xi), int64(yi)
+			var r bool
+			switch op {
+			case cmpEQ:
+				r = x == y
+			case cmpLT:
+				r = x < y
+			case cmpLE:
+				r = x <= y
+			case cmpGT:
+				r = x > y
+			case cmpGE:
+				r = x >= y
+			}
+			return ip.bool2v(r)
+		}
+	}
+	x, y := ip.toF(a), ip.toF(b)
+	var r bool
+	switch op {
+	case cmpEQ:
+		r = x == y
+	case cmpLT:
+		r = x < y
+	case cmpLE:
+		r = !(y < x)
+	case cmpGT:
+		r = y < x
+	case cmpGE:
+		r = !(x < y)
+	}
+	return ip.bool2v(r)
+}
+
+// numDiv is generic-quot / generic-rem: integer division checks for a zero
+// divisor (error 7), float division is IEEE (so x/0.0 is an infinity), and
+// remainder has no float form (error 6 on the first operand, like the
+// library).
+func (ip *Interp) numDiv(a, b Value, rem bool) Value {
+	if xi, ok := a.(sexpr.Int); ok {
+		if yi, ok := b.(sexpr.Int); ok {
+			if yi == 0 {
+				ip.fail(7, b)
+			}
+			if rem {
+				return sexpr.Int(int64(xi) % int64(yi))
+			}
+			return sexpr.Int(int64(xi) / int64(yi))
+		}
+	}
+	if rem {
+		ip.fail(6, a)
+	}
+	return ip.newFloat(ip.toF(a) / ip.toF(b))
+}
+
+func arith2(op numOpFns) primitive {
+	return func(ip *Interp, a []Value) Value {
+		// n-ary chains left-associate like the compiler's expansion.
+		acc := a[0]
+		for _, v := range a[1:] {
+			acc = ip.numOp(acc, v, op)
+		}
+		return acc
+	}
+}
+
+// intArith2 is for the logical operations, which are fixnum-only in the
+// compiled runtime as well.
+func intArith2(op func(x, y int64) int64) primitive {
+	return func(ip *Interp, a []Value) Value {
+		acc := ip.wantInt(a[0])
+		for _, v := range a[1:] {
+			acc = op(acc, ip.wantInt(v))
+		}
+		return sexpr.Int(acc)
+	}
+}
+
+func cmp2(op cmpOp) primitive {
+	return func(ip *Interp, a []Value) Value {
+		return ip.numCmp(a[0], a[1], op)
+	}
+}
+
 func init() {
 	primitives = map[string]primitive{
 		"cons": func(ip *Interp, a []Value) Value {
@@ -36,7 +208,7 @@ func init() {
 		"eq":  func(ip *Interp, a []Value) Value { return ip.bool2v(eqv(a[0], a[1])) },
 		"neq": func(ip *Interp, a []Value) Value { return ip.bool2v(!eqv(a[0], a[1])) },
 		"equal": func(ip *Interp, a []Value) Value {
-			return ip.bool2v(structEqual(a[0], a[1]))
+			return ip.bool2v(ip.structEqual(a[0], a[1]))
 		},
 		"consp": func(ip *Interp, a []Value) Value { _, ok := a[0].(*sexpr.Cell); return ip.bool2v(ok) },
 		"pairp": func(ip *Interp, a []Value) Value { _, ok := a[0].(*sexpr.Cell); return ip.bool2v(ok) },
@@ -51,61 +223,67 @@ func init() {
 		"fixp":    func(ip *Interp, a []Value) Value { _, ok := a[0].(sexpr.Int); return ip.bool2v(ok) },
 		"stringp": func(ip *Interp, a []Value) Value { _, ok := a[0].(sexpr.Str); return ip.bool2v(ok) },
 		"vectorp": func(ip *Interp, a []Value) Value { _, ok := a[0].(*Vector); return ip.bool2v(ok) },
-		"floatp":  func(ip *Interp, a []Value) Value { _, ok := a[0].(Float); return ip.bool2v(ok) },
+		"floatp":  func(ip *Interp, a []Value) Value { _, ok := a[0].(*Float); return ip.bool2v(ok) },
 		"numberp": func(ip *Interp, a []Value) Value {
 			switch a[0].(type) {
-			case sexpr.Int, Float:
+			case sexpr.Int, *Float:
 				return ip.t()
 			}
 			return nil
 		},
 
-		"+":         arith2(func(x, y int64) int64 { return x + y }),
-		"-":         arith2(func(x, y int64) int64 { return x - y }),
-		"*":         arith2(func(x, y int64) int64 { return x * y }),
-		"quotient":  arithDiv(false),
-		"remainder": arithDiv(true),
+		"+":         arith2(addOp),
+		"-":         arith2(subOp),
+		"*":         arith2(mulOp),
+		"quotient":  func(ip *Interp, a []Value) Value { return ip.numDiv(a[0], a[1], false) },
+		"remainder": func(ip *Interp, a []Value) Value { return ip.numDiv(a[0], a[1], true) },
 		"1+": func(ip *Interp, a []Value) Value {
-			return sexpr.Int(ip.wantInt(a[0]) + 1)
+			return ip.numOp(a[0], sexpr.Int(1), addOp)
 		},
 		"1-": func(ip *Interp, a []Value) Value {
-			return sexpr.Int(ip.wantInt(a[0]) - 1)
+			return ip.numOp(a[0], sexpr.Int(1), subOp)
 		},
-		"minus": func(ip *Interp, a []Value) Value { return sexpr.Int(-ip.wantInt(a[0])) },
+		"minus": func(ip *Interp, a []Value) Value {
+			return ip.numOp(sexpr.Int(0), a[0], subOp)
+		},
 		"abs": func(ip *Interp, a []Value) Value {
-			n := ip.wantInt(a[0])
-			if n < 0 {
-				n = -n
+			// (if (< a 0) (minus a) a), like the library.
+			if truthy(ip.numCmp(a[0], sexpr.Int(0), cmpLT)) {
+				return ip.numOp(sexpr.Int(0), a[0], subOp)
 			}
-			return sexpr.Int(n)
+			return a[0]
 		},
 		"min": func(ip *Interp, a []Value) Value {
-			x, y := ip.wantInt(a[0]), ip.wantInt(a[1])
-			if x < y {
-				return sexpr.Int(x)
+			if truthy(ip.numCmp(a[0], a[1], cmpLT)) {
+				return a[0]
 			}
-			return sexpr.Int(y)
+			return a[1]
 		},
 		"max": func(ip *Interp, a []Value) Value {
-			x, y := ip.wantInt(a[0]), ip.wantInt(a[1])
-			if x > y {
-				return sexpr.Int(x)
+			if truthy(ip.numCmp(a[0], a[1], cmpGT)) {
+				return a[0]
 			}
-			return sexpr.Int(y)
+			return a[1]
 		},
-		"logand": arith2(func(x, y int64) int64 { return x & y }),
-		"logor":  arith2(func(x, y int64) int64 { return x | y }),
-		"logxor": arith2(func(x, y int64) int64 { return x ^ y }),
-		"=":      cmp2(func(x, y int64) bool { return x == y }),
-		"<":      cmp2(func(x, y int64) bool { return x < y }),
-		">":      cmp2(func(x, y int64) bool { return x > y }),
-		"<=":     cmp2(func(x, y int64) bool { return x <= y }),
-		">=":     cmp2(func(x, y int64) bool { return x >= y }),
+		"logand": intArith2(func(x, y int64) int64 { return x & y }),
+		"logor":  intArith2(func(x, y int64) int64 { return x | y }),
+		"logxor": intArith2(func(x, y int64) int64 { return x ^ y }),
+		"=":      cmp2(cmpEQ),
+		"<":      cmp2(cmpLT),
+		">":      cmp2(cmpGT),
+		"<=":     cmp2(cmpLE),
+		">=":     cmp2(cmpGE),
 		"float": func(ip *Interp, a []Value) Value {
-			if f, ok := a[0].(Float); ok {
+			// Mirrors the library's float exactly: pass floats through,
+			// convert ints, error 6 (not-a-number) on anything else.
+			if f, ok := a[0].(*Float); ok {
 				return f
 			}
-			return Float(ip.wantInt(a[0]))
+			if n, ok := a[0].(sexpr.Int); ok {
+				return ip.newFloat(float32(int64(n)))
+			}
+			ip.fail(6, a[0])
+			return nil
 		},
 
 		"length": func(ip *Interp, a []Value) Value {
@@ -115,13 +293,14 @@ func init() {
 				if !ok {
 					break
 				}
+				ip.tick()
 				n++
 				l = unwrap(c.Cdr)
 			}
 			return sexpr.Int(n)
 		},
 		"append": func(ip *Interp, a []Value) Value {
-			items := listItems(a[0])
+			items := ip.listItems(a[0])
 			out := box(a[1])
 			for i := len(items) - 1; i >= 0; i-- {
 				out = &sexpr.Cell{Car: items[i], Cdr: out}
@@ -135,6 +314,7 @@ func init() {
 				if !ok {
 					break
 				}
+				ip.tick()
 				out = &sexpr.Cell{Car: c.Car, Cdr: out}
 				l = unwrap(c.Cdr)
 			}
@@ -150,17 +330,22 @@ func init() {
 				if !ok {
 					break
 				}
+				ip.tick()
 				p = next
 			}
 			p.Cdr = box(a[1])
 			return a[0]
 		},
+		// memq and member return the terminating tail when nothing
+		// matches — the library walks with (while (consp l) ...) and
+		// returns l, so an improper list yields its non-nil tail.
 		"memq": func(ip *Interp, a []Value) Value {
 			for l := a[1]; ; {
 				c, ok := l.(*sexpr.Cell)
 				if !ok {
-					return nil
+					return l
 				}
+				ip.tick()
 				if eqv(unwrap(c.Car), a[0]) {
 					return c
 				}
@@ -171,20 +356,22 @@ func init() {
 			for l := a[1]; ; {
 				c, ok := l.(*sexpr.Cell)
 				if !ok {
-					return nil
+					return l
 				}
-				if structEqual(unwrap(c.Car), a[0]) {
+				ip.tick()
+				if ip.structEqual(unwrap(c.Car), a[0]) {
 					return c
 				}
 				l = unwrap(c.Cdr)
 			}
 		},
-		"assq":  assocBy(eqv),
-		"assoc": assocBy(structEqual),
+		"assq":  assocBy((*Interp).eqvArg),
+		"assoc": assocBy((*Interp).structEqual),
 		"nth": func(ip *Interp, a []Value) Value {
 			n := ip.wantInt(a[0])
 			l := a[1]
 			for ; n > 0; n-- {
+				ip.tick()
 				c, ok := l.(*sexpr.Cell)
 				if !ok {
 					ip.fail(1, l)
@@ -204,12 +391,13 @@ func init() {
 				if !ok {
 					return p
 				}
+				ip.tick()
 				p = next
 			}
 		},
 		"copy-list": func(ip *Interp, a []Value) Value {
-			items := listItems(a[0])
-			tail := tailOf(a[0])
+			items := ip.listItems(a[0])
+			tail := ip.tailOf(a[0])
 			out := tail
 			for i := len(items) - 1; i >= 0; i-- {
 				out = &sexpr.Cell{Car: items[i], Cdr: out}
@@ -224,6 +412,7 @@ func init() {
 				if !ok {
 					return nil
 				}
+				ip.tick()
 				next := unwrap(c.Cdr).(*sexpr.Cell)
 				if eqv(unwrap(c.Car), a[1]) {
 					return unwrap(next.Car)
@@ -238,6 +427,7 @@ func init() {
 				if !ok {
 					break
 				}
+				ip.tick()
 				next := unwrap(c.Cdr).(*sexpr.Cell)
 				if eqv(unwrap(c.Car), a[1]) {
 					next.Car = box(a[2])
@@ -294,11 +484,11 @@ func init() {
 		},
 
 		"princ": func(ip *Interp, a []Value) Value {
-			ip.Out.WriteString(princString(a[0]))
+			ip.Out.WriteString(ip.princString(a[0]))
 			return a[0]
 		},
 		"print": func(ip *Interp, a []Value) Value {
-			ip.Out.WriteString(princString(a[0]))
+			ip.Out.WriteString(ip.princString(a[0]))
 			ip.Out.WriteByte('\n')
 			return a[0]
 		},
@@ -309,45 +499,24 @@ func init() {
 	}
 }
 
-func arith2(op func(x, y int64) int64) primitive {
-	return func(ip *Interp, a []Value) Value {
-		// n-ary chains left-associate like the compiler's expansion.
-		acc := ip.wantInt(a[0])
-		for _, v := range a[1:] {
-			acc = op(acc, ip.wantInt(v))
-		}
-		return sexpr.Int(acc)
-	}
-}
+// eqvArg adapts eqv to the assocBy method signature.
+func (ip *Interp) eqvArg(a, b Value) bool { return eqv(a, b) }
 
-func arithDiv(rem bool) primitive {
-	return func(ip *Interp, a []Value) Value {
-		x, y := ip.wantInt(a[0]), ip.wantInt(a[1])
-		if y == 0 {
-			ip.fail(7, a[1])
-		}
-		if rem {
-			return sexpr.Int(x % y)
-		}
-		return sexpr.Int(x / y)
-	}
-}
-
-func cmp2(op func(x, y int64) bool) primitive {
-	return func(ip *Interp, a []Value) Value {
-		return ip.bool2v(op(ip.wantInt(a[0]), ip.wantInt(a[1])))
-	}
-}
-
-func assocBy(same func(a, b Value) bool) primitive {
+func assocBy(same func(ip *Interp, a, b Value) bool) primitive {
 	return func(ip *Interp, a []Value) Value {
 		for l := a[1]; ; {
 			c, ok := l.(*sexpr.Cell)
 			if !ok {
 				return nil
 			}
+			ip.tick()
+			// The library compares with (caar l): a non-pair element is
+			// a car-of-non-pair error, not a skip.
 			pair, ok := unwrap(c.Car).(*sexpr.Cell)
-			if ok && same(unwrap(pair.Car), a[0]) {
+			if !ok {
+				ip.fail(1, unwrap(c.Car))
+			}
+			if same(ip, unwrap(pair.Car), a[0]) {
 				return pair
 			}
 			l = unwrap(c.Cdr)
@@ -385,6 +554,7 @@ func wantVector(ip *Interp, v Value) *Vector {
 // eqv is machine eq: identity for heap objects, value identity for
 // immediates. Distinct string literals with equal contents are eq on the
 // machine (the image builder memoizes them), so strings compare by value.
+// Floats are heap-boxed on the machine, so *Float compares by pointer.
 func eqv(a, b Value) bool {
 	switch x := a.(type) {
 	case sexpr.Int:
@@ -397,47 +567,56 @@ func eqv(a, b Value) bool {
 	return a == b
 }
 
-func structEqual(a, b Value) bool {
+// structEqual is the library's equal: eq, or pairwise recursion on conses.
+// It ticks so that comparing cyclic structures exhausts the step budget
+// like the machine exhausts MaxCycles.
+func (ip *Interp) structEqual(a, b Value) bool {
+	ip.tick()
 	if eqv(a, b) {
 		return true
 	}
 	x, ok1 := a.(*sexpr.Cell)
 	y, ok2 := b.(*sexpr.Cell)
 	if ok1 && ok2 {
-		return structEqual(unwrap(x.Car), unwrap(y.Car)) &&
-			structEqual(unwrap(x.Cdr), unwrap(y.Cdr))
+		return ip.structEqual(unwrap(x.Car), unwrap(y.Car)) &&
+			ip.structEqual(unwrap(x.Cdr), unwrap(y.Cdr))
 	}
 	return false
 }
 
-func listItems(v Value) []sexpr.Value {
+func (ip *Interp) listItems(v Value) []sexpr.Value {
 	var out []sexpr.Value
 	for {
 		c, ok := v.(*sexpr.Cell)
 		if !ok {
 			return out
 		}
+		ip.tick()
 		out = append(out, c.Car)
 		v = unwrap(c.Cdr)
 	}
 }
 
-func tailOf(v Value) sexpr.Value {
+func (ip *Interp) tailOf(v Value) sexpr.Value {
 	for {
 		c, ok := v.(*sexpr.Cell)
 		if !ok {
 			return box(v)
 		}
+		ip.tick()
 		v = unwrap(c.Cdr)
 	}
 }
 
 // princString renders like the runtime's princ (symbols unquoted, lists in
-// parentheses, floats as truncated integers with an f prefix).
-func princString(v Value) string {
+// parentheses, floats as truncated integers with an f prefix). It ticks per
+// emitted element so printing a cyclic structure terminates via the step
+// budget.
+func (ip *Interp) princString(v Value) string {
 	var sb strings.Builder
 	var emit func(v Value)
 	emit = func(v Value) {
+		ip.tick()
 		switch x := v.(type) {
 		case nil:
 			sb.WriteString("nil")
@@ -447,8 +626,8 @@ func princString(v Value) string {
 			sb.WriteString(string(x))
 		case *sexpr.Sym:
 			sb.WriteString(x.Name)
-		case Float:
-			fmt.Fprintf(&sb, "f%d", int32(x))
+		case *Float:
+			fmt.Fprintf(&sb, "f%d", int32(*x))
 		case *Vector:
 			sb.WriteString("#(")
 			for i, e := range x.Elems {

@@ -96,6 +96,13 @@ func (c *Compiler) compileFunction(info *FnInfo, params []*sexpr.Sym, body []sex
 		}
 	}()
 
+	// An empty body evaluates to nil — both a (defun f (x)) with no forms
+	// and the synthesized toplevel of a unit with no top-level forms —
+	// matching the interpreter's verdict.
+	if len(body) == 0 {
+		body = []sexpr.Value{&sexpr.Sym{Name: "nil"}}
+	}
+
 	start := c.A.Len()
 	nLocals := len(params) + countBindings(body)
 	f.nRegLocals = nLocals
@@ -326,8 +333,14 @@ func (f *fnc) free(o operand) {
 // the register. The operand remains owned by the caller.
 func (f *fnc) reg(o operand) uint8 {
 	t := o.tmp
-	if t == nil || !t.spilled {
+	if t == nil {
 		return o.reg
+	}
+	if !t.spilled {
+		// The temp's register, not the operand's snapshot: a spill/reload
+		// cycle since the operand was made moves the temp to a new register,
+		// and stale operand copies must follow it.
+		return t.reg
 	}
 	// Reload into a fresh pool register, spilling an unpinned victim when
 	// the pool is full.

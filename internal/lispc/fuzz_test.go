@@ -162,44 +162,65 @@ func (g *exprGen) genProgram() string {
 	return b.String()
 }
 
+// fuzzConfigs are the build configurations the differential targets rotate
+// through.
+var fuzzConfigs = []rt.BuildOptions{
+	{Scheme: tags.High5, Checking: false},
+	{Scheme: tags.High5, Checking: true},
+	{Scheme: tags.Low3, Checking: true},
+	{Scheme: tags.Low2, Checking: true},
+	{Scheme: tags.High6, Checking: true},
+	{Scheme: tags.High5, Checking: true,
+		HW: tags.HW{MemIgnoresTags: true, TagBranch: true, ArithTrap: true, ParallelCheckAll: true}},
+}
+
+// runDifferential generates the program for one seed and requires the
+// compiled/simulated result to equal the reference interpreter's under cfg.
+func runDifferential(t testing.TB, seed int64, cfg rt.BuildOptions) {
+	g := &exprGen{seed: seed * 2654435761}
+	src := g.genProgram()
+	ip := interp.New()
+	want, err := ip.Run(src)
+	if err != nil {
+		t.Fatalf("seed %d: oracle failed on\n%s\n%v", seed, src, err)
+	}
+	wantStr := interp.String(want)
+	img, err := rt.Build(src, cfg)
+	if err != nil {
+		t.Fatalf("seed %d (%v): build failed on\n%s\n%v", seed, cfg.Scheme, src, err)
+	}
+	m := img.NewMachine()
+	m.MaxCycles = 50_000_000
+	if err := m.Run(); err != nil {
+		t.Fatalf("seed %d (%v checking=%v): run failed on\n%s\n%v",
+			seed, cfg.Scheme, cfg.Checking, src, err)
+	}
+	got := sexpr.String(img.DecodeItem(m.Mem, m.Regs[2]))
+	if got != wantStr {
+		t.Errorf("seed %d (%v checking=%v): machine %s, oracle %s\nprogram:\n%s",
+			seed, cfg.Scheme, cfg.Checking, got, wantStr, src)
+	}
+}
+
 // TestCompilerFuzzDifferential generates random typed expression programs
 // and requires the compiled/simulated result to equal the reference
-// interpreter's, under two tag schemes and both checking modes.
+// interpreter's, across tag schemes, checking modes, and a hardware point.
 func TestCompilerFuzzDifferential(t *testing.T) {
-	configs := []rt.BuildOptions{
-		{Scheme: tags.High5, Checking: false},
-		{Scheme: tags.High5, Checking: true},
-		{Scheme: tags.Low3, Checking: true},
-		{Scheme: tags.Low2, Checking: true},
-		{Scheme: tags.High6, Checking: true},
-		{Scheme: tags.High5, Checking: true,
-			HW: tags.HW{MemIgnoresTags: true, TagBranch: true, ArithTrap: true, ParallelCheckAll: true}},
-	}
 	for seed := int64(1); seed <= 80; seed++ {
-		g := &exprGen{seed: seed * 2654435761}
-		src := g.genProgram()
-		ip := interp.New()
-		want, err := ip.Run(src)
-		if err != nil {
-			t.Fatalf("seed %d: oracle failed on\n%s\n%v", seed, src, err)
-		}
-		wantStr := interp.String(want)
-		cfgIdx := seed % int64(len(configs))
-		cfg := configs[cfgIdx]
-		img, err := rt.Build(src, cfg)
-		if err != nil {
-			t.Fatalf("seed %d (%v): build failed on\n%s\n%v", seed, cfg.Scheme, src, err)
-		}
-		m := img.NewMachine()
-		m.MaxCycles = 50_000_000
-		if err := m.Run(); err != nil {
-			t.Fatalf("seed %d (%v checking=%v): run failed on\n%s\n%v",
-				seed, cfg.Scheme, cfg.Checking, src, err)
-		}
-		got := sexpr.String(img.DecodeItem(m.Mem, m.Regs[2]))
-		if got != wantStr {
-			t.Errorf("seed %d (%v checking=%v): machine %s, oracle %s\nprogram:\n%s",
-				seed, cfg.Scheme, cfg.Checking, got, wantStr, src)
-		}
+		runDifferential(t, seed, fuzzConfigs[seed%int64(len(fuzzConfigs))])
 	}
+}
+
+// FuzzCompilerDifferential is the open-ended form: the fuzzer supplies the
+// generator seed, and every configuration is checked for that seed (the
+// generator is total over seeds, so every input is interesting).
+func FuzzCompilerDifferential(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		for _, cfg := range fuzzConfigs {
+			runDifferential(t, seed, cfg)
+		}
+	})
 }

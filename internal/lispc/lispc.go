@@ -185,10 +185,10 @@ func (c *Compiler) CompileUnit(forms []sexpr.Value, toplevelName string, sourceL
 		toplevel = append(toplevel, f)
 	}
 	if toplevelName != "" {
+		// compileFunction pads an empty body to return nil, so a unit with
+		// no top-level forms evaluates to nil like the empty program does
+		// under the interpreter.
 		body := append([]sexpr.Value{}, toplevel...)
-		if len(body) == 0 {
-			body = []sexpr.Value{sexpr.Int(0)}
-		}
 		info, ok := c.Funcs[toplevelName]
 		if !ok {
 			info = &FnInfo{Name: toplevelName, Label: c.A.NewLabel("fn:" + toplevelName)}

@@ -218,10 +218,15 @@ func primCons(f *fnc, _ string, args []sexpr.Value) operand {
 	f.a.Addi(mipsx.RHP, mipsx.RHP, 8)
 	f.a.Bind(cont)
 
+	// Snapshot the result register: the deferred block is emitted at the
+	// end of the function, by which time the temp may have been spilled
+	// and t.reg reassigned, but the join point at cont expects the result
+	// where the inline sequence left it now.
+	rd := t.reg
 	f.deferSlowCall(slow, cont, "sys-cons", []uint8{r1, r2}, nil,
-		[]operand{o1, o2, {reg: t.reg, tmp: t}}, func() {
+		[]operand{o1, o2, {reg: rd, tmp: t}}, func() {
 			f.a.Work()
-			f.a.Mov(t.reg, mipsx.RRet)
+			f.a.Mov(rd, mipsx.RRet)
 		})
 
 	t.pinned = false
@@ -368,15 +373,16 @@ func (f *fnc) emitCheckedArith(name string, t *tempEntry, r1, r2 uint8, o1, o2 o
 	f.a.SlotSafe(t.reg)
 	defer f.a.SlotSafe()
 	switch {
-	case s.Kind() == tags.High6 && isAddSub:
-		// §4.2: the encoding guarantees one integer test on the result
-		// catches non-integer operands and overflow alike.
+	case s.Kind() == tags.High6 && name == "+":
+		// §4.2: the encoding guarantees one integer test on the result of
+		// an ADD catches non-integer operands and overflow alike (any two
+		// non-integer tags sum outside the integer tags). The same test is
+		// unsound for subtraction: equal pointer tags cancel, so two
+		// same-type heap pointers less than 2^25 words apart subtract to a
+		// sign-extended fixnum. Subtraction takes the operand-tested path
+		// below.
 		f.a.Work()
-		if name == "+" {
-			f.a.Add(t.reg, r1, r2)
-		} else {
-			f.a.Sub(t.reg, r1, r2)
-		}
+		f.a.Add(t.reg, r1, r2)
 		f.withSub(mipsx.SubArith, true)
 		tags.EmitIntTest(f.a, s, t.reg, scratch, false, slow)
 		f.a.Work()
@@ -412,10 +418,15 @@ func (f *fnc) emitCheckedArith(name string, t *tempEntry, r1, r2 uint8, o1, o2 o
 }
 
 func (f *fnc) deferGeneric(slow, cont mipsx.Label, genFn string, t *tempEntry, r1, r2 uint8, o1, o2 operand) {
+	// Snapshot the result register now: the closure runs when the deferred
+	// block is emitted at the end of the function, after the temp may have
+	// been spilled and t.reg reassigned to the reload register. The join
+	// point expects the result in the register the inline fast path used.
+	rd := t.reg
 	f.deferSlowCallClear(slow, cont, genFn, []uint8{r1, r2}, nil,
-		[]operand{o1, o2, {reg: t.reg, tmp: t}}, []uint8{t.reg}, func() {
+		[]operand{o1, o2, {reg: rd, tmp: t}}, []uint8{rd}, func() {
 			f.a.Work()
-			f.a.Mov(t.reg, mipsx.RRet)
+			f.a.Mov(rd, mipsx.RRet)
 		})
 }
 
@@ -506,11 +517,14 @@ func primIncDec(f *fnc, name string, args []sexpr.Value) operand {
 		if name == "1-" {
 			op = "sub"
 		}
+		// Snapshot the result register before deferring: t.reg may be
+		// reassigned by a spill before the slow block is emitted.
+		rd := t.reg
 		f.deferSlowCallClear(slow, cont, "generic-"+op, []uint8{r},
 			[]uint32{f.intItem(1)},
-			[]operand{o, {reg: t.reg, tmp: t}}, []uint8{t.reg}, func() {
+			[]operand{o, {reg: rd, tmp: t}}, []uint8{rd}, func() {
 				f.a.Work()
-				f.a.Mov(t.reg, mipsx.RRet)
+				f.a.Mov(rd, mipsx.RRet)
 			})
 	}
 	t.pinned = false

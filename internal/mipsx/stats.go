@@ -1,5 +1,7 @@
 package mipsx
 
+import "fmt"
+
 // Stats accumulates execution statistics. Every executed cycle is attributed
 // to exactly one Category; cycles spent in tag checks are additionally
 // attributed to a SubCat, and cycles of instructions that exist only because
@@ -41,6 +43,46 @@ func (s *Stats) add(in *Instr, cycles uint64) {
 // branches, per the paper's costing).
 func (s *Stats) TagCycles() uint64 {
 	return s.ByCat[CatTagInsert] + s.ByCat[CatTagRemove] + s.ByCat[CatTagExtract] + s.ByCat[CatTagCheck]
+}
+
+// CheckInvariants verifies the accounting identities every run must
+// satisfy, whichever engine produced the numbers:
+//
+//   - category cycles sum to total cycles, except that trap entry/return
+//     overhead (TrapCycles per transition) is charged to no category, so
+//     with traps the category sum may only fall short, never exceed;
+//   - tag-handling cycles are a subset of all cycles;
+//   - per-opcode execution counts sum to Instrs minus the annulled delay
+//     slots, which retire without an opcode.
+//
+// A violation means an engine is double- or under-charging somewhere, which
+// would silently corrupt every table in the paper reproduction.
+func (s *Stats) CheckInvariants() error {
+	var cat uint64
+	for _, c := range s.ByCat {
+		cat += c
+	}
+	if cat > s.Cycles {
+		return fmt.Errorf("category cycles %d exceed total cycles %d", cat, s.Cycles)
+	}
+	if cat != s.Cycles && s.Traps == 0 {
+		return fmt.Errorf("category cycles %d != total cycles %d with no traps", cat, s.Cycles)
+	}
+	if tc := s.TagCycles(); tc > s.Cycles {
+		return fmt.Errorf("tag cycles %d exceed total cycles %d", tc, s.Cycles)
+	}
+	var ops uint64
+	for _, c := range s.ByOp {
+		ops += c
+	}
+	if ops != s.Instrs-s.Squashed {
+		return fmt.Errorf("opcode counts sum to %d, want Instrs-Squashed = %d",
+			ops, s.Instrs-s.Squashed)
+	}
+	if s.Stalls > s.Cycles {
+		return fmt.Errorf("stall cycles %d exceed total cycles %d", s.Stalls, s.Cycles)
+	}
+	return nil
 }
 
 // Pct returns 100*part/total, or 0 when total is zero.

@@ -83,7 +83,9 @@ var libSource = `
   (sys-make-vector n init))
 
 (defun float (n)
-  (if (floatp n) n (sys-box-float (%itof (%int->raw n)))))
+  (cond ((floatp n) n)
+        ((intp n) (sys-box-float (%itof (%int->raw n))))
+        (t (error 6 n))))
 
 (defun min (a b) (if (< a b) a b))
 (defun max (a b) (if (> a b) a b))

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -58,9 +59,14 @@ func (c ConfigSpec) MarshalJSON() ([]byte, error) {
 	return json.Marshal(c.Config.String())
 }
 
-// RunRequest asks for one program under one configuration.
+// RunRequest asks for one program under one configuration. Exactly one of
+// Program (a benchmark from the inventory) or Source (inline Lisp source,
+// compiled and run as an anonymous program — the transport the differential
+// fuzzer uses to replay generated programs against a live service) must be
+// set.
 type RunRequest struct {
-	Program string     `json:"program"`
+	Program string     `json:"program,omitempty"`
+	Source  string     `json:"source,omitempty"`
 	Config  ConfigSpec `json:"config"`
 	// TimeoutMS overrides the server's default per-request deadline,
 	// clamped to the server's maximum.
@@ -149,10 +155,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	p, ok := programs.ByName(req.Program)
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown program %q", req.Program)
+	var p *programs.Program
+	switch {
+	case req.Source != "" && req.Program != "":
+		writeError(w, http.StatusBadRequest, "program and source are mutually exclusive")
 		return
+	case req.Source != "":
+		p = inlineProgram(req.Source)
+	default:
+		var ok bool
+		p, ok = programs.ByName(req.Program)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown program %q", req.Program)
+			return
+		}
 	}
 	release, ok := s.admit(w)
 	if !ok {
@@ -278,6 +294,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, status, resp)
+}
+
+// inlineProgram wraps ad-hoc source as an anonymous program. The name is
+// content-addressed so the runner's result cache keys distinct sources
+// distinctly and replays of the same source hit.
+func inlineProgram(src string) *programs.Program {
+	h := fnv.New64a()
+	h.Write([]byte(src))
+	return &programs.Program{
+		Name:        fmt.Sprintf("inline-%016x", h.Sum64()),
+		Description: "inline source",
+		Source:      src,
+	}
 }
 
 // programInfo is one entry of GET /v1/programs.

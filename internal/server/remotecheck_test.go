@@ -1,0 +1,44 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/difftest"
+)
+
+// TestRemoteCheckAgainstService closes the fuzz-harness/service loop
+// end-to-end: the harness submits inline sources over POST /v1/run to a real
+// server instance and requires the service's value, output, and cycle
+// accounting to match a local simulation — both for fixed programs and for
+// generator output, both cold and through the result cache.
+func TestRemoteCheckAgainstService(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	sources := []string{
+		`(+ 1 2)`,
+		`(let ((l (list 'a 'b 'c))) (princ (length l)) (reverse l))`,
+		difftest.Generate(difftest.NewSeeded(11)),
+		difftest.Generate(difftest.NewSeeded(23)),
+	}
+	specs := []string{"high5", "high5+check", "high6+check+mem+tbr"}
+	for _, src := range sources {
+		for _, spec := range specs {
+			cfg, err := core.ParseConfig(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Twice: the second request is served from the result cache and
+			// must be bit-identical to the fresh simulation too.
+			for pass := 0; pass < 2; pass++ {
+				if f := difftest.RemoteCheck(ctx, ts.Client(), ts.URL, src, cfg); f != nil {
+					t.Fatalf("pass %d under %s: %v\nprogram:\n%s", pass, spec, f, src)
+				}
+			}
+		}
+	}
+}
