@@ -27,11 +27,25 @@ smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# Archive a throughput run (both engines) as BENCH_<n>.json at the repo
-# root, picking the lowest unused index.
+# Archive a throughput run (all three engines) as BENCH_<n>.json at the
+# repo root, picking the lowest unused index.
 .PHONY: bench-json
 bench-json:
 	$(GO) run ./cmd/benchjson
+
+# Per-engine throughput comparison: runs BenchmarkPrograms under all three
+# engines at BENCHTIME iterations each, prints Minstr/s side by side with
+# the translated/fused speedup, and archives the run as BENCH_<n>.json.
+BENCHTIME ?= 3x
+.PHONY: bench-compare
+bench-compare:
+	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME)
+
+# CI bench smoke: a short BenchmarkEngine pass that fails if the translated
+# engine is slower than the fused loop (geomean over the programs).
+.PHONY: bench-smoke
+bench-smoke:
+	$(GO) run ./cmd/benchjson -smoke -out bench-smoke.txt
 
 # Race-detector pass over the concurrent machinery: the runner cache and
 # single-flight, context cancellation in the engines, and the whole server
@@ -39,7 +53,7 @@ bench-json:
 # core/mipsx are filtered to the concurrency tests; server runs entirely.
 .PHONY: race
 race:
-	$(GO) test -race -run 'Concurrent|Parallel|Cancel|Deadline|CacheLRU|Prewarm' ./internal/core ./internal/mipsx
+	$(GO) test -race -run 'Concurrent|Parallel|Cancel|Deadline|CacheLRU|Prewarm|SharedCache' ./internal/core ./internal/mipsx
 	$(GO) test -race ./internal/server
 
 # Short-budget coverage-guided fuzzing over every fuzz target: the

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/mipsx"
 	"repro/internal/programs"
 	"repro/internal/rt"
 	"repro/internal/tags"
@@ -186,12 +187,9 @@ func BenchmarkSection622Dispatch(b *testing.B) {
 	b.ReportMetric(100*d.TrapOverhead, "trap-overhead-%")
 }
 
-// BenchmarkPrograms measures raw simulation throughput per program on the
-// baseline configuration (a property of this reproduction, not the paper).
-// Set SIM_ENGINE=reference to measure the single-step reference engine
-// instead of the fused loop.
-func BenchmarkPrograms(b *testing.B) {
-	reference := os.Getenv("SIM_ENGINE") == "reference"
+// benchPrograms runs every PSL workload under one engine and reports
+// Minstr/s per program.
+func benchPrograms(b *testing.B, engine mipsx.Engine) {
 	for _, p := range programs.All() {
 		p := p
 		b.Run(p.Name, func(b *testing.B) {
@@ -206,12 +204,7 @@ func BenchmarkPrograms(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				m := img.NewMachine()
 				m.MaxCycles = 3_000_000_000
-				if reference {
-					err = m.RunReference()
-				} else {
-					err = m.Run()
-				}
-				if err != nil {
+				if err := m.RunEngine(engine); err != nil {
 					b.Fatal(err)
 				}
 				cycles = m.Stats.Cycles
@@ -221,5 +214,27 @@ func BenchmarkPrograms(b *testing.B) {
 			b.ReportMetric(float64(cycles), "sim-cycles")
 			b.ReportMetric(float64(instrs)*float64(b.N)/float64(b.Elapsed().Nanoseconds())*1e3, "Minstr/s")
 		})
+	}
+}
+
+// BenchmarkPrograms measures raw simulation throughput per program on the
+// baseline configuration (a property of this reproduction, not the paper).
+// Set SIM_ENGINE=fused or SIM_ENGINE=reference to measure those engines
+// instead of the default basic-block translator.
+func BenchmarkPrograms(b *testing.B) {
+	engine, err := mipsx.ParseEngine(os.Getenv("SIM_ENGINE"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPrograms(b, engine)
+}
+
+// BenchmarkEngine runs the same workloads under every engine in one
+// invocation, so `go test -bench=Engine` yields a side-by-side throughput
+// comparison (the CI smoke step and `make bench-compare` consume it).
+func BenchmarkEngine(b *testing.B) {
+	for _, e := range []mipsx.Engine{mipsx.EngineTranslated, mipsx.EngineFused, mipsx.EngineReference} {
+		e := e
+		b.Run(e.String(), func(b *testing.B) { benchPrograms(b, e) })
 	}
 }

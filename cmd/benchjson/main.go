@@ -1,14 +1,21 @@
 // Command benchjson runs the BenchmarkPrograms throughput benchmark under
-// both simulator engines and archives the result as BENCH_<n>.json at the
-// repository root (the lowest unused index). The Makefile target
-// `make bench-json` invokes it.
+// all three simulator engines and archives the result as BENCH_<n>.json at
+// the repository root (the lowest unused index). The Makefile target
+// `make bench-json` invokes it; `make bench-compare` prints the per-engine
+// comparison table from a fresh run.
+//
+// With -smoke, it instead runs a short BenchmarkEngine pass and fails if
+// the translated engine is slower than the fused loop (geometric mean over
+// the benchmark programs) — the CI guard against a translation regression.
 package main
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"runtime"
@@ -25,12 +32,13 @@ type Doc struct {
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchtime  string   `json:"benchtime"`
 	Engines    []Engine `json:"engines"`
 }
 
 // Engine holds one engine's per-program results.
 type Engine struct {
-	Name     string    `json:"name"` // "fused" or "reference"
+	Name     string    `json:"name"` // "translated", "fused" or "reference"
 	Programs []Program `json:"programs"`
 }
 
@@ -45,14 +53,31 @@ type Program struct {
 	AllocsOp  float64 `json:"allocs_per_op"`
 }
 
+// engines lists the selector spellings passed through SIM_ENGINE. The
+// names are explicit (never "") because the empty selector means the
+// default engine, which would silently re-measure translated twice.
+var engines = []string{"translated", "fused", "reference"}
+
 func main() {
-	if err := run(); err != nil {
+	smoke := flag.Bool("smoke", false, "short BenchmarkEngine run; exit nonzero if translated is slower than fused")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime for the archived run")
+	smoketime := flag.String("smoketime", "200ms", "go test -benchtime for -smoke")
+	out := flag.String("out", "", "output path (default: BENCH_<n>.json for the lowest unused n; -smoke default: no file)")
+	flag.Parse()
+
+	var err error
+	if *smoke {
+		err = runSmoke(*smoketime, *out)
+	} else {
+		err = runArchive(*benchtime, *out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func runArchive(benchtime, out string) error {
 	doc := Doc{
 		Schema:     "tagsim-bench/v1",
 		Date:       time.Now().UTC().Format(time.RFC3339),
@@ -60,22 +85,24 @@ func run() error {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  benchtime,
 	}
-	for _, eng := range []struct{ name, env string }{
-		{"fused", ""},
-		{"reference", "reference"},
-	} {
-		out, err := runBench(eng.env)
+	for _, eng := range engines {
+		outBuf, err := runBench("^BenchmarkPrograms$", benchtime, eng)
 		if err != nil {
-			return fmt.Errorf("engine %s: %w", eng.name, err)
+			return fmt.Errorf("engine %s: %w", eng, err)
 		}
-		progs, err := parseBench(out)
+		progs, err := parseBench(outBuf, "BenchmarkPrograms/")
 		if err != nil {
-			return fmt.Errorf("engine %s: %w", eng.name, err)
+			return fmt.Errorf("engine %s: %w", eng, err)
 		}
-		doc.Engines = append(doc.Engines, Engine{Name: eng.name, Programs: progs})
+		doc.Engines = append(doc.Engines, Engine{Name: eng, Programs: progs})
 	}
-	path := nextBenchFile()
+	printComparison(&doc)
+	path := out
+	if path == "" {
+		path = nextBenchFile()
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -93,9 +120,89 @@ func run() error {
 	return nil
 }
 
-func runBench(simEngine string) ([]byte, error) {
+// runSmoke runs BenchmarkEngine once (translated + fused sub-benchmarks
+// share the pass) and fails if translated is slower than fused in
+// geometric mean — individual programs jitter at short benchtimes, the
+// mean does not invert unless the translation layer actually regressed.
+func runSmoke(benchtime, out string) error {
+	outBuf, err := runBench("^BenchmarkEngine$/^(translated|fused)$", benchtime, "")
+	if err != nil {
+		return err
+	}
+	byEngine := map[string]map[string]float64{}
+	for _, eng := range []string{"translated", "fused"} {
+		progs, err := parseBench(outBuf, "BenchmarkEngine/"+eng+"/")
+		if err != nil {
+			return fmt.Errorf("engine %s: %w", eng, err)
+		}
+		m := map[string]float64{}
+		for _, p := range progs {
+			m[p.Name] = p.MinstrS
+		}
+		byEngine[eng] = m
+	}
+	if out != "" {
+		if err := os.WriteFile(out, outBuf, 0o644); err != nil {
+			return err
+		}
+	}
+	logRatio, n := 0.0, 0
+	fmt.Printf("%-8s %12s %12s %8s\n", "program", "translated", "fused", "ratio")
+	for name, tr := range byEngine["translated"] {
+		fu := byEngine["fused"][name]
+		if tr <= 0 || fu <= 0 {
+			continue
+		}
+		fmt.Printf("%-8s %9.1f M/s %9.1f M/s %7.2fx\n", name, tr, fu, tr/fu)
+		logRatio += math.Log(tr / fu)
+		n++
+	}
+	if n == 0 {
+		return fmt.Errorf("no comparable benchmark lines:\n%s", outBuf)
+	}
+	geomean := math.Exp(logRatio / float64(n))
+	fmt.Printf("geomean translated/fused: %.2fx over %d programs\n", geomean, n)
+	if geomean < 1.0 {
+		return fmt.Errorf("translated engine slower than fused (geomean %.2fx < 1.0)", geomean)
+	}
+	return nil
+}
+
+// printComparison prints per-program Minstr/s side by side with the
+// translated/fused speedup column.
+func printComparison(doc *Doc) {
+	byEngine := map[string]map[string]float64{}
+	var order []string
+	for _, e := range doc.Engines {
+		m := map[string]float64{}
+		for _, p := range e.Programs {
+			m[p.Name] = p.MinstrS
+			if e.Name == doc.Engines[0].Name {
+				order = append(order, p.Name)
+			}
+		}
+		byEngine[e.Name] = m
+	}
+	fmt.Printf("%-8s", "program")
+	for _, e := range engines {
+		fmt.Printf(" %12s", e)
+	}
+	fmt.Printf(" %8s\n", "tr/fu")
+	for _, name := range order {
+		fmt.Printf("%-8s", name)
+		for _, e := range engines {
+			fmt.Printf(" %8.1f M/s", byEngine[e][name])
+		}
+		if fu := byEngine["fused"][name]; fu > 0 {
+			fmt.Printf(" %7.2fx", byEngine["translated"][name]/fu)
+		}
+		fmt.Println()
+	}
+}
+
+func runBench(pattern, benchtime, simEngine string) ([]byte, error) {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", "^BenchmarkPrograms$", "-benchtime", "1x", "-benchmem", ".")
+		"-bench", pattern, "-benchtime", benchtime, "-benchmem", ".")
 	cmd.Env = append(os.Environ(), "SIM_ENGINE="+simEngine)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
@@ -106,19 +213,19 @@ func runBench(simEngine string) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// parseBench extracts the sub-benchmark lines:
+// parseBench extracts the sub-benchmark lines under prefix:
 //
 //	BenchmarkPrograms/boyer-8  1  12345 ns/op  9.87 Minstr/s  107955837 sim-cycles  0 B/op  0 allocs/op
-func parseBench(out []byte) ([]Program, error) {
+func parseBench(out []byte, prefix string) ([]Program, error) {
 	var progs []Program
 	sc := bufio.NewScanner(bytes.NewReader(out))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		if len(fields) < 2 || !strings.HasPrefix(fields[0], "BenchmarkPrograms/") {
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], prefix) {
 			continue
 		}
-		name := strings.TrimPrefix(fields[0], "BenchmarkPrograms/")
+		name := strings.TrimPrefix(fields[0], prefix)
 		procs := 1
 		if i := strings.LastIndexByte(name, '-'); i >= 0 {
 			if n, err := strconv.Atoi(name[i+1:]); err == nil {
@@ -152,7 +259,7 @@ func parseBench(out []byte) ([]Program, error) {
 		return nil, err
 	}
 	if len(progs) == 0 {
-		return nil, fmt.Errorf("no BenchmarkPrograms lines in output:\n%s", out)
+		return nil, fmt.Errorf("no benchmark lines with prefix %s in output:\n%s", prefix, out)
 	}
 	return progs, nil
 }

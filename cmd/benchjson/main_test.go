@@ -12,7 +12,7 @@ BenchmarkPrograms/boyer-8         1   12345678 ns/op   9.87 Minstr/s   107955837
 BenchmarkPrograms/trav-8          1    2345678 ns/op  11.20 Minstr/s    22334455 sim-cycles     0 B/op   0 allocs/op
 PASS
 `)
-	progs, err := parseBench(out)
+	progs, err := parseBench(out, "BenchmarkPrograms/")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,8 +27,20 @@ PASS
 		p.BPerOp != 120 || p.AllocsOp != 3 {
 		t.Fatalf("metrics: %+v", p)
 	}
-	if _, err := parseBench([]byte("PASS\n")); err == nil {
+	if _, err := parseBench([]byte("PASS\n"), "BenchmarkPrograms/"); err == nil {
 		t.Fatal("empty benchmark output accepted")
+	}
+	// The prefix selects one engine's lines out of a BenchmarkEngine pass.
+	engineOut := []byte(`BenchmarkEngine/translated/boyer-8  1  100 ns/op  20.00 Minstr/s
+BenchmarkEngine/fused/boyer-8       1  150 ns/op  13.00 Minstr/s
+PASS
+`)
+	tr, err := parseBench(engineOut, "BenchmarkEngine/translated/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 1 || tr[0].Name != "boyer" || tr[0].MinstrS != 20 {
+		t.Fatalf("translated lines: %+v", tr)
 	}
 }
 

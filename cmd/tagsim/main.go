@@ -54,6 +54,7 @@ type options struct {
 	repl     bool
 	t2row    string
 	workers  int
+	engine   string
 
 	json         bool
 	traceOut     string
@@ -82,6 +83,7 @@ func main() {
 	flag.BoolVar(&o.repl, "repl", false, "interactive read-eval-print loop on the simulated machine")
 	flag.StringVar(&o.t2row, "table2-row", "", "per-program detail for one Table 2 row (1-7 or SPUR)")
 	flag.IntVar(&o.workers, "workers", 0, "parallel simulations in table/figure sweeps (default: one per CPU, GOMAXPROCS)")
+	flag.StringVar(&o.engine, "engine", "", "simulator engine: translated (default), fused, reference")
 	flag.BoolVar(&o.json, "json", false, "emit machine-readable JSON (schema "+core.SchemaVersion+") instead of text")
 	flag.StringVar(&o.traceOut, "trace-out", "", "with -program: write a Chrome trace_event timeline (chrome://tracing) to this file")
 	flag.StringVar(&o.flame, "flame", "", "with -program: write folded call stacks (flamegraph input) to this file")
@@ -149,6 +151,10 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	engine, err := mipsx.ParseEngine(o.engine)
+	if err != nil {
+		return err
+	}
 
 	if o.repl {
 		return runRepl(kind, hw, o.checking)
@@ -181,11 +187,12 @@ func run(o options) error {
 			}
 			return runProfiled(p, cfg)
 		}
-		return runOne(o.program, cfg, o)
+		return runOne(o.program, cfg, engine, o)
 	}
 
 	r := core.NewRunner()
 	r.Workers = o.workers
+	r.Engine = engine
 	doc := core.NewReport()
 	ran := false
 	emit := func(v any) {
@@ -319,7 +326,7 @@ func parseHW(s string) (tags.HW, error) { return core.ParseHW(s) }
 
 // runOne executes one program, with whatever observers the flags request
 // attached to the machine, and reports the run as text or JSON.
-func runOne(name string, cfg core.Config, o options) error {
+func runOne(name string, cfg core.Config, engine mipsx.Engine, o options) error {
 	p, ok := programs.ByName(name)
 	if !ok {
 		return fmt.Errorf("unknown program %q (try -list)", name)
@@ -355,12 +362,14 @@ func runOne(name string, cfg core.Config, o options) error {
 	m.Obs = obs.Tee(observers...)
 
 	// The reference engine emits per-instruction events; -events-out wants
-	// them, everything else takes the fused engine's control-flow stream.
+	// them regardless of -engine. Otherwise the selected engine runs (the
+	// translated default transparently falls back to the fused loop when
+	// -trace-out or -flame attached an observer).
 	var runErr error
 	if o.eventsOut != "" {
 		runErr = m.RunReference()
 	} else {
-		runErr = m.Run()
+		runErr = m.RunEngine(engine)
 	}
 
 	// Artifacts are written even for a failed run — a trace that ends at
@@ -404,6 +413,7 @@ func runOne(name string, cfg core.Config, o options) error {
 	if o.metricsOut != "" {
 		reg := obs.NewRegistry()
 		reg.RecordRun(p.Name, cfg.String(), &m.Stats)
+		reg.RecordTrans(&m.Trans)
 		if err := writeFile(o.metricsOut, reg.Snapshot().WriteJSON); err != nil {
 			return err
 		}

@@ -78,6 +78,13 @@ type Runner struct {
 	entries  map[string]*list.Element // key → element whose Value is *cacheEntry
 	lru      *list.List               // front = most recently used
 	inflight map[string]*flight
+	imgs     map[string]*list.Element // key → element whose Value is *imgEntry
+	imgLRU   *list.List               // front = most recently used image
+	// Engine selects the simulator engine for uncached runs. The zero
+	// value is mipsx.EngineTranslated (the fastest engine); every engine
+	// produces bit-identical results, so switching engines never
+	// invalidates cached results.
+	Engine mipsx.Engine
 	// MaxCycles bounds each run (default 2e9).
 	MaxCycles uint64
 	// Workers bounds Prewarm concurrency; zero or negative means one
@@ -106,6 +113,16 @@ type cacheEntry struct {
 	res *Result
 }
 
+// imgEntry is one image-cache LRU slot. The image holds the compiled
+// program, and through it the shared predecoded instruction stream and
+// translated-block cache, so sharing it across runs of the same
+// (program, config) means compilation, predecoding, and block
+// translation each happen once per key rather than once per run.
+type imgEntry struct {
+	key string
+	img *rt.Image
+}
+
 // flight is one in-progress uncached run; waiters block on done.
 type flight struct {
 	done chan struct{}
@@ -119,6 +136,8 @@ func NewRunner() *Runner {
 		entries:   make(map[string]*list.Element),
 		lru:       list.New(),
 		inflight:  make(map[string]*flight),
+		imgs:      make(map[string]*list.Element),
+		imgLRU:    list.New(),
 		MaxCycles: 2_000_000_000,
 		Metrics:   obs.NewRegistry(),
 	}
@@ -172,6 +191,15 @@ func (r *Runner) Run(p *programs.Program, cfg Config) (*Result, error) {
 // deterministic failure (build error, fault, runtime error) is returned
 // to every waiter.
 func (r *Runner) RunCtx(ctx context.Context, p *programs.Program, cfg Config) (*Result, error) {
+	return r.RunEngineCtx(ctx, p, cfg, r.Engine)
+}
+
+// RunEngineCtx is RunCtx with an explicit engine override for this
+// request. All engines produce bit-identical results, so the override
+// does not partition the cache: a cached or in-flight result produced by
+// any engine serves the request, and the override only decides which
+// engine an uncached run led by this request executes on.
+func (r *Runner) RunEngineCtx(ctx context.Context, p *programs.Program, cfg Config, engine mipsx.Engine) (*Result, error) {
 	key := p.Name + "/" + cfg.Key()
 	for {
 		r.mu.Lock()
@@ -201,7 +229,7 @@ func (r *Runner) RunCtx(ctx context.Context, p *programs.Program, cfg Config) (*
 		r.mu.Unlock()
 
 		r.Metrics.Add("run_cache_misses_total", 1)
-		f.res, f.err = r.runUncached(ctx, p, cfg, key)
+		f.res, f.err = r.runUncached(ctx, p, cfg, key, engine)
 		r.mu.Lock()
 		delete(r.inflight, key)
 		if f.err == nil {
@@ -219,8 +247,24 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// runUncached builds and executes one run; key labels errors.
-func (r *Runner) runUncached(ctx context.Context, p *programs.Program, cfg Config, key string) (*Result, error) {
+// imageFor returns the built image for key, memoized across runs. The
+// result cache holds only finished Results, so without this every
+// uncached run — including result-cache evictions and Observe-driven
+// re-runs — would recompile the program and re-translate its blocks;
+// sharing the image shares both. Concurrent builds of the same key are
+// already impossible (RunCtx single-flights per key), so a plain
+// mutex-guarded LRU suffices.
+func (r *Runner) imageFor(p *programs.Program, cfg Config, key string) (*rt.Image, error) {
+	r.mu.Lock()
+	if e, ok := r.imgs[key]; ok {
+		r.imgLRU.MoveToFront(e)
+		img := e.Value.(*imgEntry).img
+		r.mu.Unlock()
+		r.Metrics.Add("image_cache_hits_total", 1)
+		return img, nil
+	}
+	r.mu.Unlock()
+	r.Metrics.Add("image_cache_misses_total", 1)
 	img, err := rt.Build(p.Source, rt.BuildOptions{
 		Scheme:    cfg.Scheme,
 		HW:        cfg.HW,
@@ -230,6 +274,24 @@ func (r *Runner) runUncached(ctx context.Context, p *programs.Program, cfg Confi
 	if err != nil {
 		return nil, fmt.Errorf("%s: build: %w", key, err)
 	}
+	r.mu.Lock()
+	r.imgs[key] = r.imgLRU.PushFront(&imgEntry{key: key, img: img})
+	for r.CacheCap > 0 && r.imgLRU.Len() > r.CacheCap {
+		oldest := r.imgLRU.Back()
+		r.imgLRU.Remove(oldest)
+		delete(r.imgs, oldest.Value.(*imgEntry).key)
+		r.Metrics.Add("image_cache_evictions_total", 1)
+	}
+	r.mu.Unlock()
+	return img, nil
+}
+
+// runUncached builds and executes one run; key labels errors.
+func (r *Runner) runUncached(ctx context.Context, p *programs.Program, cfg Config, key string, engine mipsx.Engine) (*Result, error) {
+	img, err := r.imageFor(p, cfg, key)
+	if err != nil {
+		return nil, err
+	}
 	m := img.NewMachine()
 	m.MaxCycles = r.MaxCycles
 	if ctx != context.Background() {
@@ -238,7 +300,7 @@ func (r *Runner) runUncached(ctx context.Context, p *programs.Program, cfg Confi
 	if r.Observe != nil {
 		m.Obs = r.Observe(p, cfg)
 	}
-	if err := m.Run(); err != nil {
+	if err := m.RunEngine(engine); err != nil {
 		if isCancellation(err) {
 			r.Metrics.Add("runs_canceled_total", 1)
 		} else {
@@ -260,6 +322,7 @@ func (r *Runner) runUncached(ctx context.Context, p *programs.Program, cfg Confi
 		Output:  m.Output.String(),
 	}
 	r.Metrics.RecordRun(p.Name, cfg.String(), &m.Stats)
+	r.Metrics.RecordTrans(&m.Trans)
 	return res, nil
 }
 

@@ -10,12 +10,13 @@ import (
 	"repro/internal/tags"
 )
 
-// TestEngineEquivalence is the differential harness for the fused execution
-// loop: every program under the baseline configurations and every Table 2
-// hardware row runs on both the fused Run and the single-step reference
-// path, and everything observable — statistics, registers, memory, output,
-// and the decoded result — must be identical. The fused engine is only a
-// valid optimization if it does not change a single reproduced number.
+// TestEngineEquivalence is the differential harness for the optimized
+// execution engines: every program under the baseline configurations and
+// every Table 2 hardware row runs on the translated engine, the fused
+// loop, and the single-step reference path, and everything observable —
+// statistics, registers, memory, output, and the decoded result — must be
+// identical across all three. An engine is only a valid optimization if
+// it does not change a single reproduced number.
 func TestEngineEquivalence(t *testing.T) {
 	configs := []Config{Baseline(true), Baseline(false)}
 	for _, row := range Table2Rows {
@@ -40,43 +41,49 @@ func TestEngineEquivalence(t *testing.T) {
 					t.Fatalf("%s: build: %v", cfg, err)
 				}
 
-				fused := img.NewMachine()
-				fused.MaxCycles = 2_000_000_000
-				if err := fused.Run(); err != nil {
-					t.Fatalf("%s: fused run: %v", cfg, err)
-				}
 				ref := img.NewMachine()
 				ref.MaxCycles = 2_000_000_000
 				if err := ref.RunReference(); err != nil {
 					t.Fatalf("%s: reference run: %v", cfg, err)
 				}
-
-				if fused.Stats != ref.Stats {
-					t.Errorf("%s: stats diverge:\nfused: %+v\nref:   %+v", cfg, fused.Stats, ref.Stats)
-				}
-				if fused.Regs != ref.Regs {
-					t.Errorf("%s: registers diverge:\nfused: %v\nref:   %v", cfg, fused.Regs, ref.Regs)
-				}
-				if fused.PC != ref.PC {
-					t.Errorf("%s: final PC diverges: fused %d, ref %d", cfg, fused.PC, ref.PC)
-				}
-				if got, want := fused.Output.String(), ref.Output.String(); got != want {
-					t.Errorf("%s: output diverges:\nfused: %q\nref:   %q", cfg, got, want)
-				}
-				for i := range fused.Mem {
-					if fused.Mem[i] != ref.Mem[i] {
-						t.Errorf("%s: memory diverges at word %d (addr %#x): fused %#x, ref %#x",
-							cfg, i, 4*i, fused.Mem[i], ref.Mem[i])
-						break
-					}
-				}
-				value := sexpr.String(img.DecodeItem(fused.Mem, fused.Regs[mipsx.RRet]))
 				refValue := sexpr.String(img.DecodeItem(ref.Mem, ref.Regs[mipsx.RRet]))
-				if value != refValue {
-					t.Errorf("%s: decoded value diverges: fused %s, ref %s", cfg, value, refValue)
+				if p.Expected != "" && refValue != p.Expected {
+					t.Errorf("%s: result %s, want %s", cfg, refValue, p.Expected)
 				}
-				if p.Expected != "" && value != p.Expected {
-					t.Errorf("%s: result %s, want %s", cfg, value, p.Expected)
+
+				for _, engine := range []mipsx.Engine{mipsx.EngineTranslated, mipsx.EngineFused} {
+					m := img.NewMachine()
+					m.MaxCycles = 2_000_000_000
+					if err := m.RunEngine(engine); err != nil {
+						t.Fatalf("%s: %s run: %v", cfg, engine, err)
+					}
+
+					if m.Stats != ref.Stats {
+						t.Errorf("%s: stats diverge:\n%s: %+v\nref: %+v", cfg, engine, m.Stats, ref.Stats)
+					}
+					if m.Regs != ref.Regs {
+						t.Errorf("%s: registers diverge:\n%s: %v\nref: %v", cfg, engine, m.Regs, ref.Regs)
+					}
+					if m.PC != ref.PC {
+						t.Errorf("%s: final PC diverges: %s %d, ref %d", cfg, engine, m.PC, ref.PC)
+					}
+					if got, want := m.Output.String(), ref.Output.String(); got != want {
+						t.Errorf("%s: output diverges:\n%s: %q\nref: %q", cfg, engine, got, want)
+					}
+					for i := range m.Mem {
+						if m.Mem[i] != ref.Mem[i] {
+							t.Errorf("%s: memory diverges at word %d (addr %#x): %s %#x, ref %#x",
+								cfg, i, 4*i, engine, m.Mem[i], ref.Mem[i])
+							break
+						}
+					}
+					value := sexpr.String(img.DecodeItem(m.Mem, m.Regs[mipsx.RRet]))
+					if value != refValue {
+						t.Errorf("%s: decoded value diverges: %s %s, ref %s", cfg, engine, value, refValue)
+					}
+					if engine == mipsx.EngineTranslated && m.Trans.Fallbacks != 0 {
+						t.Errorf("%s: translated engine fell back to the fused loop", cfg)
+					}
 				}
 			}
 		})

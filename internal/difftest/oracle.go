@@ -115,15 +115,10 @@ type machineRun struct {
 	err     error
 }
 
-func runEngine(img *rt.Image, maxCycles uint64, reference bool) machineRun {
+func runEngine(img *rt.Image, maxCycles uint64, engine mipsx.Engine) machineRun {
 	m := img.NewMachine()
 	m.MaxCycles = maxCycles
-	var err error
-	if reference {
-		err = m.RunReference()
-	} else {
-		err = m.Run()
-	}
+	err := m.RunEngine(engine)
 	r := machineRun{m: m, err: err}
 	if re, ok := err.(*mipsx.RuntimeError); ok {
 		r.errc = re.Code
@@ -137,13 +132,14 @@ func runEngine(img *rt.Image, maxCycles uint64, reference bool) machineRun {
 	return r
 }
 
-// Check runs src through the interpreter and through compiled code on both
-// simulator engines under cfg, and returns the first divergence found, or
-// nil. The properties asserted:
+// Check runs src through the interpreter and through compiled code on all
+// three simulator engines under cfg, and returns the first divergence
+// found, or nil. The properties asserted:
 //
-//   - the fused and reference engines agree on every architectural outcome:
-//     statistics, registers, PC, output bytes, and final memory;
-//   - both satisfy the Stats accounting invariants;
+//   - the fused, translated and reference engines agree on every
+//     architectural outcome: statistics, registers, PC, output bytes, and
+//     final memory;
+//   - all three satisfy the Stats accounting invariants;
 //   - the machine result equals the interpreter's: same rendered value and
 //     same printed output, or the same Lisp error code when checking is
 //     compiled in. Under Checking=false the compiled fast paths assume
@@ -180,22 +176,28 @@ func Check(src string, cfg core.Config, opt Options) *Failure {
 			Detail: fmt.Sprintf("interpreter accepted but compiler rejected: %v", err)}
 	}
 
-	fused := runEngine(img, opt.MaxCycles, false)
-	ref := runEngine(img, opt.MaxCycles, true)
-	if fused.limited || ref.limited {
+	fused := runEngine(img, opt.MaxCycles, mipsx.EngineFused)
+	ref := runEngine(img, opt.MaxCycles, mipsx.EngineReference)
+	trans := runEngine(img, opt.MaxCycles, mipsx.EngineTranslated)
+	if fused.limited || ref.limited || trans.limited {
 		// The oracle terminated within its budget, so a machine run that
 		// exhausts 50M cycles is an interp/machine divergence only if the
 		// interpreter's verdict applies at all under this configuration.
+		// (Any engine hitting the limit censors the whole comparison: the
+		// engines enforce the limit at different granularities.)
 		if !cfg.Checking && (want.errc != 0 || want.floats) {
 			return nil
 		}
 		return &Failure{Kind: "error", Config: cfg.String(),
 			Detail: fmt.Sprintf("interpreter terminated, machine exceeded the cycle limit: %v", fused.err)}
 	}
-	if f := compareEngines(&fused, &ref, cfg); f != nil {
+	if f := compareEngines("fused", &fused, &ref, cfg); f != nil {
 		return f
 	}
-	for _, r := range []*machineRun{&fused, &ref} {
+	if f := compareEngines("translated", &trans, &ref, cfg); f != nil {
+		return f
+	}
+	for _, r := range []*machineRun{&fused, &ref, &trans} {
 		if err := r.m.Stats.CheckInvariants(); err != nil {
 			return &Failure{Kind: "invariant", Config: cfg.String(), Detail: err.Error()}
 		}
@@ -231,34 +233,34 @@ func Check(src string, cfg core.Config, opt Options) *Failure {
 	return nil
 }
 
-// compareEngines asserts bit-identical architectural outcomes between the
-// fused and reference engines.
-func compareEngines(fused, ref *machineRun, cfg core.Config) *Failure {
+// compareEngines asserts bit-identical architectural outcomes between one
+// engine (named for diagnostics) and the reference engine.
+func compareEngines(name string, got, ref *machineRun, cfg core.Config) *Failure {
 	fail := func(format string, args ...any) *Failure {
 		return &Failure{Kind: "engine", Config: cfg.String(),
 			Detail: fmt.Sprintf(format, args...)}
 	}
-	if (fused.err == nil) != (ref.err == nil) ||
-		(fused.err != nil && fused.err.Error() != ref.err.Error()) {
-		return fail("fused error %v, reference error %v", fused.err, ref.err)
+	if (got.err == nil) != (ref.err == nil) ||
+		(got.err != nil && got.err.Error() != ref.err.Error()) {
+		return fail("%s error %v, reference error %v", name, got.err, ref.err)
 	}
-	if fused.m.Stats != ref.m.Stats {
-		return fail("stats diverge: fused %+v, reference %+v", fused.m.Stats, ref.m.Stats)
+	if got.m.Stats != ref.m.Stats {
+		return fail("stats diverge: %s %+v, reference %+v", name, got.m.Stats, ref.m.Stats)
 	}
-	if fused.m.Regs != ref.m.Regs {
-		return fail("registers diverge: fused %v, reference %v", fused.m.Regs, ref.m.Regs)
+	if got.m.Regs != ref.m.Regs {
+		return fail("registers diverge: %s %v, reference %v", name, got.m.Regs, ref.m.Regs)
 	}
-	if fused.m.PC != ref.m.PC {
-		return fail("PC diverges: fused %d, reference %d", fused.m.PC, ref.m.PC)
+	if got.m.PC != ref.m.PC {
+		return fail("PC diverges: %s %d, reference %d", name, got.m.PC, ref.m.PC)
 	}
-	if fused.m.Output.String() != ref.m.Output.String() {
-		return fail("output diverges: fused %q, reference %q",
-			fused.m.Output.String(), ref.m.Output.String())
+	if got.m.Output.String() != ref.m.Output.String() {
+		return fail("output diverges: %s %q, reference %q",
+			name, got.m.Output.String(), ref.m.Output.String())
 	}
-	for i := range fused.m.Mem {
-		if fused.m.Mem[i] != ref.m.Mem[i] {
-			return fail("memory diverges at word %#x: fused %#x, reference %#x",
-				i*4, fused.m.Mem[i], ref.m.Mem[i])
+	for i := range got.m.Mem {
+		if got.m.Mem[i] != ref.m.Mem[i] {
+			return fail("memory diverges at word %#x: %s %#x, reference %#x",
+				i*4, name, got.m.Mem[i], ref.m.Mem[i])
 		}
 	}
 	return nil
@@ -303,14 +305,15 @@ func CheckMonotone(src string, scheme tags.Kind, opt Options) *Failure {
 	return nil
 }
 
-// checkedRun builds and runs src under cfg on the fused engine. A nil run
-// with a nil failure means the result is censored (cycle limit).
+// checkedRun builds and runs src under cfg on the translated engine (the
+// production default). A nil run with a nil failure means the result is
+// censored (cycle limit).
 func checkedRun(src string, cfg core.Config, opt Options) (*machineRun, *Failure) {
 	img, err := buildImage(src, cfg, opt)
 	if err != nil {
 		return nil, &Failure{Kind: "build", Config: cfg.String(), Detail: err.Error()}
 	}
-	r := runEngine(img, opt.MaxCycles, false)
+	r := runEngine(img, opt.MaxCycles, mipsx.EngineTranslated)
 	if r.limited {
 		return nil, nil
 	}

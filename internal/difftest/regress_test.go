@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/mipsx"
 )
 
 // TestRegressions pins minimized reproducers for compiler bugs found by the
@@ -109,7 +110,7 @@ func TestRegressionValues(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", tc.src, err)
 		}
-		r := runEngine(img, 50_000_000, false)
+		r := runEngine(img, 50_000_000, mipsx.EngineFused)
 		if r.err != nil {
 			t.Fatalf("%s: %v", tc.src, r.err)
 		}

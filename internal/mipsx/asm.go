@@ -3,6 +3,7 @@ package mipsx
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Label identifies a code position before resolution.
@@ -361,6 +362,17 @@ type Program struct {
 	// starts.
 	predecodeOnce sync.Once
 	dec           []decoded
+
+	// Translated-block cache for the block engine (see blocks.go), shared
+	// by every Machine running this program: tblocks[pc] is the block with
+	// leader pc, translated lazily under tmu and published atomically.
+	// blist indexes the same blocks densely by their id, so per-machine
+	// execution counters can be small arrays instead of per-pc ones; it is
+	// replaced wholesale (copy-on-write under tmu) when a block is added.
+	tonce   sync.Once
+	tmu     sync.Mutex
+	tblocks []atomic.Pointer[tblock]
+	blist   atomic.Pointer[[]*tblock]
 }
 
 // Finish schedules delay slots, resolves labels and returns the executable

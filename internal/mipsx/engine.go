@@ -1,0 +1,83 @@
+package mipsx
+
+import "fmt"
+
+// Engine selects one of the three execution engines. The zero value is the
+// block-translating engine, making it the default everywhere a caller does
+// not ask for something else.
+type Engine uint8
+
+const (
+	// EngineTranslated is the basic-block translation engine (translate.go):
+	// the predecoded stream is cut into straight-line blocks, recurring tag
+	// idioms are fused into superinstructions, and translated blocks are
+	// cached and chained. Falls back to the fused loop when an Observer or
+	// Ctx is attached.
+	EngineTranslated Engine = iota
+	// EngineFused is the fused single-dispatch loop (fused.go).
+	EngineFused
+	// EngineReference is the single-step reference engine (sim.go).
+	EngineReference
+)
+
+var engineNames = [...]string{
+	EngineTranslated: "translated",
+	EngineFused:      "fused",
+	EngineReference:  "reference",
+}
+
+func (e Engine) String() string {
+	if int(e) < len(engineNames) {
+		return engineNames[e]
+	}
+	return fmt.Sprintf("engine(%d)", uint8(e))
+}
+
+// EngineNames lists the accepted engine selector spellings.
+var EngineNames = []string{"translated", "fused", "reference"}
+
+// ParseEngine parses an engine selector; the empty string selects the
+// default (translated) engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "translated":
+		return EngineTranslated, nil
+	case "fused":
+		return EngineFused, nil
+	case "reference":
+		return EngineReference, nil
+	}
+	return EngineTranslated, fmt.Errorf("unknown engine %q (want translated, fused or reference)", s)
+}
+
+// RunEngine executes the program to completion on the selected engine.
+// All three engines produce bit-identical architectural state, statistics
+// and output; they differ only in speed and in observability (the
+// reference engine emits per-instruction events, the fused loop emits
+// control-flow events, the translated engine emits none and transparently
+// falls back to the fused loop when an Observer or Ctx is attached).
+func (m *Machine) RunEngine(e Engine) error {
+	switch e {
+	case EngineFused:
+		return m.Run()
+	case EngineReference:
+		return m.RunReference()
+	default:
+		return m.RunTranslated()
+	}
+}
+
+// TransStats counts what the translated engine did during one Machine's
+// runs: how many blocks this machine translated (first executions of a
+// block populate the program-wide cache), how many block transitions were
+// served by a direct chain pointer, how many RunTranslated calls fell back
+// to the fused loop, and the dispatch-step mix (FusedSteps of Steps were
+// superinstructions covering two source instructions).
+type TransStats struct {
+	Translated uint64 // blocks translated into the program's cache by this machine
+	BlockRuns  uint64 // completed basic-block executions
+	ChainHits  uint64 // block transitions resolved through a chain pointer
+	Fallbacks  uint64 // RunTranslated calls that delegated to the fused loop
+	Steps      uint64 // dispatch steps executed in completed block bodies
+	FusedSteps uint64 // of those, fused superinstructions (two source instrs)
+}

@@ -4,40 +4,47 @@ import (
 	"testing"
 )
 
-// runEngines executes p on both engines and asserts every observable —
+// runEngines executes p on all three engines and asserts every observable —
 // statistics, registers, PC, memory, output, and any error — is identical.
 // It returns the fused machine for additional assertions.
 func runEngines(t *testing.T, p *Program, memWords int, hw HWConfig) *Machine {
 	t.Helper()
-	fused := NewMachine(p, memWords, hw)
-	fused.MaxCycles = 1_000_000
-	ferr := fused.Run()
 	ref := NewMachine(p, memWords, hw)
 	ref.MaxCycles = 1_000_000
 	rerr := ref.RunReference()
 
-	switch {
-	case (ferr == nil) != (rerr == nil):
-		t.Fatalf("error divergence: fused %v, ref %v", ferr, rerr)
-	case ferr != nil && ferr.Error() != rerr.Error():
-		t.Fatalf("error divergence:\nfused: %v\nref:   %v", ferr, rerr)
-	}
-	if fused.Stats != ref.Stats {
-		t.Errorf("stats diverge:\nfused: %+v\nref:   %+v", fused.Stats, ref.Stats)
-	}
-	if fused.Regs != ref.Regs {
-		t.Errorf("registers diverge:\nfused: %v\nref:   %v", fused.Regs, ref.Regs)
-	}
-	if fused.PC != ref.PC {
-		t.Errorf("final PC diverges: fused %d, ref %d", fused.PC, ref.PC)
-	}
-	if fused.Output.String() != ref.Output.String() {
-		t.Errorf("output diverges: fused %q, ref %q", fused.Output.String(), ref.Output.String())
-	}
-	for i := range fused.Mem {
-		if fused.Mem[i] != ref.Mem[i] {
-			t.Errorf("memory diverges at word %d: fused %#x, ref %#x", i, fused.Mem[i], ref.Mem[i])
-			break
+	var fused *Machine
+	for _, e := range []Engine{EngineFused, EngineTranslated} {
+		m := NewMachine(p, memWords, hw)
+		m.MaxCycles = 1_000_000
+		merr := m.RunEngine(e)
+		if e == EngineFused {
+			fused = m
+		}
+
+		switch {
+		case (merr == nil) != (rerr == nil):
+			t.Fatalf("error divergence: %v %v, ref %v", e, merr, rerr)
+		case merr != nil && merr.Error() != rerr.Error():
+			t.Fatalf("error divergence:\n%v: %v\nref:   %v", e, merr, rerr)
+		}
+		if m.Stats != ref.Stats {
+			t.Errorf("stats diverge:\n%v: %+v\nref:   %+v", e, m.Stats, ref.Stats)
+		}
+		if m.Regs != ref.Regs {
+			t.Errorf("registers diverge:\n%v: %v\nref:   %v", e, m.Regs, ref.Regs)
+		}
+		if m.PC != ref.PC {
+			t.Errorf("final PC diverges: %v %d, ref %d", e, m.PC, ref.PC)
+		}
+		if m.Output.String() != ref.Output.String() {
+			t.Errorf("output diverges: %v %q, ref %q", e, m.Output.String(), ref.Output.String())
+		}
+		for i := range m.Mem {
+			if m.Mem[i] != ref.Mem[i] {
+				t.Errorf("memory diverges at word %d: %v %#x, ref %#x", i, e, m.Mem[i], ref.Mem[i])
+				break
+			}
 		}
 	}
 	return fused

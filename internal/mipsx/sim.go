@@ -125,6 +125,13 @@ type Machine struct {
 	// since the last flush; Run derives the per-category/op statistics
 	// from it on exit instead of updating them per instruction.
 	execCounts []uint64
+
+	// Trans counts what the translated engine did on this machine.
+	Trans TransStats
+	// Per-block execution counters for the translated engine, indexed by
+	// dense block id and expanded into execCounts-style statistics on exit
+	// (see translate.go).
+	bctr []blockCtr
 }
 
 // NewMachine creates a machine with memWords words of zeroed memory.

@@ -64,6 +64,20 @@ func (g *Registry) RecordRun(program, config string, st *mipsx.Stats) {
 	g.Observe("run_tag_pct", mipsx.Pct(st.TagCycles(), st.Cycles))
 }
 
+// RecordTrans folds one machine's translation-engine counters into the
+// registry. Every field is zero when the run used another engine, so
+// callers can record unconditionally; a Fallbacks increment marks a
+// translated run that delegated to the fused loop (observer or context
+// attached) rather than a failure.
+func (g *Registry) RecordTrans(tr *mipsx.TransStats) {
+	g.Add("engine_blocks_translated_total", tr.Translated)
+	g.Add("engine_block_runs_total", tr.BlockRuns)
+	g.Add("engine_chain_hits_total", tr.ChainHits)
+	g.Add("engine_fallbacks_total", tr.Fallbacks)
+	g.Add("engine_steps_total", tr.Steps)
+	g.Add("engine_fused_steps_total", tr.FusedSteps)
+}
+
 // Snapshot is a point-in-time copy of a Registry, shaped for JSON.
 type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters"`

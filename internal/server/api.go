@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mipsx"
 	"repro/internal/programs"
 )
 
@@ -71,6 +72,11 @@ type RunRequest struct {
 	// TimeoutMS overrides the server's default per-request deadline,
 	// clamped to the server's maximum.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Engine selects the simulator engine for this request: "translated"
+	// (default), "fused" or "reference". All engines produce bit-identical
+	// results, so the shared result cache serves every engine — the choice
+	// only matters for the run that fills a cache miss.
+	Engine string `json:"engine,omitempty"`
 }
 
 // SweepRequest asks for the cross product programs × configs.
@@ -78,6 +84,9 @@ type SweepRequest struct {
 	Programs  []string     `json:"programs"`
 	Configs   []ConfigSpec `json:"configs"`
 	TimeoutMS int          `json:"timeout_ms,omitempty"`
+	// Engine selects the simulator engine for every job of the sweep; see
+	// RunRequest.Engine.
+	Engine string `json:"engine,omitempty"`
 }
 
 // SweepResult is one cell of a sweep: a report or an error.
@@ -155,6 +164,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	engine, err := mipsx.ParseEngine(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	var p *programs.Program
 	switch {
 	case req.Source != "" && req.Program != "":
@@ -182,7 +196,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, runStatus(err), "queued past deadline: %v", err)
 		return
 	}
-	res, err := s.runner.RunCtx(ctx, p, req.Config.Config)
+	res, err := s.runner.RunEngineCtx(ctx, p, req.Config.Config, engine)
 	s.releaseSlot()
 	if err != nil {
 		writeError(w, runStatus(err), "%v", err)
@@ -198,6 +212,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Programs) == 0 || len(req.Configs) == 0 {
 		writeError(w, http.StatusBadRequest, "sweep needs at least one program and one config")
+		return
+	}
+	engine, err := mipsx.ParseEngine(req.Engine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	type job struct {
@@ -255,7 +274,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					results[i].Error = err.Error()
 					continue
 				}
-				res, err := s.runner.RunCtx(ctx, j.p, j.cfg)
+				res, err := s.runner.RunEngineCtx(ctx, j.p, j.cfg, engine)
 				s.releaseSlot()
 				if err != nil {
 					results[i].Error = err.Error()

@@ -184,6 +184,28 @@ func TestRunEndpoint(t *testing.T) {
 	if resp, _ := postJSON(t, ts.URL+"/v1/run", map[string]any{"program": "comp", "config": "high5+bogus"}); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad config: status %d, want 400", resp.StatusCode)
 	}
+
+	// Engine selection: every engine returns the same numbers (trav is not
+	// cached yet, so each engine name is exercised at least once before the
+	// cache starts answering), and a bogus engine is a 400.
+	for _, engine := range mipsx.EngineNames {
+		resp, body := postJSON(t, ts.URL+"/v1/run", map[string]any{
+			"program": "trav", "config": "high5", "engine": engine,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("engine %s: status %d: %s", engine, resp.StatusCode, body)
+		}
+		var erep core.RunReport
+		if err := json.Unmarshal(body, &erep); err != nil {
+			t.Fatal(err)
+		}
+		if erep.Cycles == 0 || erep.Program != "trav" {
+			t.Errorf("engine %s: unexpected report %s", engine, body)
+		}
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/run", map[string]any{"program": "comp", "config": "high5", "engine": "bogus"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad engine: status %d, want 400", resp.StatusCode)
+	}
 }
 
 // TestOverloadReturns429 floods a 1-slot, 1-queue server: the burst must
