@@ -27,22 +27,25 @@ smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# Archive a throughput run (all three engines) as BENCH_<n>.json at the
-# repo root, picking the lowest unused index.
+# Archive a throughput run (all four engines) as BENCH_<n>.json at the
+# repo root, picking the lowest unused index, and print each engine's
+# geomean speedup over the most recent archived baseline.
 .PHONY: bench-json
 bench-json:
 	$(GO) run ./cmd/benchjson
 
-# Per-engine throughput comparison: runs BenchmarkPrograms under all three
+# Per-engine throughput comparison: runs BenchmarkPrograms under all four
 # engines at BENCHTIME iterations each, prints Minstr/s side by side with
-# the translated/fused speedup, and archives the run as BENCH_<n>.json.
+# the native/translated and translated/fused speedups, and archives the
+# run as BENCH_<n>.json.
 BENCHTIME ?= 3x
 .PHONY: bench-compare
 bench-compare:
 	$(GO) run ./cmd/benchjson -benchtime $(BENCHTIME)
 
 # CI bench smoke: a short BenchmarkEngine pass that fails if the translated
-# engine is slower than the fused loop (geomean over the programs).
+# engine is slower than the fused loop or the native engine is slower than
+# the translated one (geomean over the programs).
 .PHONY: bench-smoke
 bench-smoke:
 	$(GO) run ./cmd/benchjson -smoke -out bench-smoke.txt

@@ -233,7 +233,7 @@ func BenchmarkPrograms(b *testing.B) {
 // invocation, so `go test -bench=Engine` yields a side-by-side throughput
 // comparison (the CI smoke step and `make bench-compare` consume it).
 func BenchmarkEngine(b *testing.B) {
-	for _, e := range []mipsx.Engine{mipsx.EngineTranslated, mipsx.EngineFused, mipsx.EngineReference} {
+	for _, e := range []mipsx.Engine{mipsx.EngineNative, mipsx.EngineTranslated, mipsx.EngineFused, mipsx.EngineReference} {
 		e := e
 		b.Run(e.String(), func(b *testing.B) { benchPrograms(b, e) })
 	}

@@ -1,12 +1,15 @@
 // Command benchjson runs the BenchmarkPrograms throughput benchmark under
-// all three simulator engines and archives the result as BENCH_<n>.json at
+// all four simulator engines and archives the result as BENCH_<n>.json at
 // the repository root (the lowest unused index). The Makefile target
 // `make bench-json` invokes it; `make bench-compare` prints the per-engine
-// comparison table from a fresh run.
+// comparison table from a fresh run. When an earlier BENCH_<n>.json
+// exists, the run also prints each engine's geometric-mean speedup over
+// the most recent archived baseline.
 //
 // With -smoke, it instead runs a short BenchmarkEngine pass and fails if
-// the translated engine is slower than the fused loop (geometric mean over
-// the benchmark programs) — the CI guard against a translation regression.
+// the translated engine is slower than the fused loop, or the native
+// engine slower than the translated one (geometric mean over the
+// benchmark programs) — the CI guard against an engine regression.
 package main
 
 import (
@@ -38,7 +41,7 @@ type Doc struct {
 
 // Engine holds one engine's per-program results.
 type Engine struct {
-	Name     string    `json:"name"` // "translated", "fused" or "reference"
+	Name     string    `json:"name"` // "native", "translated", "fused" or "reference"
 	Programs []Program `json:"programs"`
 }
 
@@ -56,20 +59,21 @@ type Program struct {
 // engines lists the selector spellings passed through SIM_ENGINE. The
 // names are explicit (never "") because the empty selector means the
 // default engine, which would silently re-measure translated twice.
-var engines = []string{"translated", "fused", "reference"}
+var engines = []string{"native", "translated", "fused", "reference"}
 
 func main() {
-	smoke := flag.Bool("smoke", false, "short BenchmarkEngine run; exit nonzero if translated is slower than fused")
+	smoke := flag.Bool("smoke", false, "short BenchmarkEngine run; exit nonzero if translated is slower than fused or native slower than translated")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime for the archived run")
 	smoketime := flag.String("smoketime", "200ms", "go test -benchtime for -smoke")
 	out := flag.String("out", "", "output path (default: BENCH_<n>.json for the lowest unused n; -smoke default: no file)")
+	baseline := flag.String("baseline", "", "archived BENCH_<n>.json to compare the run against (default: the highest-numbered existing one)")
 	flag.Parse()
 
 	var err error
 	if *smoke {
 		err = runSmoke(*smoketime, *out)
 	} else {
-		err = runArchive(*benchtime, *out)
+		err = runArchive(*benchtime, *out, *baseline)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -77,7 +81,7 @@ func main() {
 	}
 }
 
-func runArchive(benchtime, out string) error {
+func runArchive(benchtime, out, baseline string) error {
 	doc := Doc{
 		Schema:     "tagsim-bench/v1",
 		Date:       time.Now().UTC().Format(time.RFC3339),
@@ -103,6 +107,14 @@ func runArchive(benchtime, out string) error {
 	if path == "" {
 		path = nextBenchFile()
 	}
+	if baseline == "" {
+		baseline = latestBenchFile(path)
+	}
+	if baseline != "" {
+		if err := printBaseline(&doc, baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline comparison skipped:", err)
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -120,17 +132,18 @@ func runArchive(benchtime, out string) error {
 	return nil
 }
 
-// runSmoke runs BenchmarkEngine once (translated + fused sub-benchmarks
-// share the pass) and fails if translated is slower than fused in
-// geometric mean — individual programs jitter at short benchtimes, the
-// mean does not invert unless the translation layer actually regressed.
+// runSmoke runs BenchmarkEngine once (native + translated + fused
+// sub-benchmarks share the pass) and fails if the engine ladder inverts in
+// geometric mean — translated slower than fused, or native slower than
+// translated. Individual programs jitter at short benchtimes; the mean
+// does not invert unless an engine actually regressed.
 func runSmoke(benchtime, out string) error {
-	outBuf, err := runBench("^BenchmarkEngine$/^(translated|fused)$", benchtime, "")
+	outBuf, err := runBench("^BenchmarkEngine$/^(native|translated|fused)$", benchtime, "")
 	if err != nil {
 		return err
 	}
 	byEngine := map[string]map[string]float64{}
-	for _, eng := range []string{"translated", "fused"} {
+	for _, eng := range []string{"native", "translated", "fused"} {
 		progs, err := parseBench(outBuf, "BenchmarkEngine/"+eng+"/")
 		if err != nil {
 			return fmt.Errorf("engine %s: %w", eng, err)
@@ -146,30 +159,51 @@ func runSmoke(benchtime, out string) error {
 			return err
 		}
 	}
-	logRatio, n := 0.0, 0
-	fmt.Printf("%-8s %12s %12s %8s\n", "program", "translated", "fused", "ratio")
-	for name, tr := range byEngine["translated"] {
+	fmt.Printf("%-8s %12s %12s %12s %8s %8s\n", "program", "native", "translated", "fused", "na/tr", "tr/fu")
+	naTr := geomeanRatio(byEngine["native"], byEngine["translated"], func(name string, na, tr float64) {
 		fu := byEngine["fused"][name]
-		if tr <= 0 || fu <= 0 {
-			continue
-		}
-		fmt.Printf("%-8s %9.1f M/s %9.1f M/s %7.2fx\n", name, tr, fu, tr/fu)
-		logRatio += math.Log(tr / fu)
-		n++
-	}
-	if n == 0 {
+		fmt.Printf("%-8s %9.1f M/s %9.1f M/s %9.1f M/s %7.2fx %7.2fx\n",
+			name, na, tr, fu, na/tr, tr/fu)
+	})
+	trFu := geomeanRatio(byEngine["translated"], byEngine["fused"], nil)
+	if naTr == 0 || trFu == 0 {
 		return fmt.Errorf("no comparable benchmark lines:\n%s", outBuf)
 	}
-	geomean := math.Exp(logRatio / float64(n))
-	fmt.Printf("geomean translated/fused: %.2fx over %d programs\n", geomean, n)
-	if geomean < 1.0 {
-		return fmt.Errorf("translated engine slower than fused (geomean %.2fx < 1.0)", geomean)
+	fmt.Printf("geomean native/translated: %.2fx, translated/fused: %.2fx\n", naTr, trFu)
+	if trFu < 1.0 {
+		return fmt.Errorf("translated engine slower than fused (geomean %.2fx < 1.0)", trFu)
+	}
+	if naTr < 1.0 {
+		return fmt.Errorf("native engine slower than translated (geomean %.2fx < 1.0)", naTr)
 	}
 	return nil
 }
 
+// geomeanRatio returns the geometric mean of num[name]/den[name] over the
+// programs both maps hold, calling visit (when non-nil) per program. A
+// zero return means no program was comparable.
+func geomeanRatio(num, den map[string]float64, visit func(name string, n, d float64)) float64 {
+	logSum, n := 0.0, 0
+	for name, nv := range num {
+		dv := den[name]
+		if nv <= 0 || dv <= 0 {
+			continue
+		}
+		if visit != nil {
+			visit(name, nv, dv)
+		}
+		logSum += math.Log(nv / dv)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
 // printComparison prints per-program Minstr/s side by side with the
-// translated/fused speedup column.
+// native/translated and translated/fused speedup columns, then the
+// geometric means over all programs.
 func printComparison(doc *Doc) {
 	byEngine := map[string]map[string]float64{}
 	var order []string
@@ -187,16 +221,73 @@ func printComparison(doc *Doc) {
 	for _, e := range engines {
 		fmt.Printf(" %12s", e)
 	}
-	fmt.Printf(" %8s\n", "tr/fu")
+	fmt.Printf(" %8s %8s\n", "na/tr", "tr/fu")
 	for _, name := range order {
 		fmt.Printf("%-8s", name)
 		for _, e := range engines {
 			fmt.Printf(" %8.1f M/s", byEngine[e][name])
 		}
+		if tr := byEngine["translated"][name]; tr > 0 {
+			fmt.Printf(" %7.2fx", byEngine["native"][name]/tr)
+		}
 		if fu := byEngine["fused"][name]; fu > 0 {
 			fmt.Printf(" %7.2fx", byEngine["translated"][name]/fu)
 		}
 		fmt.Println()
+	}
+	naTr := geomeanRatio(byEngine["native"], byEngine["translated"], nil)
+	trFu := geomeanRatio(byEngine["translated"], byEngine["fused"], nil)
+	fmt.Printf("geomean native/translated: %.2fx, translated/fused: %.2fx over %d programs\n",
+		naTr, trFu, len(order))
+}
+
+// printBaseline prints each engine's geometric-mean throughput ratio of
+// this run over the archived baseline, per engine across the programs
+// both runs measured.
+func printBaseline(doc *Doc, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Doc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	baseBy := map[string]map[string]float64{}
+	for _, e := range base.Engines {
+		m := map[string]float64{}
+		for _, p := range e.Programs {
+			m[p.Name] = p.MinstrS
+		}
+		baseBy[e.Name] = m
+	}
+	fmt.Printf("vs %s (%s):\n", path, base.Date)
+	for _, e := range doc.Engines {
+		cur := map[string]float64{}
+		for _, p := range e.Programs {
+			cur[p.Name] = p.MinstrS
+		}
+		if ratio := geomeanRatio(cur, baseBy[e.Name], nil); ratio > 0 {
+			fmt.Printf("  %-10s %.2fx geomean speedup\n", e.Name, ratio)
+		} else {
+			fmt.Printf("  %-10s not in baseline\n", e.Name)
+		}
+	}
+	return nil
+}
+
+// latestBenchFile returns the highest-numbered existing BENCH_<n>.json
+// other than exclude, or "" when none exists.
+func latestBenchFile(exclude string) string {
+	latest := ""
+	for n := 1; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return latest
+		}
+		if path != exclude {
+			latest = path
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"testing"
 )
 
@@ -69,5 +70,44 @@ func TestDocSchema(t *testing.T) {
 		if _, ok := prog[key]; !ok {
 			t.Fatalf("Program JSON lost key %q: %s", key, b)
 		}
+	}
+}
+
+func TestGeomeanRatio(t *testing.T) {
+	num := map[string]float64{"a": 4, "b": 9, "c": 1}
+	den := map[string]float64{"a": 2, "b": 3, "c": 0} // c: no baseline, skipped
+	var visited int
+	got := geomeanRatio(num, den, func(string, float64, float64) { visited++ })
+	if want := 2.449489742783178; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("geomean = %v, want sqrt(6) ≈ %v", got, want)
+	}
+	if visited != 2 {
+		t.Fatalf("visited %d programs, want 2", visited)
+	}
+	if got := geomeanRatio(nil, den, nil); got != 0 {
+		t.Fatalf("empty numerator: got %v, want 0", got)
+	}
+}
+
+func TestLatestBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	cwd, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	if got := latestBenchFile(""); got != "" {
+		t.Fatalf("no files: got %q", got)
+	}
+	for _, n := range []string{"BENCH_1.json", "BENCH_2.json", "BENCH_3.json"} {
+		if err := os.WriteFile(n, []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := latestBenchFile("BENCH_3.json"); got != "BENCH_2.json" {
+		t.Fatalf("latest excluding BENCH_3: got %q, want BENCH_2.json", got)
+	}
+	if got := latestBenchFile(""); got != "BENCH_3.json" {
+		t.Fatalf("latest: got %q, want BENCH_3.json", got)
 	}
 }

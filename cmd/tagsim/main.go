@@ -83,7 +83,7 @@ func main() {
 	flag.BoolVar(&o.repl, "repl", false, "interactive read-eval-print loop on the simulated machine")
 	flag.StringVar(&o.t2row, "table2-row", "", "per-program detail for one Table 2 row (1-7 or SPUR)")
 	flag.IntVar(&o.workers, "workers", 0, "parallel simulations in table/figure sweeps (default: one per CPU, GOMAXPROCS)")
-	flag.StringVar(&o.engine, "engine", "", "simulator engine: translated (default), fused, reference")
+	flag.StringVar(&o.engine, "engine", "", "simulator engine: translated (default), native, fused, reference")
 	flag.BoolVar(&o.json, "json", false, "emit machine-readable JSON (schema "+core.SchemaVersion+") instead of text")
 	flag.StringVar(&o.traceOut, "trace-out", "", "with -program: write a Chrome trace_event timeline (chrome://tracing) to this file")
 	flag.StringVar(&o.flame, "flame", "", "with -program: write folded call stacks (flamegraph input) to this file")
@@ -414,6 +414,7 @@ func runOne(name string, cfg core.Config, engine mipsx.Engine, o options) error 
 		reg := obs.NewRegistry()
 		reg.RecordRun(p.Name, cfg.String(), &m.Stats)
 		reg.RecordTrans(&m.Trans)
+		reg.RecordNative(&m.Native)
 		if err := writeFile(o.metricsOut, reg.Snapshot().WriteJSON); err != nil {
 			return err
 		}

@@ -300,6 +300,7 @@ func (r *Runner) runUncached(ctx context.Context, p *programs.Program, cfg Confi
 	if r.Observe != nil {
 		m.Obs = r.Observe(p, cfg)
 	}
+	r.Metrics.Add("runs_engine_total/"+engine.String(), 1)
 	if err := m.RunEngine(engine); err != nil {
 		if isCancellation(err) {
 			r.Metrics.Add("runs_canceled_total", 1)
@@ -323,6 +324,7 @@ func (r *Runner) runUncached(ctx context.Context, p *programs.Program, cfg Confi
 	}
 	r.Metrics.RecordRun(p.Name, cfg.String(), &m.Stats)
 	r.Metrics.RecordTrans(&m.Trans)
+	r.Metrics.RecordNative(&m.Native)
 	return res, nil
 }
 

@@ -13,10 +13,11 @@ import (
 // TestEngineEquivalence is the differential harness for the optimized
 // execution engines: every program under the baseline configurations and
 // every Table 2 hardware row runs on the translated engine, the fused
-// loop, and the single-step reference path, and everything observable —
-// statistics, registers, memory, output, and the decoded result — must be
-// identical across all three. An engine is only a valid optimization if
-// it does not change a single reproduced number.
+// loop, the native closure-threaded engine, and the single-step reference
+// path, and everything observable — statistics, registers, memory, output,
+// and the decoded result — must be identical across all four. An engine is
+// only a valid optimization if it does not change a single reproduced
+// number.
 func TestEngineEquivalence(t *testing.T) {
 	configs := []Config{Baseline(true), Baseline(false)}
 	for _, row := range Table2Rows {
@@ -51,7 +52,7 @@ func TestEngineEquivalence(t *testing.T) {
 					t.Errorf("%s: result %s, want %s", cfg, refValue, p.Expected)
 				}
 
-				for _, engine := range []mipsx.Engine{mipsx.EngineTranslated, mipsx.EngineFused} {
+				for _, engine := range []mipsx.Engine{mipsx.EngineTranslated, mipsx.EngineFused, mipsx.EngineNative} {
 					m := img.NewMachine()
 					m.MaxCycles = 2_000_000_000
 					if err := m.RunEngine(engine); err != nil {
@@ -83,6 +84,9 @@ func TestEngineEquivalence(t *testing.T) {
 					}
 					if engine == mipsx.EngineTranslated && m.Trans.Fallbacks != 0 {
 						t.Errorf("%s: translated engine fell back to the fused loop", cfg)
+					}
+					if engine == mipsx.EngineNative && m.Native.Fallbacks != 0 {
+						t.Errorf("%s: native engine fell back to another engine", cfg)
 					}
 				}
 			}

@@ -133,13 +133,13 @@ func runEngine(img *rt.Image, maxCycles uint64, engine mipsx.Engine) machineRun 
 }
 
 // Check runs src through the interpreter and through compiled code on all
-// three simulator engines under cfg, and returns the first divergence
+// four simulator engines under cfg, and returns the first divergence
 // found, or nil. The properties asserted:
 //
-//   - the fused, translated and reference engines agree on every
+//   - the fused, translated, native and reference engines agree on every
 //     architectural outcome: statistics, registers, PC, output bytes, and
 //     final memory;
-//   - all three satisfy the Stats accounting invariants;
+//   - all four satisfy the Stats accounting invariants;
 //   - the machine result equals the interpreter's: same rendered value and
 //     same printed output, or the same Lisp error code when checking is
 //     compiled in. Under Checking=false the compiled fast paths assume
@@ -179,7 +179,8 @@ func Check(src string, cfg core.Config, opt Options) *Failure {
 	fused := runEngine(img, opt.MaxCycles, mipsx.EngineFused)
 	ref := runEngine(img, opt.MaxCycles, mipsx.EngineReference)
 	trans := runEngine(img, opt.MaxCycles, mipsx.EngineTranslated)
-	if fused.limited || ref.limited || trans.limited {
+	native := runEngine(img, opt.MaxCycles, mipsx.EngineNative)
+	if fused.limited || ref.limited || trans.limited || native.limited {
 		// The oracle terminated within its budget, so a machine run that
 		// exhausts 50M cycles is an interp/machine divergence only if the
 		// interpreter's verdict applies at all under this configuration.
@@ -197,7 +198,10 @@ func Check(src string, cfg core.Config, opt Options) *Failure {
 	if f := compareEngines("translated", &trans, &ref, cfg); f != nil {
 		return f
 	}
-	for _, r := range []*machineRun{&fused, &ref, &trans} {
+	if f := compareEngines("native", &native, &ref, cfg); f != nil {
+		return f
+	}
+	for _, r := range []*machineRun{&fused, &ref, &trans, &native} {
 		if err := r.m.Stats.CheckInvariants(); err != nil {
 			return &Failure{Kind: "invariant", Config: cfg.String(), Detail: err.Error()}
 		}

@@ -373,6 +373,10 @@ type Program struct {
 	tmu     sync.Mutex
 	tblocks []atomic.Pointer[tblock]
 	blist   atomic.Pointer[[]*tblock]
+
+	// Native compilation for the closure-threaded engine, pinned to the
+	// hardware config of the first native run (see nclosure.go).
+	nat atomic.Pointer[nativeProg]
 }
 
 // Finish schedules delay slots, resolves labels and returns the executable

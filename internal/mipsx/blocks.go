@@ -71,6 +71,8 @@ const (
 	kLd4                        // register-restore run: four consecutive reloads
 	kSt3                        // register-save run: three consecutive spills
 	kSt4                        // register-save run: four consecutive spills
+	kMov3                       // register shuffle triple (second-level fusion)
+	kMov4                       // register shuffle quad (second-level fusion)
 )
 
 // Compile-time guard: opcode values must stay below the fused-kind space.
@@ -90,7 +92,9 @@ const RScratch = 32
 // first instruction to rd/rs1/rs2/imm and its second to rd2/rs3/tag/imm2
 // (tag is the second instruction's rs2 — no fused kind carries a real
 // tag). A save/restore run keeps the base in rs1 and the first offset in
-// imm, and packs its element registers a byte apiece into imm2.
+// imm, and packs its element registers a byte apiece into imm2. A mov run
+// (kMov3/kMov4) holds its copies in order as rd←rs1, rd2←rs3, rs2←tag,
+// and a fourth pair packed into imm's low bytes (dst, then src at bit 8).
 // ADDTC/SUBTC single steps repurpose tag for the pre-remap rd, which the
 // trap mailbox records.
 type tstep struct {
@@ -192,6 +196,9 @@ type tblock struct {
 	steps      []tstep
 	bodyStalls []stallRec
 	term       tterm
+	// nat is the block's native (closure-threaded) compilation, built
+	// lazily under the program's tmu (see nclosure.go).
+	nat atomic.Pointer[nblock]
 }
 
 // blockCtr is one machine's execution counters for one block: body
@@ -322,7 +329,45 @@ func fuseSteps(dec []decoded, start, end int) []tstep {
 		steps = append(steps, s)
 		i += int(s.n)
 	}
-	return steps
+	return fuseMovRuns(steps)
+}
+
+// fuseMovRuns is the second-level fusion pass: argument-shuffle code leaves
+// long runs of MOVs that the pair fuser turns into adjacent kMovMov steps,
+// and this pass merges each adjacent kMovMov+kMovMov into one kMov4 step
+// (and a kMovMov next to a lone MOV into kMov3), halving the dispatches the
+// hottest shuffle sequences cost. MOVs cannot fault, so merging never
+// changes fault attribution; the merged step's n covers every source
+// instruction (swallowed NOPs included) of both halves.
+func fuseMovRuns(steps []tstep) []tstep {
+	out := steps[:0]
+	for i := 0; i < len(steps); i++ {
+		s := steps[i]
+		if i+1 < len(steps) {
+			t := &steps[i+1]
+			switch {
+			case s.kind == kMovMov && t.kind == kMovMov:
+				s.kind = kMov4
+				s.rs2, s.tag = t.rd, t.rs1
+				s.imm = int32(uint32(t.rd2) | uint32(t.rs3)<<8)
+				s.n += t.n
+				i++
+			case s.kind == kMovMov && t.kind == uint8(MOV):
+				s.kind = kMov3
+				s.rs2, s.tag = t.rd, t.rs1
+				s.n += t.n
+				i++
+			case s.kind == uint8(MOV) && t.kind == kMovMov:
+				s.kind = kMov3
+				s.rd2, s.rs3 = t.rd, t.rs1
+				s.rs2, s.tag = t.rd2, t.rs3
+				s.n += t.n
+				i++
+			}
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // memRunLen measures the register save/restore run starting at i: three or

@@ -2,7 +2,7 @@ package mipsx
 
 import "fmt"
 
-// Engine selects one of the three execution engines. The zero value is the
+// Engine selects one of the four execution engines. The zero value is the
 // block-translating engine, making it the default everywhere a caller does
 // not ask for something else.
 type Engine uint8
@@ -18,12 +18,21 @@ const (
 	EngineFused
 	// EngineReference is the single-step reference engine (sim.go).
 	EngineReference
+	// EngineNative is the closure-threaded engine (native.go): translated
+	// blocks are compiled into chains of Go closures specialized on the
+	// active hardware config, and hot chained-block paths are flattened
+	// into superblocks executed with a single counter increment. Falls
+	// back like the translated engine, and additionally to the translated
+	// engine when the program is already natively compiled for a different
+	// hardware config.
+	EngineNative
 )
 
 var engineNames = [...]string{
 	EngineTranslated: "translated",
 	EngineFused:      "fused",
 	EngineReference:  "reference",
+	EngineNative:     "native",
 }
 
 func (e Engine) String() string {
@@ -34,7 +43,7 @@ func (e Engine) String() string {
 }
 
 // EngineNames lists the accepted engine selector spellings.
-var EngineNames = []string{"translated", "fused", "reference"}
+var EngineNames = []string{"translated", "fused", "reference", "native"}
 
 // ParseEngine parses an engine selector; the empty string selects the
 // default (translated) engine.
@@ -46,22 +55,27 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineFused, nil
 	case "reference":
 		return EngineReference, nil
+	case "native":
+		return EngineNative, nil
 	}
-	return EngineTranslated, fmt.Errorf("unknown engine %q (want translated, fused or reference)", s)
+	return EngineTranslated, fmt.Errorf("unknown engine %q (want translated, fused, reference or native)", s)
 }
 
 // RunEngine executes the program to completion on the selected engine.
-// All three engines produce bit-identical architectural state, statistics
+// All four engines produce bit-identical architectural state, statistics
 // and output; they differ only in speed and in observability (the
 // reference engine emits per-instruction events, the fused loop emits
-// control-flow events, the translated engine emits none and transparently
-// falls back to the fused loop when an Observer or Ctx is attached).
+// control-flow events, the translated and native engines emit none and
+// transparently fall back to the fused loop when an Observer or Ctx is
+// attached).
 func (m *Machine) RunEngine(e Engine) error {
 	switch e {
 	case EngineFused:
 		return m.Run()
 	case EngineReference:
 		return m.RunReference()
+	case EngineNative:
+		return m.RunNative()
 	default:
 		return m.RunTranslated()
 	}
@@ -80,4 +94,22 @@ type TransStats struct {
 	Fallbacks  uint64 // RunTranslated calls that delegated to the fused loop
 	Steps      uint64 // dispatch steps executed in completed block bodies
 	FusedSteps uint64 // of those, fused superinstructions (two source instrs)
+}
+
+// NativeStats counts what the native engine did during one Machine's runs.
+// BlockRuns/Steps/FusedSteps cover per-block executions, including the
+// expanded contribution of superblock runs; SBRuns counts complete
+// superblock stream executions (each covering several block runs) and
+// SBSideExits the streams abandoned partway.
+type NativeStats struct {
+	Compiled    uint64 // blocks closure-compiled into the program's cache by this machine
+	SuperBlocks uint64 // superblocks formed by this machine
+	BlockRuns   uint64 // completed basic-block executions (superblock runs included)
+	ChainHits   uint64 // block transitions resolved through a chain pointer
+	Fallbacks   uint64 // RunNative calls that delegated to another engine
+	SBRuns      uint64 // complete superblock stream executions
+	SBSideExits uint64 // superblock streams exited before completion
+	SlowRuns    uint64 // block executions dispatched on the per-block path
+	Steps       uint64 // dispatch steps executed in completed block bodies
+	FusedSteps  uint64 // of those, fused superinstructions (two source instrs)
 }

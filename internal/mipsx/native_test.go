@@ -1,0 +1,100 @@
+package mipsx
+
+import "testing"
+
+// TestSBExitSpillbackClamp pins the flush-time spill-back of superblock
+// exit-site counters when the counter array stops short of a superblock's
+// slot range. markSBExit grows the array only when the slot it marks
+// overflows, and every grow adds headroom — so a superblock formed after a
+// grow can have side exits at early elements land inside the headroom
+// while the tail of its range (and its full-run slot) lie past the
+// allocated length. The expansion must clamp its scan to the allocated
+// length and still credit the recorded exits; a regression that skips the
+// whole superblock silently drops the completed prefixes from the
+// per-block counters and undercounts Instrs.
+func TestSBExitSpillbackClamp(t *testing.T) {
+	p := &Program{}
+	np := &nativeProg{}
+	p.nat.Store(np)
+	m := &Machine{Prog: p}
+
+	// First superblock: two elements, slots [0..2]. Marking its full-run
+	// slot with an empty counter array forces the first grow, which
+	// allocates exitLen+64 slots of headroom.
+	blk := func(id int32) *tblock { return &tblock{id: id} }
+	sb1 := &sblock{
+		idx:      0,
+		exitBase: 0,
+		elems:    []sbElem{{b: blk(0)}, {b: blk(1)}},
+	}
+	np.exitLen.Store(3)
+	list := []*sblock{sb1}
+	np.sbs.Store(&list)
+	m.markSBExit(sb1, 2) // full run: grows nctr to 3+64 = 67 slots
+
+	// Second superblock, formed later: 100 elements, slots [3..103]. Its
+	// range extends past the 67 allocated slots, but side exits at early
+	// elements land inside the first grow's headroom, so markSBExit never
+	// grows the array again.
+	elems := make([]sbElem, 100)
+	for i := range elems {
+		elems[i] = sbElem{b: blk(int32(2 + i))}
+	}
+	sb2 := &sblock{idx: 1, exitBase: 3, elems: elems}
+	np.exitLen.Store(3 + 100 + 1)
+	list2 := []*sblock{sb1, sb2}
+	np.sbs.Store(&list2)
+
+	const exits = 7
+	for i := 0; i < exits; i++ {
+		m.markSBExit(sb2, 5) // element 5: prefix [0,5) completed
+	}
+	if len(m.nctr) >= int(sb2.exitBase)+len(sb2.elems)+1 {
+		t.Fatalf("fixture broken: nctr grew to %d, wanted it short of slot %d",
+			len(m.nctr), int(sb2.exitBase)+len(sb2.elems))
+	}
+
+	m.expandSBCtrs()
+
+	// sb1's full run credits both its elements; sb2's exits credit
+	// elements 0..4 of the completed prefix — exactly once per exit —
+	// despite the clamped scan.
+	for id := int32(0); id < 2; id++ {
+		if got := m.growBctr(id).body; got != 1 {
+			t.Errorf("sb1 element block %d: body = %d, want 1", id, got)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if got := m.growBctr(int32(2 + i)).body; got != exits {
+			t.Errorf("sb2 element %d (block %d): body = %d, want %d", i, 2+i, got, exits)
+		}
+	}
+	if got := m.growBctr(7).body; got != 0 {
+		t.Errorf("sb2 element 5 (exit element, block 7): body = %d, want 0", got)
+	}
+	// The counters drain at flush: a second expansion must credit nothing.
+	m.expandSBCtrs()
+	if got := m.growBctr(2).body; got != exits {
+		t.Errorf("after second expansion: body = %d, want %d (counters must drain)", got, exits)
+	}
+}
+
+// TestNativeConfigFallback pins the config-mismatch fallback: a program
+// natively compiled for one hardware config must refuse a compilation for
+// a different config (the caller falls back to the translated engine)
+// rather than recompile or run mis-specialized closures.
+func TestNativeConfigFallback(t *testing.T) {
+	p := &Program{}
+	hw1 := HWConfig{TagShift: 27, TagMask: 0x1f, MemAddrMask: ^uint32(0)}
+	hw2 := HWConfig{TagShift: 25, TagMask: 0x7f, MemAddrMask: ^uint32(0)}
+	np := p.nativeFor(&hw1)
+	if np == nil {
+		t.Fatal("first nativeFor returned nil")
+	}
+	if got := p.nativeFor(&hw2); got != nil {
+		t.Fatal("nativeFor for a different config must return nil (fallback), got a compilation")
+	}
+	if again := p.nativeFor(&hw1); again != np {
+		t.Fatal("nativeFor for the original config must return the existing compilation")
+	}
+}

@@ -1,0 +1,280 @@
+package mipsx
+
+// Closure compilation for the native engine (the execution loop lives in
+// native.go, superblock formation in superblock.go).
+//
+// Each translated block is compiled once per program into a chain of Go
+// closures — subroutine-threaded code at block-section granularity. The
+// compiler walks the block's dispatch steps and splits them at the
+// configuration-dependent operations (LDC/STC, ADDTC/SUBTC, LDT/STT): runs
+// of configuration-independent steps become one segment closure driving the
+// shared step switch, and each configuration-dependent step becomes its own
+// closure specialized at compile time on the active hardware config. The
+// config is fixed for the life of a native compilation, so every
+// hardware-assist decision is resolved when the closure is built rather
+// than per executed instruction: the tag shift and mask are captured
+// constants, ADDTC/SUBTC without integer-test hardware compile to a
+// constant fault, and LDT/STT under a full-width address mask compile to a
+// variant with the masking elided entirely.
+//
+// The compilation is pinned to the hardware config of the first native run
+// (nativeFor records a signature); a later run under a different config
+// falls back to the translated engine rather than recompiling, which keeps
+// the per-block caches free of config keys. In practice every image is
+// built for exactly one config, so the fallback never fires outside tests.
+
+import (
+	"reflect"
+	"sync/atomic"
+)
+
+// nblock is one block's native compilation: the body closure chain plus the
+// superblock anchored at this block, if one has been formed. A block with
+// no config-dependent step needs no specialization, so its chain is nil
+// and the runner drives the shared step switch directly — the closure
+// indirection is paid only where a closure folds a config decision.
+type nblock struct {
+	chain nfn
+	sb    atomic.Pointer[sblock]
+	// sbTried counts the superblock formation attempts made for this head;
+	// a failed attempt (typically for lack of direction evidence) is
+	// retried at higher body counts, staged early and then at a slow
+	// unbounded cadence (see sbRetryAt).
+	sbTried atomic.Int32
+}
+
+// nativeProg is a program's native compilation: the config it was
+// specialized for and the superblocks formed so far. Compiled blocks hang
+// off their tblocks directly (tblock.nat); they always belong to this spec
+// because a config mismatch falls back before any native code runs.
+type nativeProg struct {
+	spec nspec
+	sig  nsig
+	// sbs densely indexes the formed superblocks (copy-on-write, like
+	// Program.blist) so per-machine superblock counters can be flat
+	// arrays; exitLen is the total number of exit-site counter slots the
+	// formed superblocks need (each contributes len(elems)+1).
+	sbs     atomic.Pointer[[]*sblock]
+	exitLen atomic.Int32
+}
+
+// nsig is the comparable fingerprint of a hardware config; the IsIntItem
+// function is identified by its code pointer.
+type nsig struct {
+	tagShift, tagMask, memAddrMask uint32
+	isIntItem                      uintptr
+	trapHandler, checkFailHandler  int
+	trapCycles                     uint64
+}
+
+func sigOf(hw *HWConfig) nsig {
+	s := nsig{
+		tagShift: hw.TagShift, tagMask: hw.TagMask, memAddrMask: hw.MemAddrMask,
+		trapHandler: hw.TrapHandler, checkFailHandler: hw.CheckFailHandler,
+		trapCycles: hw.TrapCycles,
+	}
+	if hw.IsIntItem != nil {
+		s.isIntItem = reflect.ValueOf(hw.IsIntItem).Pointer()
+	}
+	return s
+}
+
+// nativeFor returns the program's native compilation for hw, creating it on
+// first use. A nil result means the program is already natively compiled
+// for a different config and the caller must fall back.
+func (p *Program) nativeFor(hw *HWConfig) *nativeProg {
+	if np := p.nat.Load(); np != nil {
+		if np.sig != sigOf(hw) {
+			return nil
+		}
+		return np
+	}
+	p.tmu.Lock()
+	defer p.tmu.Unlock()
+	if np := p.nat.Load(); np != nil {
+		if np.sig != sigOf(hw) {
+			return nil
+		}
+		return np
+	}
+	np := &nativeProg{
+		spec: nspec{
+			tagShift: hw.TagShift, tagMask: hw.TagMask, memAddrMask: hw.MemAddrMask,
+			isIntItem: hw.IsIntItem, trapHandler: hw.TrapHandler,
+			checkFailHandler: hw.CheckFailHandler, trapCycles: hw.TrapCycles,
+		},
+		sig: sigOf(hw),
+	}
+	p.nat.Store(np)
+	return np
+}
+
+// nblockSlow compiles and publishes b's native compilation; the runner
+// inlines the cached-lookup fast path and calls this only on a miss.
+func (p *Program) nblockSlow(b *tblock, np *nativeProg) *nblock {
+	p.tmu.Lock()
+	defer p.tmu.Unlock()
+	if bn := b.nat.Load(); bn != nil {
+		return bn
+	}
+	bn := &nblock{chain: compileBody(b.steps, &np.spec)}
+	b.nat.Store(bn)
+	return bn
+}
+
+// specStep reports whether a step's semantics depend on the hardware
+// config. These always appear as unfused single steps (the pair fuser and
+// run packer never touch them), so splitting on the step kind is exact.
+func specStep(k uint8) bool {
+	switch k {
+	case uint8(LDC), uint8(STC), uint8(ADDTC), uint8(SUBTC), uint8(LDT), uint8(STT):
+		return true
+	}
+	return false
+}
+
+// nfnDone is the chain terminator.
+func nfnDone(r *[256]uint32, mem []uint32, st *nstate) {}
+
+// compileBody compiles a block body into its closure chain, composed back
+// to front so each node captures its successor. A body with no
+// config-dependent step returns nil: nothing in it benefits from
+// specialization, and the runner drives the shared switch directly.
+func compileBody(steps []tstep, sp *nspec) nfn {
+	hasSpec := false
+	for i := range steps {
+		if specStep(steps[i].kind) {
+			hasSpec = true
+			break
+		}
+	}
+	if !hasSpec {
+		return nil
+	}
+	next := nfn(nfnDone)
+	end := len(steps)
+	for end > 0 {
+		if specStep(steps[end-1].kind) {
+			next = compileSpecStep(&steps[end-1], sp, next)
+			end--
+			continue
+		}
+		lo := end
+		for lo > 0 && !specStep(steps[lo-1].kind) {
+			lo--
+		}
+		seg, n := steps[lo:end], next
+		next = func(r *[256]uint32, mem []uint32, st *nstate) {
+			if execSteps(seg, r, mem, sp, st) >= 0 {
+				return
+			}
+			n(r, mem, st)
+		}
+		end = lo
+	}
+	return next
+}
+
+// compileSpecStep builds the specialized closure for one config-dependent
+// step, folding every decision the config fixes: tag geometry and address
+// masks become captured constants, a full-width address mask elides the
+// masking, and missing integer-test hardware turns ADDTC/SUBTC into a
+// constant fault.
+func compileSpecStep(s *tstep, sp *nspec, next nfn) nfn {
+	switch s.kind {
+	case uint8(LDT):
+		rd, rs1, imm := s.rd, s.rs1, s.imm
+		if sp.memAddrMask == ^uint32(0) {
+			return func(r *[256]uint32, mem []uint32, st *nstate) {
+				addr := uint32(int32(r[rs1])+imm) &^ 3
+				var v uint32
+				if int(addr>>2) < len(mem) {
+					v = mem[addr>>2]
+				}
+				r[rd] = v
+				next(r, mem, st)
+			}
+		}
+		mask := sp.memAddrMask &^ 3
+		return func(r *[256]uint32, mem []uint32, st *nstate) {
+			addr := uint32(int32(r[rs1])+imm) & mask
+			var v uint32
+			if int(addr>>2) < len(mem) {
+				v = mem[addr>>2]
+			}
+			r[rd] = v
+			next(r, mem, st)
+		}
+
+	case uint8(STT):
+		rs1, rs2, imm, off := s.rs1, s.rs2, s.imm, s.off
+		mask := sp.memAddrMask &^ 3
+		return func(r *[256]uint32, mem []uint32, st *nstate) {
+			addr := uint32(int32(r[rs1])+imm) & mask
+			if int(addr>>2) >= len(mem) {
+				st.faultAt(off, "store out of range at %#x", addr)
+				return
+			}
+			mem[addr>>2] = r[rs2]
+			next(r, mem, st)
+		}
+
+	case uint8(LDC), uint8(STC):
+		isLoad := s.kind == uint8(LDC)
+		rd, rs1, rs2, tag, imm, off := s.rd, s.rs1, s.rs2, s.tag, s.imm, s.off
+		shift, tmask, amask := sp.tagShift, sp.tagMask, sp.memAddrMask
+		return func(r *[256]uint32, mem []uint32, st *nstate) {
+			v := r[rs1]
+			if uint8((v>>shift)&tmask) != tag {
+				st.exit = nexCheck
+				st.fpc = off
+				st.trapA = v
+				st.trapTag = tag
+				return
+			}
+			addr := uint32(int32(v)+imm) & amask
+			if addr&3 != 0 || int(addr>>2) >= len(mem) {
+				st.memFault(off, addr, isLoad)
+				return
+			}
+			if isLoad {
+				r[rd] = mem[addr>>2]
+			} else {
+				mem[addr>>2] = r[rs2]
+			}
+			next(r, mem, st)
+		}
+
+	default: // ADDTC, SUBTC
+		isAdd := s.kind == uint8(ADDTC)
+		kind, rd, rs1, rs2, trapRd, off := s.kind, s.rd, s.rs1, s.rs2, s.tag, s.off
+		isInt := sp.isIntItem
+		if isInt == nil {
+			opName := Op(kind)
+			return func(r *[256]uint32, mem []uint32, st *nstate) {
+				st.faultAt(off, "%s without integer-test hardware", opName)
+			}
+		}
+		return func(r *[256]uint32, mem []uint32, st *nstate) {
+			a, bv := r[rs1], r[rs2]
+			var s64 int64
+			if isAdd {
+				s64 = int64(int32(a)) + int64(int32(bv))
+			} else {
+				s64 = int64(int32(a)) - int64(int32(bv))
+			}
+			res := uint32(s64)
+			if !isInt(a) || !isInt(bv) || s64 != int64(int32(res)) || !isInt(res) {
+				st.exit = nexTrap
+				st.fpc = off
+				st.trapOp = kind
+				st.trapRd = trapRd
+				st.trapA = a
+				st.trapB = bv
+				return
+			}
+			r[rd] = res
+			next(r, mem, st)
+		}
+	}
+}

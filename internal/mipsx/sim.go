@@ -132,6 +132,17 @@ type Machine struct {
 	// dense block id and expanded into execCounts-style statistics on exit
 	// (see translate.go).
 	bctr []blockCtr
+
+	// Native counts what the native (closure-threaded) engine did on this
+	// machine; nctr is its per-superblock run counter, indexed by dense
+	// superblock id (see superblock.go); nst is its reusable exit mailbox.
+	Native NativeStats
+	nctr   []uint64
+	nst    nstate
+	// nregs is the native engine's working register file. The closure
+	// calls keep escape analysis from proving a stack-local file does not
+	// escape, so it lives here to keep steady-state runs allocation-free.
+	nregs [256]uint32
 }
 
 // NewMachine creates a machine with memWords words of zeroed memory.
@@ -142,7 +153,7 @@ func NewMachine(prog *Program, memWords int, hw HWConfig) *Machine {
 	if hw.MemAddrMask == 0 {
 		hw.MemAddrMask = ^uint32(0)
 	}
-	return &Machine{
+	m := &Machine{
 		Prog:       prog,
 		Mem:        make([]uint32, memWords),
 		PC:         prog.Entry,
@@ -150,6 +161,19 @@ func NewMachine(prog *Program, memWords int, hw HWConfig) *Machine {
 		pendTarget: -1,
 		execCounts: make([]uint64, len(prog.Instrs)),
 	}
+	// Pre-size the per-block and per-superblock counters from what the
+	// program has already translated, so machines running a warm program
+	// never grow them mid-run (the block engines' steady state allocates
+	// nothing).
+	if lp := prog.blist.Load(); lp != nil {
+		m.bctr = make([]blockCtr, len(*lp)+64)
+	}
+	if np := prog.nat.Load(); np != nil {
+		if n := np.exitLen.Load(); n > 0 {
+			m.nctr = make([]uint64, int(n)+64)
+		}
+	}
+	return m
 }
 
 // Halted reports whether the machine has executed HALT or SysHalt/SysError.

@@ -372,6 +372,15 @@ loop:
 			case kMovMov:
 				r[s.rd] = r[s.rs1]
 				r[s.rd2] = r[s.rs3]
+			case kMov3:
+				r[s.rd] = r[s.rs1]
+				r[s.rd2] = r[s.rs3]
+				r[s.rs2] = r[s.tag]
+			case kMov4:
+				r[s.rd] = r[s.rs1]
+				r[s.rd2] = r[s.rs3]
+				r[s.rs2] = r[s.tag]
+				r[uint8(s.imm)] = r[uint8(s.imm>>8)]
 			case kAndiLd, kAddiLd:
 				if s.kind == kAndiLd {
 					r[s.rd] = r[s.rs1] & uint32(s.imm)
@@ -1192,87 +1201,9 @@ flush:
 	m.PC = pc
 	m.pendTarget, m.pendCount, m.pendSquash = pendTarget, pendCount, pendSquash
 
-	// Expand the per-block counters into per-instruction counts plus
-	// stall/squash statistics, using each block's static accounting. Every
-	// nonzero counter belongs to a block that was in the dense list when it
-	// executed, so the list loaded here covers them all.
-	if lp := p.blist.Load(); lp != nil {
-		blist := *lp
-		for id := range bctr {
-			c := &bctr[id]
-			e, tk, fl := c.body, c.taken, c.fall
-			if e == 0 && tk == 0 && fl == 0 {
-				continue
-			}
-			*c = blockCtr{}
-			blk := blist[id]
-			if e != 0 {
-				for i := blk.start; i < blk.start+blk.bodyLen; i++ {
-					counts[i] += e
-				}
-				for _, rec := range blk.bodyStalls {
-					st.Stalls += e
-					st.ByCat[rec.cat] += e
-					if rec.rtCheck {
-						st.ByRTSub[rec.sub] += e
-					}
-				}
-				m.Trans.BlockRuns += e
-				m.Trans.Steps += e * uint64(len(blk.steps))
-				m.Trans.FusedSteps += e * blk.fusedN
-			}
-			if tk != 0 || fl != 0 {
-				t := &blk.term
-				counts[t.pc] += tk + fl
-				if tk != 0 {
-					counts[t.pc+1] += tk
-					counts[t.pc+2] += tk
-					for _, rec := range t.taken.stalls {
-						st.Stalls += tk
-						st.ByCat[rec.cat] += tk
-						if rec.rtCheck {
-							st.ByRTSub[rec.sub] += tk
-						}
-					}
-				}
-				if fl != 0 {
-					if t.fall.annul {
-						squashed += 2 * fl
-					} else {
-						counts[t.pc+1] += fl
-						counts[t.pc+2] += fl
-						for _, rec := range t.fall.stalls {
-							st.Stalls += fl
-							st.ByCat[rec.cat] += fl
-							if rec.rtCheck {
-								st.ByRTSub[rec.sub] += fl
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-	for i, c := range counts {
-		if c == 0 {
-			continue
-		}
-		counts[i] = 0
-		d := &dec[i]
-		cyc := c * uint64(d.cycles)
-		instrs += c
-		st.ByCat[d.cat] += cyc
-		st.ByOp[d.op] += c
-		if d.subbed {
-			st.BySub[d.sub] += cyc
-		}
-		if d.rtCheck {
-			st.ByRTSub[d.sub] += cyc
-		}
-	}
-	st.ByCat[CatSquash] += squashed
-	st.Squashed += squashed
-	instrs += squashed
+	m.expandBlockCtrs(counts, &squashed,
+		&m.Trans.BlockRuns, &m.Trans.Steps, &m.Trans.FusedSteps)
+	instrs = m.expandCounts(counts, instrs, squashed)
 	st.Cycles, st.Instrs = cycles, instrs
 
 	if failErr != nil {
@@ -1310,4 +1241,102 @@ func (m *Machine) accountPrefix(start, j int, base uint64) uint64 {
 		}
 	}
 	return base
+}
+
+// expandBlockCtrs expands the per-block counters into per-instruction
+// counts plus stall/squash statistics, using each block's static
+// accounting, and credits an engine's block-run totals through the three
+// pointers (the translated and native engines keep separate totals over
+// the same counters). Every nonzero counter belongs to a block that was in
+// the dense list when it executed, so the list loaded here covers them all.
+func (m *Machine) expandBlockCtrs(counts []uint64, squashed *uint64, blockRuns, steps, fusedSteps *uint64) {
+	lp := m.Prog.blist.Load()
+	if lp == nil {
+		return
+	}
+	blist := *lp
+	st := &m.Stats
+	bctr := m.bctr
+	for id := range bctr {
+		c := &bctr[id]
+		e, tk, fl := c.body, c.taken, c.fall
+		if e == 0 && tk == 0 && fl == 0 {
+			continue
+		}
+		*c = blockCtr{}
+		blk := blist[id]
+		if e != 0 {
+			for i := blk.start; i < blk.start+blk.bodyLen; i++ {
+				counts[i] += e
+			}
+			for _, rec := range blk.bodyStalls {
+				st.Stalls += e
+				st.ByCat[rec.cat] += e
+				if rec.rtCheck {
+					st.ByRTSub[rec.sub] += e
+				}
+			}
+			*blockRuns += e
+			*steps += e * uint64(len(blk.steps))
+			*fusedSteps += e * blk.fusedN
+		}
+		if tk != 0 || fl != 0 {
+			t := &blk.term
+			counts[t.pc] += tk + fl
+			if tk != 0 {
+				counts[t.pc+1] += tk
+				counts[t.pc+2] += tk
+				for _, rec := range t.taken.stalls {
+					st.Stalls += tk
+					st.ByCat[rec.cat] += tk
+					if rec.rtCheck {
+						st.ByRTSub[rec.sub] += tk
+					}
+				}
+			}
+			if fl != 0 {
+				if t.fall.annul {
+					*squashed += 2 * fl
+				} else {
+					counts[t.pc+1] += fl
+					counts[t.pc+2] += fl
+					for _, rec := range t.fall.stalls {
+						st.Stalls += fl
+						st.ByCat[rec.cat] += fl
+						if rec.rtCheck {
+							st.ByRTSub[rec.sub] += fl
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// expandCounts folds the per-instruction execution counts and the squash
+// total into the cycle/op statistics, and returns instrs grown by the
+// expanded executions.
+func (m *Machine) expandCounts(counts []uint64, instrs, squashed uint64) uint64 {
+	st := &m.Stats
+	dec := m.Prog.dec
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		counts[i] = 0
+		d := &dec[i]
+		cyc := c * uint64(d.cycles)
+		instrs += c
+		st.ByCat[d.cat] += cyc
+		st.ByOp[d.op] += c
+		if d.subbed {
+			st.BySub[d.sub] += cyc
+		}
+		if d.rtCheck {
+			st.ByRTSub[d.sub] += cyc
+		}
+	}
+	st.ByCat[CatSquash] += squashed
+	st.Squashed += squashed
+	return instrs + squashed
 }

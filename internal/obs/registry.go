@@ -78,6 +78,23 @@ func (g *Registry) RecordTrans(tr *mipsx.TransStats) {
 	g.Add("engine_fused_steps_total", tr.FusedSteps)
 }
 
+// RecordNative folds one machine's native-engine counters into the
+// registry. As with RecordTrans, every field is zero when the run used
+// another engine; a Fallbacks increment marks a native run that delegated
+// to the fused loop (observer or context attached) or to the translated
+// engine (program compiled for a different hardware config).
+func (g *Registry) RecordNative(ns *mipsx.NativeStats) {
+	g.Add("native_blocks_compiled_total", ns.Compiled)
+	g.Add("native_block_runs_total", ns.BlockRuns)
+	g.Add("native_chain_hits_total", ns.ChainHits)
+	g.Add("native_fallbacks_total", ns.Fallbacks)
+	g.Add("native_superblocks_total", ns.SuperBlocks)
+	g.Add("native_superblock_runs_total", ns.SBRuns)
+	g.Add("native_superblock_side_exits_total", ns.SBSideExits)
+	g.Add("native_steps_total", ns.Steps)
+	g.Add("native_fused_steps_total", ns.FusedSteps)
+}
+
 // Snapshot is a point-in-time copy of a Registry, shaped for JSON.
 type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters"`

@@ -73,9 +73,10 @@ type RunRequest struct {
 	// clamped to the server's maximum.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// Engine selects the simulator engine for this request: "translated"
-	// (default), "fused" or "reference". All engines produce bit-identical
-	// results, so the shared result cache serves every engine — the choice
-	// only matters for the run that fills a cache miss.
+	// (default), "fused", "reference" or "native". All engines produce
+	// bit-identical results, so the shared result cache serves every
+	// engine — the choice only matters for the run that fills a cache
+	// miss. GET /v1/configs lists the accepted spellings.
 	Engine string `json:"engine,omitempty"`
 }
 
@@ -344,10 +345,13 @@ func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
 	}{out})
 }
 
-// configsResponse is the discovery document of GET /v1/configs.
+// configsResponse is the discovery document of GET /v1/configs. Engines
+// lists the selector spellings RunRequest.Engine and SweepRequest.Engine
+// accept.
 type configsResponse struct {
 	Schemes []string          `json:"schemes"`
 	HWFlags []core.HWFlagInfo `json:"hw_flags"`
+	Engines []string          `json:"engines"`
 	Presets []configPreset    `json:"presets"`
 }
 
@@ -361,6 +365,7 @@ func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
 	resp := configsResponse{
 		Schemes: core.SchemeNames,
 		HWFlags: core.HWFlags,
+		Engines: mipsx.EngineNames,
 		Presets: []configPreset{{ID: "0", Label: "software only (baseline)", HW: []string{}}},
 	}
 	for _, row := range core.Table2Rows {

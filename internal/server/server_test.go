@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -206,6 +207,20 @@ func TestRunEndpoint(t *testing.T) {
 	if resp, _ := postJSON(t, ts.URL+"/v1/run", map[string]any{"program": "comp", "config": "high5", "engine": "bogus"}); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad engine: status %d, want 400", resp.StatusCode)
 	}
+
+	// Per-engine run counters: the loop above only simulated under the first
+	// engine (the rest hit the cache), so force an uncached native run and
+	// check it is attributed to the native engine.
+	if resp, body := postJSON(t, ts.URL+"/v1/run", map[string]any{"program": "trav", "config": "low3", "engine": "native"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("native run status %d: %s", resp.StatusCode, body)
+	}
+	c := counters(t, ts.URL)
+	if c["runs_engine_total/native"] != 1 {
+		t.Errorf("runs_engine_total/native = %d, want 1", c["runs_engine_total/native"])
+	}
+	if c["runs_engine_total/"+mipsx.EngineNames[0]] == 0 {
+		t.Errorf("runs_engine_total/%s = 0, want ≥1", mipsx.EngineNames[0])
+	}
 }
 
 // TestOverloadReturns429 floods a 1-slot, 1-queue server: the burst must
@@ -317,6 +332,9 @@ func TestDiscoveryAndHealth(t *testing.T) {
 	}
 	if len(cfgs.Presets) != len(core.Table2Rows)+1 {
 		t.Errorf("presets = %d, want %d", len(cfgs.Presets), len(core.Table2Rows)+1)
+	}
+	if !reflect.DeepEqual(cfgs.Engines, mipsx.EngineNames) {
+		t.Errorf("engines = %v, want %v", cfgs.Engines, mipsx.EngineNames)
 	}
 
 	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
