@@ -76,6 +76,12 @@ fuzz:
 fuzz-sweep:
 	$(GO) run ./cmd/tagsimfuzz -seeds 500 -invariants -out fuzz-artifacts
 
+# End-to-end /metrics check against a live prewarmed server: both the
+# JSON and the Prometheus text expositions must be fetchable and valid.
+.PHONY: metrics-smoke
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
+
 # Run the simulation service on :8372.
 .PHONY: serve
 serve:

@@ -31,12 +31,24 @@ import (
 type Doc struct {
 	Schema     string   `json:"schema"`
 	Date       string   `json:"date"`
+	GitSHA     string   `json:"git_sha,omitempty"` // commit the numbers were measured at
 	GoVersion  string   `json:"go_version"`
 	GOOS       string   `json:"goos"`
 	GOARCH     string   `json:"goarch"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Benchtime  string   `json:"benchtime"`
 	Engines    []Engine `json:"engines"`
+}
+
+// gitSHA asks git for HEAD; an archived record should say which commit
+// produced its numbers. Best-effort: outside a work tree (or without
+// git) the field is simply omitted.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // Engine holds one engine's per-program results.
@@ -85,6 +97,7 @@ func runArchive(benchtime, out, baseline string) error {
 	doc := Doc{
 		Schema:     "tagsim-bench/v1",
 		Date:       time.Now().UTC().Format(time.RFC3339),
+		GitSHA:     gitSHA(),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/mipsx"
@@ -64,6 +65,7 @@ type options struct {
 	samplePeriod uint64
 	sampleWindow uint64
 	metricsOut   string
+	spanOut      string
 }
 
 func main() {
@@ -92,6 +94,7 @@ func main() {
 	flag.Uint64Var(&o.samplePeriod, "sample-period", 0, "with -events-out: sampling period in cycles (0 = trace everything)")
 	flag.Uint64Var(&o.sampleWindow, "sample-window", 0, "with -events-out: cycles traced at the start of each period")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write the aggregated metrics registry snapshot (JSON) to this file")
+	flag.StringVar(&o.spanOut, "span-out", "", "with -program: write the run's phase timeline (parse, compile, translate, native-compile, execute) as JSON to this file")
 	cpuprof := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprof := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -331,9 +334,17 @@ func runOne(name string, cfg core.Config, engine mipsx.Engine, o options) error 
 	if !ok {
 		return fmt.Errorf("unknown program %q (try -list)", name)
 	}
-	img, err := rt.Build(p.Source, rt.BuildOptions{
+	var tl *obs.Timeline
+	bo := rt.BuildOptions{
 		Scheme: cfg.Scheme, HW: cfg.HW, Checking: cfg.Checking, HeapWords: p.HeapWords,
-	})
+	}
+	if o.spanOut != "" {
+		tl = obs.NewTimeline()
+		bo.Phase = func(phase string, d time.Duration) {
+			tl.Record(phase, time.Now().Add(-d), d)
+		}
+	}
+	img, err := rt.Build(p.Source, bo)
 	if err != nil {
 		return err
 	}
@@ -366,10 +377,23 @@ func runOne(name string, cfg core.Config, engine mipsx.Engine, o options) error 
 	// translated default transparently falls back to the fused loop when
 	// -trace-out or -flame attached an observer).
 	var runErr error
+	execStart := time.Now()
 	if o.eventsOut != "" {
 		runErr = m.RunReference()
 	} else {
 		runErr = m.RunEngine(engine)
+	}
+	if tl != nil {
+		tl.Record(obs.PhaseExecute, execStart, time.Since(execStart))
+		// The lazy JIT phases ran inside execute; their spans overlap it.
+		if jt, jn := img.Prog.JITTimes(); jt > 0 || jn > 0 {
+			if jt > 0 {
+				tl.Record(obs.PhaseTranslate, execStart, jt)
+			}
+			if jn > 0 {
+				tl.Record(obs.PhaseNativeCompile, execStart, jn)
+			}
+		}
 	}
 
 	// Artifacts are written even for a failed run — a trace that ends at
@@ -389,6 +413,12 @@ func runOne(name string, cfg core.Config, engine mipsx.Engine, o options) error 
 	}
 	if ring != nil {
 		if err := writeFile(o.eventsOut, ring.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if tl != nil {
+		doc := tl.Doc(core.SchemaVersion, p.Name, cfg.String(), engine.String())
+		if err := writeFile(o.spanOut, doc.WriteJSON); err != nil {
 			return err
 		}
 	}

@@ -8,9 +8,13 @@
 //	tagsimd                          # listen on :8372
 //	tagsimd -addr :9000 -workers 8   # bound simulation concurrency
 //	tagsimd -prewarm                 # fill the cache with the baseline sweep
+//	tagsimd -debug-addr :8373        # also serve net/http/pprof, separately
 //
 // Endpoints: POST /v1/run, POST /v1/sweep, GET /v1/programs,
-// GET /v1/configs, GET /healthz, GET /metrics.
+// GET /v1/configs, GET /v1/introspect, GET /healthz, GET /metrics
+// (JSON or Prometheus text via Accept/?format=). With -debug-addr, Go's
+// pprof profiles are served on a second listener under /debug/pprof/ —
+// kept off the public address so profiling is never internet-facing.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +45,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 	maxCycles := flag.Uint64("max-cycles", 2_000_000_000, "per-run simulated cycle limit")
 	prewarm := flag.Bool("prewarm", false, "fill the cache with every program under the baseline configs before serving")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty: disabled)")
 	flag.Parse()
 
 	log := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -72,6 +78,25 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The debug listener gets its own mux so pprof handlers never leak
+	// onto the service address; it is best-effort and dies with the
+	// process rather than participating in graceful drain.
+	if *debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbgSrv := &http.Server{Addr: *debugAddr, Handler: dbg, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Info("debug listening", "addr", *debugAddr)
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("debug serve", "err", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,8 +60,12 @@ type report struct {
 	Throughput float64 `json:"throughput_rps"`
 	P50MS      float64 `json:"p50_ms"`
 	P90MS      float64 `json:"p90_ms"`
+	P95MS      float64 `json:"p95_ms"`
 	P99MS      float64 `json:"p99_ms"`
 	MaxMS      float64 `json:"max_ms"`
+	// StatusCounts breaks every completed request down by HTTP status
+	// code; transport failures land under "transport".
+	StatusCounts map[string]int `json:"status_counts"`
 }
 
 func main() {
@@ -143,8 +148,18 @@ func main() {
 	fmt.Printf("requests   %d (%d errors, %d rejected)\n", rep.Requests, rep.Errors, rep.Rejected)
 	fmt.Printf("elapsed    %.2fs\n", rep.ElapsedSec)
 	fmt.Printf("throughput %.1f req/s\n", rep.Throughput)
-	fmt.Printf("latency    p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
-		rep.P50MS, rep.P90MS, rep.P99MS, rep.MaxMS)
+	fmt.Printf("latency    p50 %.2fms  p90 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms\n",
+		rep.P50MS, rep.P90MS, rep.P95MS, rep.P99MS, rep.MaxMS)
+	var codes []string
+	for code := range rep.StatusCounts {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	fmt.Printf("status    ")
+	for _, code := range codes {
+		fmt.Printf(" %s:%d", code, rep.StatusCounts[code])
+	}
+	fmt.Println()
 }
 
 // parseSpecs validates the -programs and -configs flag values, rejecting any
@@ -182,13 +197,15 @@ func doRun(client *http.Client, addr string, body []byte) int {
 func summarize(all []sample, elapsed time.Duration) report {
 	sort.Slice(all, func(i, j int) bool { return all[i].lat < all[j].lat })
 	rep := report{
-		Requests:   len(all),
-		ElapsedSec: elapsed.Seconds(),
-		Throughput: float64(len(all)) / elapsed.Seconds(),
-		P50MS:      ms(pct(all, 50)),
-		P90MS:      ms(pct(all, 90)),
-		P99MS:      ms(pct(all, 99)),
-		MaxMS:      ms(all[len(all)-1].lat),
+		Requests:     len(all),
+		ElapsedSec:   elapsed.Seconds(),
+		Throughput:   float64(len(all)) / elapsed.Seconds(),
+		P50MS:        ms(pct(all, 50)),
+		P90MS:        ms(pct(all, 90)),
+		P95MS:        ms(pct(all, 95)),
+		P99MS:        ms(pct(all, 99)),
+		MaxMS:        ms(all[len(all)-1].lat),
+		StatusCounts: make(map[string]int),
 	}
 	for _, s := range all {
 		switch {
@@ -197,6 +214,11 @@ func summarize(all []sample, elapsed time.Duration) report {
 		case s.status != http.StatusOK:
 			rep.Errors++
 		}
+		key := strconv.Itoa(s.status)
+		if s.status == 0 {
+			key = "transport"
+		}
+		rep.StatusCounts[key]++
 	}
 	return rep
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/lispc"
 	"repro/internal/mipsx"
@@ -66,6 +67,11 @@ type Result struct {
 	Units   map[string]lispc.UnitStats
 	Value   string
 	Output  string
+	// Phases is the timeline of the run that produced this result:
+	// parse/compile (image-cache misses only), execute, the JIT phases
+	// carved out of execute, and stats-flush. Cached replays return the
+	// original run's phases.
+	Phases []obs.Span
 }
 
 // Runner executes and memoizes benchmark runs. Safe for concurrent use:
@@ -117,10 +123,18 @@ type cacheEntry struct {
 // program, and through it the shared predecoded instruction stream and
 // translated-block cache, so sharing it across runs of the same
 // (program, config) means compilation, predecoding, and block
-// translation each happen once per key rather than once per run.
+// translation each happen once per key rather than once per run. The
+// entry also accumulates the engine counters of every uncached run of
+// the key, so /v1/introspect can report chain and inline-cache hit
+// rates alongside the image's translation state.
 type imgEntry struct {
-	key string
-	img *rt.Image
+	key     string
+	img     *rt.Image
+	program string
+	config  string
+	runs    uint64
+	trans   mipsx.TransStats
+	native  mipsx.NativeStats
 }
 
 // flight is one in-progress uncached run; waiters block on done.
@@ -201,11 +215,13 @@ func (r *Runner) RunCtx(ctx context.Context, p *programs.Program, cfg Config) (*
 // engine an uncached run led by this request executes on.
 func (r *Runner) RunEngineCtx(ctx context.Context, p *programs.Program, cfg Config, engine mipsx.Engine) (*Result, error) {
 	key := p.Name + "/" + cfg.Key()
+	start := time.Now()
 	for {
 		r.mu.Lock()
 		if res, ok := r.cacheGet(key); ok {
 			r.mu.Unlock()
 			r.Metrics.Add("run_cache_hits_total", 1)
+			r.observeRunLatency("hit", start)
 			return res, nil
 		}
 		if f, ok := r.inflight[key]; ok {
@@ -217,6 +233,7 @@ func (r *Runner) RunEngineCtx(ctx context.Context, p *programs.Program, cfg Conf
 			}
 			if f.err == nil {
 				r.Metrics.Add("run_cache_hits_total", 1)
+				r.observeRunLatency("hit", start)
 				return f.res, nil
 			}
 			if isCancellation(f.err) {
@@ -237,8 +254,20 @@ func (r *Runner) RunEngineCtx(ctx context.Context, p *programs.Program, cfg Conf
 		}
 		r.mu.Unlock()
 		close(f.done)
+		if f.err == nil {
+			r.observeRunLatency("miss", start)
+		}
 		return f.res, f.err
 	}
+}
+
+// observeRunLatency splits end-to-end run latency by cache outcome: hits
+// (including waits on an in-flight leader) answer in microseconds while
+// misses pay compile plus simulate, so folding them into one series
+// would crush both distributions.
+func (r *Runner) observeRunLatency(cache string, start time.Time) {
+	r.Metrics.ObserveBounds(obs.Labeled("run_latency_seconds", "cache", cache),
+		obs.LatencyBounds, time.Since(start).Seconds())
 }
 
 // isCancellation reports whether err stems from a canceled or expired
@@ -254,7 +283,7 @@ func isCancellation(err error) bool {
 // sharing the image shares both. Concurrent builds of the same key are
 // already impossible (RunCtx single-flights per key), so a plain
 // mutex-guarded LRU suffices.
-func (r *Runner) imageFor(p *programs.Program, cfg Config, key string) (*rt.Image, error) {
+func (r *Runner) imageFor(p *programs.Program, cfg Config, key string, tl *obs.Timeline) (*rt.Image, error) {
 	r.mu.Lock()
 	if e, ok := r.imgs[key]; ok {
 		r.imgLRU.MoveToFront(e)
@@ -270,12 +299,17 @@ func (r *Runner) imageFor(p *programs.Program, cfg Config, key string) (*rt.Imag
 		HW:        cfg.HW,
 		Checking:  cfg.Checking,
 		HeapWords: p.HeapWords,
+		Phase: func(name string, d time.Duration) {
+			tl.Record(name, time.Now().Add(-d), d)
+		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s: build: %w", key, err)
 	}
 	r.mu.Lock()
-	r.imgs[key] = r.imgLRU.PushFront(&imgEntry{key: key, img: img})
+	r.imgs[key] = r.imgLRU.PushFront(&imgEntry{
+		key: key, img: img, program: p.Name, config: cfg.String(),
+	})
 	for r.CacheCap > 0 && r.imgLRU.Len() > r.CacheCap {
 		oldest := r.imgLRU.Back()
 		r.imgLRU.Remove(oldest)
@@ -286,9 +320,14 @@ func (r *Runner) imageFor(p *programs.Program, cfg Config, key string) (*rt.Imag
 	return img, nil
 }
 
-// runUncached builds and executes one run; key labels errors.
+// runUncached builds and executes one run; key labels errors. Every run
+// carries a phase timeline (parse, compile, translate, native-compile,
+// execute, stats-flush) recorded entirely off the engines' dispatch
+// loops: build phases come from rt.Build's hook, the JIT phases from the
+// program's cumulative compile-time counters delta'd around execute.
 func (r *Runner) runUncached(ctx context.Context, p *programs.Program, cfg Config, key string, engine mipsx.Engine) (*Result, error) {
-	img, err := r.imageFor(p, cfg, key)
+	tl := obs.NewTimeline()
+	img, err := r.imageFor(p, cfg, key, tl)
 	if err != nil {
 		return nil, err
 	}
@@ -301,14 +340,26 @@ func (r *Runner) runUncached(ctx context.Context, p *programs.Program, cfg Confi
 		m.Obs = r.Observe(p, cfg)
 	}
 	r.Metrics.Add("runs_engine_total/"+engine.String(), 1)
-	if err := m.RunEngine(engine); err != nil {
-		if isCancellation(err) {
+	jt0, jn0 := img.Prog.JITTimes()
+	execStart := time.Now()
+	runErr := m.RunEngine(engine)
+	tl.Record(obs.PhaseExecute, execStart, time.Since(execStart))
+	jt1, jn1 := img.Prog.JITTimes()
+	if d := jt1 - jt0; d > 0 {
+		tl.Record(obs.PhaseTranslate, execStart, d)
+	}
+	if d := jn1 - jn0; d > 0 {
+		tl.Record(obs.PhaseNativeCompile, execStart, d)
+	}
+	if runErr != nil {
+		if isCancellation(runErr) {
 			r.Metrics.Add("runs_canceled_total", 1)
 		} else {
 			r.Metrics.Add("run_errors_total", 1)
 		}
-		return nil, fmt.Errorf("%s: run: %w", key, err)
+		return nil, fmt.Errorf("%s: run: %w", key, runErr)
 	}
+	flushStart := time.Now()
 	value := sexpr.String(img.DecodeItem(m.Mem, m.Regs[mipsx.RRet]))
 	if p.Expected != "" && value != p.Expected {
 		return nil, fmt.Errorf("%s: result %s, want %s (configuration broke program semantics)",
@@ -325,7 +376,70 @@ func (r *Runner) runUncached(ctx context.Context, p *programs.Program, cfg Confi
 	r.Metrics.RecordRun(p.Name, cfg.String(), &m.Stats)
 	r.Metrics.RecordTrans(&m.Trans)
 	r.Metrics.RecordNative(&m.Native)
+	r.noteImageRun(key, m)
+	tl.Record(obs.PhaseStatsFlush, flushStart, time.Since(flushStart))
+	res.Phases = tl.Spans()
+	for _, s := range res.Phases {
+		r.Metrics.ObserveBounds(
+			obs.Labeled("run_phase_seconds", "engine", engine.String(), "phase", s.Phase),
+			obs.LatencyBounds, s.DurUS/1e6)
+	}
 	return res, nil
+}
+
+// noteImageRun folds one completed run's engine counters into the cached
+// image's entry, so introspection can report per-(program, config) chain
+// and inline-cache hit rates accumulated across runs.
+func (r *Runner) noteImageRun(key string, m *mipsx.Machine) {
+	r.mu.Lock()
+	if e, ok := r.imgs[key]; ok {
+		ie := e.Value.(*imgEntry)
+		ie.runs++
+		ie.trans.Accumulate(&m.Trans)
+		ie.native.Accumulate(&m.Native)
+	}
+	r.mu.Unlock()
+}
+
+// ImageIntrospection is one cached image's engine internals, served by
+// GET /v1/introspect: the shared translation/native caches of the
+// memoized image plus the engine counters accumulated over every
+// uncached run of the key.
+type ImageIntrospection struct {
+	Key     string                    `json:"key"`
+	Program string                    `json:"program"`
+	Config  string                    `json:"config"`
+	Runs    uint64                    `json:"runs"`
+	Engine  mipsx.EngineIntrospection `json:"engine"`
+	Trans   mipsx.TransStats          `json:"trans"`
+	Native  mipsx.NativeStats         `json:"native"`
+}
+
+// IntrospectImages snapshots every cached image's engine internals, most
+// recently used first.
+func (r *Runner) IntrospectImages() []ImageIntrospection {
+	r.mu.Lock()
+	infos := make([]ImageIntrospection, 0, r.imgLRU.Len())
+	progs := make([]*mipsx.Program, 0, r.imgLRU.Len())
+	for e := r.imgLRU.Front(); e != nil; e = e.Next() {
+		ie := e.Value.(*imgEntry)
+		infos = append(infos, ImageIntrospection{
+			Key:     ie.key,
+			Program: ie.program,
+			Config:  ie.config,
+			Runs:    ie.runs,
+			Trans:   ie.trans,
+			Native:  ie.native,
+		})
+		progs = append(progs, ie.img.Prog)
+	}
+	r.mu.Unlock()
+	// Walking the block lists is atomic-read-only but proportional to
+	// program size, so it happens outside the runner lock.
+	for i, p := range progs {
+		infos[i].Engine = p.Introspect()
+	}
+	return infos
 }
 
 // Prewarm fills the cache for every (program, config) pair concurrently;

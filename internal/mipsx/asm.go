@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Label identifies a code position before resolution.
@@ -377,6 +378,21 @@ type Program struct {
 	// Native compilation for the closure-threaded engine, pinned to the
 	// hardware config of the first native run (see nclosure.go).
 	nat atomic.Pointer[nativeProg]
+
+	// Wall time consumed by the lazy JIT work above, accumulated on the
+	// translation and native-compilation slow paths only (never the
+	// dispatch loops): block translation under tmu, closure compilation,
+	// and superblock formation. Exposed through JITTimes so the runner
+	// can attribute these phases per run by delta.
+	transNS  atomic.Int64
+	nativeNS atomic.Int64
+}
+
+// JITTimes reports the cumulative wall time this program's lazy block
+// translation (translate phase) and native closure/superblock
+// compilation (native-compile phase) have consumed.
+func (p *Program) JITTimes() (translate, nativeCompile time.Duration) {
+	return time.Duration(p.transNS.Load()), time.Duration(p.nativeNS.Load())
 }
 
 // Finish schedules delay slots, resolves labels and returns the executable

@@ -31,7 +31,10 @@ package mipsx
 // textual order, so architectural state stays bit-identical to the
 // reference engine's.
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // bodyCap bounds a block body so pathological straight-line programs do
 // not produce unbounded translations; the block falls through (and chains)
@@ -232,6 +235,8 @@ func (p *Program) blockAt(pc int) (*tblock, bool) {
 	if b := p.tblocks[pc].Load(); b != nil {
 		return b, false
 	}
+	t0 := time.Now()
+	defer func() { p.transNS.Add(time.Since(t0).Nanoseconds()) }()
 	b := p.translate(pc)
 	var old []*tblock
 	if lp := p.blist.Load(); lp != nil {
@@ -295,7 +300,7 @@ func zdst(x uint8) uint8 {
 func singleStep(d *decoded, pc int) tstep {
 	s := tstep{
 		kind: uint8(d.op), n: 1,
-		rd:   zdst(d.rd), rs1: d.rs1 & 31, rs2: d.rs2 & 31,
+		rd: zdst(d.rd), rs1: d.rs1 & 31, rs2: d.rs2 & 31,
 		tag: d.tag, imm: d.imm, off: int32(pc),
 	}
 	if d.op == ADDTC || d.op == SUBTC {

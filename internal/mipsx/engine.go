@@ -88,12 +88,23 @@ func (m *Machine) RunEngine(e Engine) error {
 // to the fused loop, and the dispatch-step mix (FusedSteps of Steps were
 // superinstructions covering two source instructions).
 type TransStats struct {
-	Translated uint64 // blocks translated into the program's cache by this machine
-	BlockRuns  uint64 // completed basic-block executions
-	ChainHits  uint64 // block transitions resolved through a chain pointer
-	Fallbacks  uint64 // RunTranslated calls that delegated to the fused loop
-	Steps      uint64 // dispatch steps executed in completed block bodies
-	FusedSteps uint64 // of those, fused superinstructions (two source instrs)
+	Translated uint64 `json:"translated"`  // blocks translated into the program's cache by this machine
+	BlockRuns  uint64 `json:"block_runs"`  // completed basic-block executions
+	ChainHits  uint64 `json:"chain_hits"`  // block transitions resolved through a chain pointer
+	Fallbacks  uint64 `json:"fallbacks"`   // RunTranslated calls that delegated to the fused loop
+	Steps      uint64 `json:"steps"`       // dispatch steps executed in completed block bodies
+	FusedSteps uint64 `json:"fused_steps"` // of those, fused superinstructions (two source instrs)
+}
+
+// Accumulate adds o's counters into t (the runner aggregates the
+// machines that ran one cached image).
+func (t *TransStats) Accumulate(o *TransStats) {
+	t.Translated += o.Translated
+	t.BlockRuns += o.BlockRuns
+	t.ChainHits += o.ChainHits
+	t.Fallbacks += o.Fallbacks
+	t.Steps += o.Steps
+	t.FusedSteps += o.FusedSteps
 }
 
 // NativeStats counts what the native engine did during one Machine's runs.
@@ -102,14 +113,28 @@ type TransStats struct {
 // superblock stream executions (each covering several block runs) and
 // SBSideExits the streams abandoned partway.
 type NativeStats struct {
-	Compiled    uint64 // blocks closure-compiled into the program's cache by this machine
-	SuperBlocks uint64 // superblocks formed by this machine
-	BlockRuns   uint64 // completed basic-block executions (superblock runs included)
-	ChainHits   uint64 // block transitions resolved through a chain pointer
-	Fallbacks   uint64 // RunNative calls that delegated to another engine
-	SBRuns      uint64 // complete superblock stream executions
-	SBSideExits uint64 // superblock streams exited before completion
-	SlowRuns    uint64 // block executions dispatched on the per-block path
-	Steps       uint64 // dispatch steps executed in completed block bodies
-	FusedSteps  uint64 // of those, fused superinstructions (two source instrs)
+	Compiled    uint64 `json:"compiled"`      // blocks closure-compiled into the program's cache by this machine
+	SuperBlocks uint64 `json:"superblocks"`   // superblocks formed by this machine
+	BlockRuns   uint64 `json:"block_runs"`    // completed basic-block executions (superblock runs included)
+	ChainHits   uint64 `json:"chain_hits"`    // block transitions resolved through a chain pointer
+	Fallbacks   uint64 `json:"fallbacks"`     // RunNative calls that delegated to another engine
+	SBRuns      uint64 `json:"sb_runs"`       // complete superblock stream executions
+	SBSideExits uint64 `json:"sb_side_exits"` // superblock streams exited before completion
+	SlowRuns    uint64 `json:"slow_runs"`     // block executions dispatched on the per-block path
+	Steps       uint64 `json:"steps"`         // dispatch steps executed in completed block bodies
+	FusedSteps  uint64 `json:"fused_steps"`   // of those, fused superinstructions (two source instrs)
+}
+
+// Accumulate adds o's counters into n.
+func (n *NativeStats) Accumulate(o *NativeStats) {
+	n.Compiled += o.Compiled
+	n.SuperBlocks += o.SuperBlocks
+	n.BlockRuns += o.BlockRuns
+	n.ChainHits += o.ChainHits
+	n.Fallbacks += o.Fallbacks
+	n.SBRuns += o.SBRuns
+	n.SBSideExits += o.SBSideExits
+	n.SlowRuns += o.SlowRuns
+	n.Steps += o.Steps
+	n.FusedSteps += o.FusedSteps
 }

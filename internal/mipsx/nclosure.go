@@ -26,6 +26,7 @@ package mipsx
 import (
 	"reflect"
 	"sync/atomic"
+	"time"
 )
 
 // nblock is one block's native compilation: the body closure chain plus the
@@ -117,7 +118,9 @@ func (p *Program) nblockSlow(b *tblock, np *nativeProg) *nblock {
 	if bn := b.nat.Load(); bn != nil {
 		return bn
 	}
+	t0 := time.Now()
 	bn := &nblock{chain: compileBody(b.steps, &np.spec)}
+	p.nativeNS.Add(time.Since(t0).Nanoseconds())
 	b.nat.Store(bn)
 	return bn
 }

@@ -22,10 +22,10 @@ import "math"
 // specialized against: every value the emitted closures and superblock
 // streams would otherwise read from Machine.HW per executed instruction.
 type nspec struct {
-	tagShift    uint32
-	tagMask     uint32
-	memAddrMask uint32
-	isIntItem   func(uint32) bool
+	tagShift         uint32
+	tagMask          uint32
+	memAddrMask      uint32
+	isIntItem        func(uint32) bool
 	trapHandler      int
 	checkFailHandler int
 	trapCycles       uint64

@@ -25,7 +25,10 @@ package mipsx
 // runner stays on the per-block path, which faults exactly where the
 // translated engine would.
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 const (
 	// sbHotThreshold is the per-machine body count that triggers formation;
@@ -153,6 +156,8 @@ func (m *Machine) hotOutcome(b *tblock) (o *outcome, hotTaken, hasDir bool) {
 // the flat stream, and publishes it. Returns nil when no viable path
 // exists. Caller holds p.tmu.
 func (p *Program) formSuperblock(m *Machine, head *tblock, np *nativeProg) *sblock {
+	t0 := time.Now()
+	defer func() { p.nativeNS.Add(time.Since(t0).Nanoseconds()) }()
 	var old []*sblock
 	if lp := np.sbs.Load(); lp != nil {
 		old = *lp

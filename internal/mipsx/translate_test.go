@@ -17,18 +17,18 @@ func hand(entry int, instrs ...Instr) *Program {
 // [0..5], [6..8] overlap on instructions 6 and 7.
 func TestTranslatedDelaySlotLeader(t *testing.T) {
 	p := hand(0,
-		Instr{Op: LI, Rd: 10, Imm: 0},           // 0
-		Instr{Op: LI, Rd: 11, Imm: 0},           // 1
-		Instr{Op: NOP},                          // 2
-		Instr{Op: NOP},                          // 3
-		Instr{Op: NOP},                          // 4
+		Instr{Op: LI, Rd: 10, Imm: 0},               // 0
+		Instr{Op: LI, Rd: 11, Imm: 0},               // 1
+		Instr{Op: NOP},                              // 2
+		Instr{Op: NOP},                              // 3
+		Instr{Op: NOP},                              // 4
 		Instr{Op: BLTI, Rs1: 10, Imm: 8, Target: 6}, // 5: branch into its own slot 1
 		Instr{Op: ADDI, Rd: 10, Rs1: 10, Imm: 1},    // 6: slot 1 of 5 and 8, and a block leader
 		Instr{Op: ADD, Rd: 11, Rs1: 11, Rs2: 10},    // 7: slot 2
 		Instr{Op: BLTI, Rs1: 10, Imm: 8, Target: 6}, // 8: loop back into the shared slot
 		Instr{Op: ADDI, Rd: 11, Rs1: 11, Imm: 100},  // 9: slot 1 of 8
-		Instr{Op: NOP},                          // 10: slot 2 of 8
-		Instr{Op: HALT},                         // 11
+		Instr{Op: NOP},                              // 10: slot 2 of 8
+		Instr{Op: HALT},                             // 11
 	)
 	m := runEngines(t, p, 256, HWConfig{TrapHandler: -1, CheckFailHandler: -1})
 	if m.Regs[10] != 8 {

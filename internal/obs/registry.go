@@ -36,10 +36,18 @@ func (g *Registry) Add(name string, v uint64) {
 // Observe records v into histogram name, creating it with decade buckets
 // (1, 10, ..., 1e12) on first use.
 func (g *Registry) Observe(name string, v float64) {
+	g.ObserveBounds(name, nil, v)
+}
+
+// ObserveBounds records v into histogram name, creating it with the given
+// bucket upper bounds on first use (nil selects the decade buckets).
+// Bounds only matter at creation; later calls with different bounds feed
+// the histogram as first declared.
+func (g *Registry) ObserveBounds(name string, bounds []float64, v float64) {
 	g.mu.Lock()
 	h := g.hists[name]
 	if h == nil {
-		h = NewHistogram(nil)
+		h = NewHistogram(bounds)
 		g.hists[name] = h
 	}
 	h.Observe(v)
@@ -142,6 +150,16 @@ var defaultBounds = []float64{
 	1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12,
 }
 
+// LatencyBounds are bucket upper bounds for latency histograms in
+// seconds: 125µs to 30s with roughly 1-2.5-5 spacing, fine enough that
+// bucket-interpolated quantiles track sub-millisecond cache hits and
+// multi-second sweeps in the same series.
+var LatencyBounds = []float64{
+	125e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10, 30,
+}
+
 // NewHistogram builds a histogram over ascending upper bounds (nil
 // selects the decade buckets).
 func NewHistogram(bounds []float64) *Histogram {
@@ -171,9 +189,51 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Quantile estimates the q-th quantile (0 < q ≤ 1) from the buckets by
+// linear interpolation within the bucket holding the target rank, the
+// same estimate Prometheus's histogram_quantile computes. The tracked
+// min/max clamp the first and last buckets, so a series whose mass sits
+// in one bucket still reports quantiles inside the observed range.
+func (h *Histogram) Quantile(q float64) float64 {
+	return quantile(q, h.bounds, h.counts, h.count, h.min, h.max)
+}
+
+func quantile(q float64, bounds []float64, counts []uint64, count uint64, min, max float64) float64 {
+	if count == 0 || q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return max
+	}
+	rank := q * float64(count)
+	var cum uint64
+	for i, c := range counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		lo := min
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := max
+		if i < len(bounds) && bounds[i] < hi {
+			hi = bounds[i]
+		}
+		if lo > hi {
+			lo = hi
+		}
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(cum))/float64(c)
+	}
+	return max
+}
+
 // HistogramSnapshot is the JSON shape of a histogram: parallel
-// upper-bound/count arrays (the final bucket is unbounded) plus summary
-// statistics.
+// upper-bound/count arrays (the final bucket is unbounded), summary
+// statistics, and bucket-estimated latency quantiles.
 type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds"`
 	Counts []uint64  `json:"counts"`
@@ -181,6 +241,15 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 	Min    float64   `json:"min"`
 	Max    float64   `json:"max"`
+	P50    float64   `json:"p50"`
+	P90    float64   `json:"p90"`
+	P99    float64   `json:"p99"`
+}
+
+// Quantile estimates the q-th quantile from the snapshot's buckets; see
+// Histogram.Quantile.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	return quantile(q, s.Bounds, s.Counts, s.Count, s.Min, s.Max)
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -191,5 +260,8 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		Sum:    h.sum,
 		Min:    h.min,
 		Max:    h.max,
+		P50:    h.Quantile(0.50),
+		P90:    h.Quantile(0.90),
+		P99:    h.Quantile(0.99),
 	}
 }

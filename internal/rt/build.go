@@ -3,6 +3,7 @@ package rt
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/layout"
 	"repro/internal/lispc"
@@ -20,6 +21,10 @@ type BuildOptions struct {
 	HeapWords int
 	// StackWords reserves stack space above the heap (default 64K).
 	StackWords int
+	// Phase, when non-nil, receives the wall duration of each build phase
+	// ("parse", "compile") as it completes, so callers can thread the
+	// build into a run timeline without this package depending on one.
+	Phase func(name string, d time.Duration)
 }
 
 // Image is a linked program plus its initial memory contents.
@@ -66,6 +71,12 @@ func Build(programSrc string, opts BuildOptions) (*Image, error) {
 		Units:    make(map[string]lispc.UnitStats),
 	}
 
+	phase := opts.Phase
+	if phase == nil {
+		phase = func(string, time.Duration) {}
+	}
+	phaseStart := time.Now()
+
 	in := sexpr.NewInterner()
 	parse := func(name, src string) ([]sexpr.Value, int, error) {
 		forms, err := sexpr.NewReader(in, src).ReadAll()
@@ -86,6 +97,8 @@ func Build(programSrc string, opts BuildOptions) (*Image, error) {
 	if err != nil {
 		return nil, err
 	}
+	phase("parse", time.Since(phaseStart))
+	phaseStart = time.Now()
 
 	// Glue entry points and the program's main must exist before
 	// compilation so %gc, %ensure-heap and the start-up code can
@@ -184,6 +197,7 @@ func Build(programSrc string, opts BuildOptions) (*Image, error) {
 		mem[addr/4+4] = scheme.MakePtr(tags.TCode, uint32(entry*4))
 	}
 	img.memTemplate = mem
+	phase("compile", time.Since(phaseStart))
 	return img, nil
 }
 

@@ -6,13 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/mipsx"
+	"repro/internal/obs"
 	"repro/internal/programs"
 )
 
@@ -88,6 +91,12 @@ type SweepRequest struct {
 	// Engine selects the simulator engine for every job of the sweep; see
 	// RunRequest.Engine.
 	Engine string `json:"engine,omitempty"`
+	// Stream switches the response to Server-Sent Events: one "result"
+	// event per completed (program, config) cell, in completion order,
+	// followed by a terminal "summary" event carrying the SweepResponse
+	// without the Results array. Long sweeps become watchable instead of
+	// a multi-minute silence.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // SweepResult is one cell of a sweep: a report or an error.
@@ -98,13 +107,15 @@ type SweepResult struct {
 	Error   string          `json:"error,omitempty"`
 }
 
-// SweepResponse is the body of POST /v1/sweep.
+// SweepResponse is the body of POST /v1/sweep (and the payload of the
+// terminal "summary" event in streaming mode, where Results is omitted —
+// every cell has already been delivered as its own event).
 type SweepResponse struct {
 	Schema    string        `json:"schema"`
 	Jobs      int           `json:"jobs"`
 	Errors    int           `json:"errors"`
 	ElapsedMS float64       `json:"elapsed_ms"`
-	Results   []SweepResult `json:"results"`
+	Results   []SweepResult `json:"results,omitempty"`
 }
 
 // errorBody is every non-2xx JSON payload.
@@ -197,7 +208,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, runStatus(err), "queued past deadline: %v", err)
 		return
 	}
+	runStart := time.Now()
 	res, err := s.runner.RunEngineCtx(ctx, p, req.Config.Config, engine)
+	s.noteRunLatency(time.Since(runStart))
 	s.releaseSlot()
 	if err != nil {
 		writeError(w, runStatus(err), "%v", err)
@@ -220,11 +233,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	type job struct {
-		p   *programs.Program
-		cfg core.Config
-	}
-	var jobs []job
+	var jobs []sweepJob
 	for _, name := range req.Programs {
 		p, ok := programs.ByName(name)
 		if !ok {
@@ -232,7 +241,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		for _, cfg := range req.Configs {
-			jobs = append(jobs, job{p, cfg.Config})
+			jobs = append(jobs, sweepJob{p, cfg.Config})
 		}
 	}
 	if len(jobs) > s.opts.MaxSweepJobs {
@@ -247,12 +256,53 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
+	s.reg.Add("sweep_jobs_total", uint64(len(jobs)))
 
-	// Fan out over a bounded pool: per-sweep parallelism is capped by
-	// MaxConcurrent workers, and each job additionally takes a global
-	// execution slot so concurrent sweeps cannot oversubscribe the host.
+	if req.Stream {
+		s.streamSweep(w, ctx, jobs, engine)
+		return
+	}
+
 	start := time.Now()
 	results := make([]SweepResult, len(jobs))
+	s.runSweep(ctx, jobs, engine, func(i int, res SweepResult) {
+		results[i] = res
+	})
+
+	resp := SweepResponse{
+		Schema:    core.SchemaVersion,
+		Jobs:      len(jobs),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+		Results:   results,
+	}
+	for _, res := range results {
+		if res.Error != "" {
+			resp.Errors++
+		}
+	}
+	status := http.StatusOK
+	if resp.Errors == len(results) {
+		// Nothing succeeded; surface the first failure's class.
+		if ctx.Err() != nil {
+			status = http.StatusGatewayTimeout
+		} else {
+			status = http.StatusUnprocessableEntity
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+type sweepJob struct {
+	p   *programs.Program
+	cfg core.Config
+}
+
+// runSweep fans the jobs out over a bounded pool: per-sweep parallelism
+// is capped by MaxConcurrent workers, and each job additionally takes a
+// global execution slot so concurrent sweeps cannot oversubscribe the
+// host. done is called once per job from worker goroutines (concurrently,
+// each index exactly once); runSweep returns when every job has finished.
+func (s *Server) runSweep(ctx context.Context, jobs []sweepJob, engine mipsx.Engine, done func(i int, res SweepResult)) {
 	var next atomic.Int64
 	next.Store(-1)
 	workers := s.opts.MaxConcurrent
@@ -270,50 +320,77 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 				j := jobs[i]
-				results[i] = SweepResult{Program: j.p.Name, Config: j.cfg.String()}
+				out := SweepResult{Program: j.p.Name, Config: j.cfg.String()}
 				if err := s.acquire(ctx); err != nil {
-					results[i].Error = err.Error()
+					out.Error = err.Error()
+					done(i, out)
 					continue
 				}
+				runStart := time.Now()
 				res, err := s.runner.RunEngineCtx(ctx, j.p, j.cfg, engine)
+				s.noteRunLatency(time.Since(runStart))
 				s.releaseSlot()
 				if err != nil {
-					results[i].Error = err.Error()
-					continue
+					out.Error = err.Error()
+				} else {
+					out.Run = core.NewRunReport(j.p, j.cfg, res)
 				}
-				results[i].Run = core.NewRunReport(j.p, j.cfg, res)
+				done(i, out)
 			}
 		}()
 	}
 	wg.Wait()
+}
 
-	resp := SweepResponse{
+// streamSweep answers a sweep as Server-Sent Events: one "result" event
+// per completed cell in completion order, then a terminal "summary"
+// event. Events flush as they happen, so a client watches a long sweep
+// progress instead of staring at a silent connection; a drain during the
+// stream lets the in-flight cells finish and still delivers the summary,
+// because admission was granted before streaming began.
+func (s *Server) streamSweep(w http.ResponseWriter, ctx context.Context, jobs []sweepJob, engine mipsx.Engine) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	start := time.Now()
+	ch := make(chan SweepResult)
+	go func() {
+		s.runSweep(ctx, jobs, engine, func(i int, res SweepResult) { ch <- res })
+		close(ch)
+	}()
+
+	errs := 0
+	for res := range ch {
+		if res.Error != "" {
+			errs++
+		}
+		writeEvent(w, "result", res)
+		flusher.Flush()
+	}
+	writeEvent(w, "summary", SweepResponse{
 		Schema:    core.SchemaVersion,
 		Jobs:      len(jobs),
+		Errors:    errs,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
-		Results:   results,
+	})
+	flusher.Flush()
+}
+
+// writeEvent emits one SSE event with a JSON payload. json.Marshal of
+// our response types cannot fail and never contains a newline, so each
+// event is exactly "event:" + "data:" + blank line.
+func writeEvent(w io.Writer, event string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b = []byte(`{"error":"encoding failure"}`)
 	}
-	for _, res := range results {
-		if res.Error != "" {
-			resp.Errors++
-		}
-	}
-	s.reg.Add("sweep_jobs_total", uint64(len(jobs)))
-	status := http.StatusOK
-	if resp.Errors == len(results) {
-		// Nothing succeeded; surface the first failure's class.
-		for _, res := range results {
-			if res.Error != "" {
-				if ctx.Err() != nil {
-					status = http.StatusGatewayTimeout
-				} else {
-					status = http.StatusUnprocessableEntity
-				}
-				break
-			}
-		}
-	}
-	writeJSON(w, status, resp)
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
 }
 
 // inlineProgram wraps ad-hoc source as an anonymous program. The name is
@@ -391,8 +468,47 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h)
 }
 
+// wantsPrometheus decides the /metrics representation: an explicit
+// ?format= wins, then the Accept header (Prometheus scrapers send
+// text/plain or an OpenMetrics type). The default stays JSON so existing
+// clients are undisturbed.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		w.WriteHeader(http.StatusOK)
+		snap.WritePrometheus(w) //nolint:errcheck // client gone
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	s.reg.Snapshot().WriteJSON(w) //nolint:errcheck // client gone
+	snap.WriteJSON(w) //nolint:errcheck // client gone
+}
+
+// introspectResponse is the body of GET /v1/introspect: one entry per
+// image in the runner's cache, newest-built first not guaranteed — the
+// order is the runner's iteration order, sorted by key for determinism.
+type introspectResponse struct {
+	Schema string                    `json:"schema"`
+	Images []core.ImageIntrospection `json:"images"`
+}
+
+func (s *Server) handleIntrospect(w http.ResponseWriter, r *http.Request) {
+	imgs := s.runner.IntrospectImages()
+	writeJSON(w, http.StatusOK, introspectResponse{
+		Schema: core.SchemaVersion,
+		Images: imgs,
+	})
 }

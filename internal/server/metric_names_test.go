@@ -1,0 +1,98 @@
+package server
+
+import (
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricNamesGolden pins the set of exported metric family names. A
+// deterministic scenario exercises every route and both cache outcomes,
+// then the families in the registry snapshot are compared byte-for-byte
+// against testdata/metric_names.golden. Renaming or dropping a metric is
+// a contract change for dashboards and alerts — this test makes it an
+// explicit diff. Regenerate with: go test ./internal/server -run
+// TestMetricNamesGolden -update
+func TestMetricNamesGolden(t *testing.T) {
+	s, ts := testServer(t, Options{})
+
+	// Miss, then hit, on /v1/run.
+	for i := 0; i < 2; i++ {
+		if resp, body := postJSON(t, ts.URL+"/v1/run", map[string]any{
+			"program": "comp", "config": "high5", "engine": "native",
+		}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("run status %d: %s", resp.StatusCode, body)
+		}
+	}
+	// A failing run (checked car of a fixnum) for the error counter.
+	if resp, _ := postJSON(t, ts.URL+"/v1/run", map[string]any{
+		"source": "(car 1)", "config": "high5+check",
+	}); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("error-run status %d, want 422", resp.StatusCode)
+	}
+	// A deadline-canceled run, then its successful retry: the cancel
+	// counter, and an image-cache hit (the canceled run built and cached
+	// the image but not the result).
+	if resp, _ := postJSON(t, ts.URL+"/v1/run", map[string]any{
+		"program": "boyer", "config": "high5+check", "timeout_ms": 1,
+	}); resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("canceled-run status %d, want 504", resp.StatusCode)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/run", map[string]any{
+		"program": "boyer", "config": "high5+check",
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry status %d: %s", resp.StatusCode, body)
+	}
+	// A sweep (one fresh cell, one cached).
+	if resp, body := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"programs": []string{"comp"}, "configs": []string{"high5", "low3"},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
+	}
+	// The read-only routes.
+	for _, path := range []string{"/v1/programs", "/v1/configs", "/v1/introspect", "/healthz"} {
+		if resp := getJSON(t, ts.URL+path, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d", path, resp.StatusCode)
+		}
+	}
+
+	snap := s.Runner().Metrics.Snapshot()
+	set := map[string]bool{}
+	for key := range snap.Counters {
+		set[obs.FamilyName(key)] = true
+	}
+	for key := range snap.Histograms {
+		set[obs.FamilyName(key)] = true
+	}
+	var names []string
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	got := strings.Join(names, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "metric_names.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported metric families changed (run with -update if intentional):\ngot:\n%swant:\n%s", got, want)
+	}
+}

@@ -3,24 +3,37 @@
 // independent deterministic simulation — is exactly the embarrassingly
 // parallel, cache-friendly workload a request/response engine wants.
 //
-//	POST /v1/run      one program × one configuration → tagsim/v1 RunReport
-//	POST /v1/sweep    programs × configurations, fanned out over a bounded pool
-//	GET  /v1/programs the benchmark inventory
-//	GET  /v1/configs  schemes, hardware flags, and the Table 2 presets
-//	GET  /healthz     liveness (503 while draining)
-//	GET  /metrics     the obs.Registry snapshot (run + cache + HTTP counters)
+//	POST /v1/run        one program × one configuration → tagsim/v1 RunReport
+//	POST /v1/sweep      programs × configurations, fanned out over a bounded
+//	                    pool; "stream": true switches the response to
+//	                    Server-Sent Events, one event per completed cell
+//	GET  /v1/programs   the benchmark inventory
+//	GET  /v1/configs    schemes, hardware flags, and the Table 2 presets
+//	GET  /v1/introspect per-cached-image engine internals (block counts,
+//	                    fusion and superblock formation, chain/inline-cache
+//	                    hit rates)
+//	GET  /healthz       liveness (503 while draining)
+//	GET  /metrics       the obs.Registry snapshot — JSON by default,
+//	                    Prometheus text format via Accept: text/plain or
+//	                    ?format=prometheus
 //
 // Production shape: admission control over a bounded queue (overload →
-// 429 + Retry-After), per-request deadlines propagated through context
-// into the simulator's fused loop, an LRU result cache shared with
-// Prewarm and keyed on Config.Key, structured request logs, and graceful
-// drain for SIGTERM.
+// 429 + a Retry-After computed from queue depth and observed run
+// latency), per-request deadlines propagated through context into the
+// simulator's fused loop, an LRU result cache shared with Prewarm and
+// keyed on Config.Key, request IDs propagated or minted per request,
+// structured request logs, per-route latency histograms, and graceful
+// drain for SIGTERM (in-flight requests — streaming sweeps included —
+// run to completion).
 package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -70,6 +83,11 @@ type Server struct {
 	admitted chan struct{} // admission slots: MaxConcurrent+MaxQueue tokens
 	draining atomic.Bool
 	inflight atomic.Int64
+
+	// Observed simulation latency, feeding the Retry-After hint on 429:
+	// cumulative nanoseconds and run count of completed RunEngineCtx calls.
+	runLatNS    atomic.Int64
+	runLatCount atomic.Int64
 }
 
 // New builds a Server from o.
@@ -110,6 +128,7 @@ func New(o Options) *Server {
 	}
 	s.mux.HandleFunc("GET /v1/programs", s.handlePrograms)
 	s.mux.HandleFunc("GET /v1/configs", s.handleConfigs)
+	s.mux.HandleFunc("GET /v1/introspect", s.handleIntrospect)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -128,7 +147,9 @@ func (s *Server) Drain() { s.draining.Store(true) }
 // Draining reports whether Drain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// statusWriter captures the response code for the request log.
+// statusWriter captures the response code for the request log. It
+// forwards Flush so handlers behind it (the streaming sweep) can still
+// reach the connection's http.Flusher.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -139,27 +160,113 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// ServeHTTP dispatches with request logging and HTTP metrics around every
-// handler.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ridKey carries the request ID through context.
+type ridKey struct{}
+
+// RequestID returns the request ID minted or propagated for ctx, or ""
+// outside a request.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// requestID propagates a sane client-supplied X-Request-Id or mints a
+// fresh 16-hex-digit one.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id != "" && len(id) <= 64 {
+		ok := true
+		for i := 0; i < len(id); i++ {
+			c := id[i]
+			if !('a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9' ||
+				c == '-' || c == '_' || c == '.') {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return id
+		}
+	}
+	var b [8]byte
+	rand.Read(b[:]) //nolint:errcheck // crypto/rand never fails on supported platforms
+	return hex.EncodeToString(b[:])
+}
+
+// routeOf normalizes a request to a bounded label for per-route metrics.
+// Unknown paths collapse into "other" so a scanner cannot mint unbounded
+// label values.
+func routeOf(r *http.Request) string {
+	switch r.URL.Path {
+	case "/v1/run", "/v1/sweep", "/v1/programs", "/v1/configs", "/v1/introspect",
+		"/healthz", "/metrics":
+		return r.Method + " " + r.URL.Path
+	}
+	return "other"
+}
+
+// ServeHTTP dispatches with request-ID propagation, request logging and
+// HTTP metrics around every handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	rid := requestID(r)
+	w.Header().Set("X-Request-Id", rid)
+	r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	s.inflight.Add(1)
 	s.mux.ServeHTTP(sw, r)
 	s.inflight.Add(-1)
 
 	dur := time.Since(start)
+	route := routeOf(r)
 	s.reg.Add("http_requests_total", 1)
 	s.reg.Add("http_requests_total/"+r.Method+" "+r.URL.Path, 1)
 	s.reg.Add("http_responses_total/"+strconv.Itoa(sw.status), 1)
 	s.reg.Observe("http_request_us", float64(dur.Microseconds()))
+	s.reg.ObserveBounds(obs.Labeled("http_request_seconds", "route", route),
+		obs.LatencyBounds, dur.Seconds())
 	s.log.Info("request",
 		"method", r.Method,
 		"path", r.URL.Path,
 		"status", sw.status,
 		"dur_ms", float64(dur.Microseconds())/1e3,
 		"remote", r.RemoteAddr,
+		"request_id", rid,
 	)
+}
+
+// retryAfter estimates how long a refused client should back off: the
+// current admission backlog divided by the service rate the observed mean
+// run latency implies, clamped to [1, 30] seconds. Before any run has
+// completed the floor applies.
+func (s *Server) retryAfter() int {
+	depth := len(s.admitted)
+	n := s.runLatCount.Load()
+	if n == 0 || depth == 0 {
+		return 1
+	}
+	mean := float64(s.runLatNS.Load()) / float64(n) / 1e9
+	est := math.Ceil(float64(depth) * mean / float64(s.opts.MaxConcurrent))
+	if est < 1 {
+		return 1
+	}
+	if est > 30 {
+		return 30
+	}
+	return int(est)
+}
+
+// noteRunLatency folds one completed simulation call into the
+// Retry-After estimate.
+func (s *Server) noteRunLatency(d time.Duration) {
+	s.runLatNS.Add(d.Nanoseconds())
+	s.runLatCount.Add(1)
 }
 
 // admit takes an admission slot, or refuses the request. The returned
@@ -176,14 +283,21 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 		return func() { <-s.admitted }, true
 	default:
 		s.reg.Add("http_rejected_total", 1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 		writeError(w, http.StatusTooManyRequests, "simulation queue full")
 		return nil, false
 	}
 }
 
-// acquire blocks for an execution slot or gives up when ctx dies.
+// acquire blocks for an execution slot or gives up when ctx dies. The
+// time spent waiting — queueing behind other simulations — is recorded
+// so the /metrics latency story separates queue wait from execution.
 func (s *Server) acquire(ctx context.Context) error {
+	wait := time.Now()
+	defer func() {
+		s.reg.ObserveBounds("http_queue_wait_seconds", obs.LatencyBounds,
+			time.Since(wait).Seconds())
+	}()
 	select {
 	case s.sem <- struct{}{}:
 		return nil

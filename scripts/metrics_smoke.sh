@@ -1,0 +1,56 @@
+#!/bin/sh
+# metrics_smoke.sh — end-to-end check of the /metrics dual exposition
+# against a live tagsimd: start the server prewarmed, fetch the snapshot
+# as JSON (default) and as Prometheus text (Accept: text/plain), and
+# validate both — the JSON must parse, the Prometheus output must be
+# line-valid text format and contain the run-phase and per-route latency
+# histogram series the dashboards scrape. Used by `make metrics-smoke`
+# and the CI metrics job.
+set -eu
+
+ADDR="${ADDR:-127.0.0.1:8377}"
+BASE="http://$ADDR"
+BIN="${TMPDIR:-/tmp}/tagsimd-smoke"
+OUT="${TMPDIR:-/tmp}/tagsimd-smoke-out"
+mkdir -p "$OUT"
+
+go build -o "$BIN" ./cmd/tagsimd
+"$BIN" -addr "$ADDR" -prewarm >"$OUT/server.log" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for readiness (prewarm runs every program first).
+ok=0
+for _ in $(seq 1 120); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.5
+done
+[ "$ok" = 1 ] || { echo "server never became healthy"; cat "$OUT/server.log"; exit 1; }
+
+# One run so request/latency series exist beyond the prewarm counters.
+curl -fsS -X POST "$BASE/v1/run" -d '{"program":"comp","config":"high5"}' >/dev/null
+
+# JSON form (the default) must parse.
+curl -fsS "$BASE/metrics" >"$OUT/metrics.json"
+python3 -m json.tool "$OUT/metrics.json" >/dev/null
+grep -q '"runs_total"' "$OUT/metrics.json"
+
+# Prometheus form via Accept and via ?format= must be identical in shape.
+curl -fsS -H 'Accept: text/plain' "$BASE/metrics" >"$OUT/metrics.prom"
+curl -fsS "$BASE/metrics?format=prometheus" >"$OUT/metrics2.prom"
+
+for f in "$OUT/metrics.prom" "$OUT/metrics2.prom"; do
+    # Every line is a TYPE comment or "name{labels} value".
+    if grep -vE '^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|histogram))$' "$f" \
+        | grep -qvE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+$'; then
+        echo "invalid Prometheus text format in $f:"
+        grep -vE '^(# TYPE .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.eE+-]+)$' "$f" | head
+        exit 1
+    fi
+    grep -q '^# TYPE run_phase_seconds histogram$' "$f"
+    grep -q 'run_phase_seconds_bucket{' "$f"
+    grep -q 'http_request_seconds_bucket{' "$f"
+    grep -q 'le="+Inf"' "$f"
+done
+
+echo "metrics smoke OK: $(wc -l <"$OUT/metrics.prom") prometheus lines, both formats valid"
