@@ -82,6 +82,13 @@ fuzz-sweep:
 metrics-smoke:
 	sh scripts/metrics_smoke.sh
 
+# Scheme-search smoke: enumerate the full acceptance budget, verify every
+# ranked scheme against the property checker, and fail unless some
+# searched scheme ties or beats the hand-built low3 on a variant.
+.PHONY: search-smoke
+search-smoke:
+	$(GO) run ./cmd/tagsearch -budget 2000 -top 10 -smoke >/dev/null
+
 # Run the simulation service on :8372.
 .PHONY: serve
 serve:

@@ -9,6 +9,11 @@
 //
 //	tagsimload -addr http://localhost:8372 -c 8 -d 10s
 //	tagsimload -n 200 -programs comp,trav -configs high5,high5+check -json
+//
+// With -search the loop drives POST /v1/search instead: each request is a
+// bounded scheme search (budget -search-budget over -programs), which
+// exercises the enumerate→sweep pipeline, the runner cache under
+// identical repeated sweeps, and the endpoint's admission control.
 package main
 
 import (
@@ -38,12 +43,21 @@ type options struct {
 	configs  string
 	timeout  time.Duration
 	jsonOut  bool
+	search   bool
+	budget   int
 }
 
 type runReq struct {
 	Program   string `json:"program"`
 	Config    string `json:"config"`
 	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+type searchReq struct {
+	Budget   int      `json:"budget"`
+	TopK     int      `json:"top_k"`
+	Programs []string `json:"programs"`
+	Variants []string `json:"variants"`
 }
 
 // sample is one completed request.
@@ -78,6 +92,8 @@ func main() {
 	flag.StringVar(&o.configs, "configs", "high5,high5+check,high5+check+mem", "comma-separated config specs")
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request client timeout")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the report as JSON")
+	flag.BoolVar(&o.search, "search", false, "drive POST /v1/search instead of /v1/run")
+	flag.IntVar(&o.budget, "search-budget", 40, "enumeration budget per search request (with -search)")
 	flag.Parse()
 
 	progs, cfgs, err := parseSpecs(o.programs, o.configs)
@@ -89,14 +105,27 @@ func main() {
 	// Pre-encode every distinct request body once; workers pick jobs
 	// round-robin off a shared counter so the mix stays even.
 	var bodies [][]byte
-	for _, p := range progs {
-		for _, c := range cfgs {
-			b, err := json.Marshal(runReq{Program: p, Config: c})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "tagsimload:", err)
-				os.Exit(2)
+	path := "/v1/run"
+	if o.search {
+		path = "/v1/search"
+		b, err := json.Marshal(searchReq{
+			Budget: o.budget, TopK: 5, Programs: progs, Variants: []string{"check"},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tagsimload:", err)
+			os.Exit(2)
+		}
+		bodies = append(bodies, b)
+	} else {
+		for _, p := range progs {
+			for _, c := range cfgs {
+				b, err := json.Marshal(runReq{Program: p, Config: c})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "tagsimload:", err)
+					os.Exit(2)
+				}
+				bodies = append(bodies, b)
 			}
-			bodies = append(bodies, b)
 		}
 	}
 
@@ -122,7 +151,7 @@ func main() {
 				}
 				i := int(next.Add(1)) % len(bodies)
 				t0 := time.Now()
-				status := doRun(client, o.addr, bodies[i])
+				status := doRun(client, o.addr, path, bodies[i])
 				samples[w] = append(samples[w], sample{lat: time.Since(t0), status: status})
 			}
 		}(w)
@@ -182,10 +211,10 @@ func parseSpecs(programs, configs string) (progs, cfgs []string, err error) {
 	return progs, cfgs, nil
 }
 
-// doRun issues one POST /v1/run and returns the HTTP status (0 on
+// doRun issues one POST to path and returns the HTTP status (0 on
 // transport error). The body is drained so connections are reused.
-func doRun(client *http.Client, addr string, body []byte) int {
-	resp, err := client.Post(addr+"/v1/run", "application/json", bytes.NewReader(body))
+func doRun(client *http.Client, addr, path string, body []byte) int {
+	resp, err := client.Post(addr+path, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0
 	}

@@ -8,9 +8,14 @@ import (
 )
 
 // SchemeNames are the accepted -scheme / API spellings, in paper order.
+// Searched schemes are additionally accepted by their canonical spec name
+// (tags.Spec.Name), e.g. "xl3:1.2.5.6.3.0.7".
 var SchemeNames = []string{"high5", "high6", "low3", "low2"}
 
-// ParseScheme maps a scheme name to its tags.Kind.
+// ParseScheme maps a scheme name to its tags.Kind. Canonical searched-
+// scheme names ("x" prefix) are parsed, validated and registered, so a
+// scheme found by the search engine can be named anywhere a hand-built
+// one can: -scheme flags, config specs, cache keys, the API.
 func ParseScheme(s string) (tags.Kind, error) {
 	switch s {
 	case "high5":
@@ -22,7 +27,11 @@ func ParseScheme(s string) (tags.Kind, error) {
 	case "low2":
 		return tags.Low2, nil
 	}
-	return 0, fmt.Errorf("unknown scheme %q (want one of %s)", s, strings.Join(SchemeNames, ", "))
+	if strings.HasPrefix(s, "x") {
+		return tags.RegisterName(s)
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want one of %s, or a searched-scheme spec like xl3:1.2.5.6.3.0.7)",
+		s, strings.Join(SchemeNames, ", "))
 }
 
 // HWFlagInfo names one optional-hardware flag as spelled on the command
@@ -61,7 +70,11 @@ func setHWFlag(hw *tags.HW, name string) error {
 	case "shadow":
 		hw.ShadowRegisters = true
 	default:
-		return fmt.Errorf("unknown hardware flag %q", name)
+		names := make([]string, len(HWFlags))
+		for i, f := range HWFlags {
+			names[i] = f.Name
+		}
+		return fmt.Errorf("unknown hardware flag %q (want one of %s)", name, strings.Join(names, ", "))
 	}
 	return nil
 }

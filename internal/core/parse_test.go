@@ -1,0 +1,69 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tags"
+)
+
+// TestParseErrorsEnumerateNames pins the contract that a bad scheme or
+// hardware-flag spelling names every accepted spelling: the error message
+// is the documentation a user sees first.
+func TestParseErrorsEnumerateNames(t *testing.T) {
+	_, err := ParseScheme("bogus")
+	if err == nil {
+		t.Fatal("ParseScheme accepted a bogus name")
+	}
+	for _, name := range SchemeNames {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("scheme error %q does not mention %q", err, name)
+		}
+	}
+	if !strings.Contains(err.Error(), "xl3:") {
+		t.Errorf("scheme error %q does not mention the searched-scheme syntax", err)
+	}
+
+	_, err = ParseHW("mem,bogus")
+	if err == nil {
+		t.Fatal("ParseHW accepted a bogus flag")
+	}
+	for _, f := range HWFlags {
+		if !strings.Contains(err.Error(), f.Name) {
+			t.Errorf("hw error %q does not mention %q", err, f.Name)
+		}
+	}
+
+	// ParseConfig wraps both paths; its errors inherit the enumerations.
+	if _, err := ParseConfig("high5+nope"); err == nil || !strings.Contains(err.Error(), "mem") {
+		t.Errorf("config error %v does not enumerate hardware flags", err)
+	}
+}
+
+// TestParseSchemeRegistersSpecNames round-trips a canonical searched-
+// scheme name through ParseScheme, the registry, and Config.Key.
+func TestParseSchemeRegistersSpecNames(t *testing.T) {
+	const name = "xl3:1.2.5.6.3.0.7" // the builtin low3 layout, respelled
+	k, err := ParseScheme(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.String() != name {
+		t.Errorf("Kind.String() = %q, want %q", k, name)
+	}
+	k2, err := ParseScheme(name)
+	if err != nil || k2 != k {
+		t.Errorf("re-parse gave %v (%v), want the idempotent kind %v", k2, err, k)
+	}
+	if s := tags.New(k); s.TagBits() != 3 || s.Tag(tags.TVector) != 5 {
+		t.Errorf("materialized scheme has bits=%d vector=%d", s.TagBits(), s.Tag(tags.TVector))
+	}
+	cfg := Config{Scheme: k, Checking: true}
+	if !strings.HasPrefix(cfg.Key(), name+"|") {
+		t.Errorf("cache key %q does not embed the spec name", cfg.Key())
+	}
+
+	if _, err := ParseScheme("xh9:1.2.3.4.5.6.7"); err == nil {
+		t.Error("ParseScheme accepted an invalid spec width")
+	}
+}

@@ -427,52 +427,11 @@ func (f *fnc) rawBranch(op string, r1, r2 uint8, branchWhen bool, target mipsx.L
 
 // emitHeapPtrTest branches when the item is (or is not) a heap pointer that
 // the garbage collector must trace. Raw addresses, fixnums and code items
-// all fail the test by construction.
+// all fail the test by construction. The sequence is derived from the
+// scheme's tag table (tags.EmitHeapPtrTest), so searched schemes compile
+// without scheme-specific compiler cases.
 func (f *fnc) emitHeapPtrTest(r uint8, branchWhen bool, target mipsx.Label) {
-	s := f.c.Opts.Scheme
-	f.a.Cat(mipsx.CatTagExtract, mipsx.SubNone)
-	switch s.Kind() {
-	case tags.High5, tags.High6:
-		lo := int32(s.Tag(tags.TPair))
-		hi := int32(s.Tag(tags.TFloat)) // pointer tags are contiguous pair..float
-		f.a.Srli(scratch, r, int32(s.HWShift()))
-		f.a.Cat(mipsx.CatTagCheck, mipsx.SubNone)
-		if branchWhen {
-			out := f.label()
-			f.a.Blti(scratch, lo, out)
-			f.a.Bgei(scratch, hi+1, out)
-			f.a.Work()
-			f.a.Jmp(target)
-			f.a.Bind(out)
-		} else {
-			f.a.Blti(scratch, lo, target)
-			f.a.Bgei(scratch, hi+1, target)
-		}
-	case tags.Low3:
-		// Heap pointers have nonzero stored bits; headers (111) never
-		// appear where this test runs (the scanner skips them first).
-		f.a.Andi(scratch, r, 3)
-		f.a.Cat(mipsx.CatTagCheck, mipsx.SubNone)
-		if branchWhen {
-			f.a.Bnei(scratch, 0, target)
-		} else {
-			f.a.Beqi(scratch, 0, target)
-		}
-	case tags.Low2:
-		f.a.Andi(scratch, r, 3)
-		f.a.Cat(mipsx.CatTagCheck, mipsx.SubNone)
-		if branchWhen {
-			out := f.label()
-			f.a.Beqi(scratch, 0, out)
-			f.a.Beqi(scratch, 3, out)
-			f.a.Work()
-			f.a.Jmp(target)
-			f.a.Bind(out)
-		} else {
-			f.a.Beqi(scratch, 0, target)
-			f.a.Beqi(scratch, 3, target)
-		}
-	}
+	tags.EmitHeapPtrTest(f.a, f.c.Opts.Scheme, r, scratch, branchWhen, target)
 	f.a.Work()
 }
 

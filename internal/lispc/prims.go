@@ -373,14 +373,15 @@ func (f *fnc) emitCheckedArith(name string, t *tempEntry, r1, r2 uint8, o1, o2 o
 	f.a.SlotSafe(t.reg)
 	defer f.a.SlotSafe()
 	switch {
-	case s.Kind() == tags.High6 && name == "+":
-		// §4.2: the encoding guarantees one integer test on the result of
-		// an ADD catches non-integer operands and overflow alike (any two
-		// non-integer tags sum outside the integer tags). The same test is
-		// unsound for subtraction: equal pointer tags cancel, so two
-		// same-type heap pointers less than 2^25 words apart subtract to a
-		// sign-extended fixnum. Subtraction takes the operand-tested path
-		// below.
+	case tags.SumClosed(s) && name == "+":
+		// §4.2: a sum-closed encoding (hand-built High6, or any searched
+		// scheme with the property) guarantees one integer test on the
+		// result of an ADD catches non-integer operands and overflow alike
+		// (any two non-integer tags sum outside the integer tags). The
+		// same test is unsound for subtraction: equal pointer tags cancel,
+		// so two same-type heap pointers less than 2^25 words apart
+		// subtract to a sign-extended fixnum. Subtraction takes the
+		// operand-tested path below.
 		f.a.Work()
 		f.a.Add(t.reg, r1, r2)
 		f.withSub(mipsx.SubArith, true)

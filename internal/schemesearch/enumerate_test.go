@@ -1,0 +1,206 @@
+package schemesearch
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/tags"
+)
+
+// bruteForceLow generates every structurally valid low-placement spec of
+// the given width by exhaustive iteration — no pruning, no propagation —
+// and keeps those the independent checker accepts. It is the ground truth
+// the enumerator's exhaustiveness is tested against.
+func bruteForceLow(bits int, props []Property) []tags.Spec {
+	top := uint8(1<<bits - 1)
+	var out []tags.Spec
+	var tagsArr [5]uint8
+	var rec func(i int)
+	rec = func(i int) {
+		if i == 5 {
+			sp := tags.Spec{Placement: tags.PlaceLow, Bits: bits}
+			sp.Tags[tags.TPair] = tagsArr[0]
+			sp.Tags[tags.TSymbol] = tagsArr[1]
+			sp.Tags[tags.TVector] = tagsArr[2]
+			sp.Tags[tags.TString] = tagsArr[3]
+			sp.Tags[tags.TFloat] = tagsArr[4]
+			sp.Tags[tags.THeader] = top
+			if CheckSpec(sp, props) == nil {
+				out = append(out, sp)
+			}
+			return
+		}
+		for v := uint8(0); v <= top; v++ {
+			tagsArr[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// TestEnumerateMatchesBruteForce is the exhaustiveness proof for the low
+// families: under every property combination the paper cares about, the
+// constraint-propagating enumerator emits exactly the specs a
+// propagation-free brute force accepts — nothing missing, nothing extra.
+func TestEnumerateMatchesBruteForce(t *testing.T) {
+	propSets := [][]string{
+		nil,
+		{"disjoint"},
+		{"fixnumarith"},
+		{"disjoint", "fixnumarith"},
+		{"pairnilmask"},
+		{"listmask"},
+		{"disjoint", "listmask"},
+	}
+	for _, fam := range []Family{{tags.PlaceLow, 2}, {tags.PlaceLow, 3}} {
+		for _, names := range propSets {
+			props, err := ParseProperties(names)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteForceLow(fam.Bits, props)
+			enum, err := Enumerate(EnumOptions{Properties: props, Budget: 100000, Families: []Family{fam}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[string]bool{}
+			for _, sp := range enum.Specs {
+				got[sp.Name()] = true
+			}
+			wantSet := map[string]bool{}
+			for _, sp := range want {
+				wantSet[sp.Name()] = true
+			}
+			if !reflect.DeepEqual(got, wantSet) {
+				for n := range wantSet {
+					if !got[n] {
+						t.Errorf("%s props=%v: brute force accepts %s but the enumerator missed it", fam, names, n)
+					}
+				}
+				for n := range got {
+					if !wantSet[n] {
+						t.Errorf("%s props=%v: enumerator emitted %s but brute force rejects it", fam, names, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateEmissionsPassChecker covers the high families, where brute
+// force is infeasible: every emitted spec must survive the independent
+// checker, under the default and the strictest property sets.
+func TestEnumerateEmissionsPassChecker(t *testing.T) {
+	for _, names := range [][]string{
+		DefaultPropertyNames,
+		{"disjoint", "fixnumarith", "pairnilmask", "listmask", "sumclosed"},
+	} {
+		props, err := ParseProperties(names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enum, err := Enumerate(EnumOptions{Properties: props, Budget: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enum.Specs) == 0 {
+			t.Fatalf("props=%v: no specs emitted", names)
+		}
+		for _, sp := range enum.Specs {
+			if err := CheckSpec(sp, props); err != nil {
+				t.Fatalf("props=%v: emitted %s fails the checker: %v", names, sp.Name(), err)
+			}
+		}
+	}
+}
+
+// TestEnumerateDeterministic pins that two runs produce the identical
+// spec sequence, which the golden ranking and the class-representative
+// choice both rely on.
+func TestEnumerateDeterministic(t *testing.T) {
+	props, _ := ParseProperties(DefaultPropertyNames)
+	a, err := Enumerate(EnumOptions{Properties: props, Budget: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Enumerate(EnumOptions{Properties: props, Budget: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Specs) != len(b.Specs) {
+		t.Fatalf("runs disagree: %d vs %d specs", len(a.Specs), len(b.Specs))
+	}
+	for i := range a.Specs {
+		if a.Specs[i] != b.Specs[i] {
+			t.Fatalf("spec %d differs: %s vs %s", i, a.Specs[i].Name(), b.Specs[i].Name())
+		}
+	}
+}
+
+// TestEnumerateBudget pins the budget contract: the cap binds, the
+// low-first family order guarantees the paper's low3 region is reached at
+// small budgets (the low3 builtin respelled is the 4th leaf), and the
+// 2000-candidate acceptance floor of at least 1000 valid candidates holds.
+func TestEnumerateBudget(t *testing.T) {
+	props, _ := ParseProperties(DefaultPropertyNames)
+	small, err := Enumerate(EnumOptions{Properties: props, Budget: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.Specs) > 30 {
+		t.Fatalf("budget 30 exceeded: %d specs", len(small.Specs))
+	}
+	low3Clone := "xl3:1.2.5.6.3.0.7"
+	found := false
+	for _, sp := range small.Specs {
+		if sp.Name() == low3Clone {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("budget 30 should still reach the low3 respelling %s", low3Clone)
+	}
+	if small.Pruned["budget"] == 0 {
+		t.Error("budget 30 should record budget-pruned families")
+	}
+
+	big, err := Enumerate(EnumOptions{Properties: props, Budget: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.Specs) < 1000 {
+		t.Fatalf("budget 2000 should yield at least 1000 property-valid candidates, got %d", len(big.Specs))
+	}
+	if len(big.Specs) > 2000 {
+		t.Fatalf("budget 2000 exceeded: %d", len(big.Specs))
+	}
+}
+
+// TestEnumeratePruneReasons pins that the advertised prune counters
+// actually fire on the property sets that exercise them.
+func TestEnumeratePruneReasons(t *testing.T) {
+	cases := []struct {
+		props   []string
+		reasons []string
+	}{
+		{[]string{"disjoint"}, []string{"tag-shared", "tag-collision", "pair-shared", "pair-align"}},
+		{[]string{"sumclosed"}, []string{"placement", "int-adjacent", "sum-alias"}},
+		{[]string{"listmask"}, []string{"mask-infeasible"}},
+	}
+	for _, c := range cases {
+		props, err := ParseProperties(c.props)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enum, err := Enumerate(EnumOptions{Properties: props, Budget: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range c.reasons {
+			if enum.Pruned[r] == 0 {
+				t.Errorf("props=%v: expected prune reason %q to fire, counters: %v", c.props, r, enum.Pruned)
+			}
+		}
+	}
+}

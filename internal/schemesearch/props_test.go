@@ -1,0 +1,151 @@
+package schemesearch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tags"
+)
+
+func mustParse(t *testing.T, name string) tags.Spec {
+	t.Helper()
+	sp, err := tags.ParseSpecName(name)
+	if err != nil {
+		t.Fatalf("ParseSpecName(%q): %v", name, err)
+	}
+	return sp
+}
+
+func builtin(t *testing.T, k tags.Kind) tags.Spec {
+	t.Helper()
+	sp, ok := tags.BuiltinSpec(k)
+	if !ok {
+		t.Fatalf("no builtin spec for %v", k)
+	}
+	return sp
+}
+
+func propByName(t *testing.T, name string) Property {
+	t.Helper()
+	for _, p := range Properties() {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("no property %q", name)
+	return Property{}
+}
+
+// TestPropertyTables pins each property's verdict on the hand-built
+// schemes and on seeded counterexamples: the checker must accept what the
+// enumerator emits and reject the specific invalid shapes each property
+// exists to exclude.
+func TestPropertyTables(t *testing.T) {
+	high5 := builtin(t, tags.High5)
+	high6 := builtin(t, tags.High6)
+	low3 := builtin(t, tags.Low3)
+	low2 := builtin(t, tags.Low2)
+
+	cases := []struct {
+		prop   string
+		spec   tags.Spec
+		accept bool
+		errHas string // substring of the counterexample message
+	}{
+		// disjoint: every hand-built scheme except low2 has private tags.
+		{"disjoint", high5, true, ""},
+		{"disjoint", high6, true, ""},
+		{"disjoint", low3, true, ""},
+		{"disjoint", low2, false, "share tag 2"},
+		// Seeded: a low3 clone with vector moved onto symbol's tag.
+		{"disjoint", mustParse(t, "xl3:1.2.2.6.3.0.7"), false, "share tag 2"},
+
+		// fixnumarith: every valid spec passes behaviorally (the
+		// constructors force the integer conventions); a spec violating the
+		// structural convention is rejected via its Preview error.
+		{"fixnumarith", high5, true, ""},
+		{"fixnumarith", low2, true, ""},
+		{"fixnumarith", tags.Spec{Placement: tags.PlaceHigh, Bits: 5,
+			Tags: withTag(high5.Tags, tags.TInt, 3)}, false, "tagged 0"},
+
+		// pairnilmask: high6 was designed for it (mask 24 matches tags 8
+		// and 9, no fixnum pattern); high5's pair/nil tags 1,2 differ in
+		// their low bits only, so any mask matching both also matches the
+		// fixnum tag 0. Low placements share the failure: the stored pair
+		// and symbol bits 01 and 10 only agree on a zero mask.
+		{"pairnilmask", high6, true, ""},
+		{"pairnilmask", high5, false, "excluding the fixnum patterns"},
+		{"pairnilmask", low3, false, "excluding the fixnum patterns"},
+		{"pairnilmask", low2, false, "excluding the fixnum patterns"},
+		// Seeded: a high5 relayout with pair=8,nil=9 earns the property.
+		{"pairnilmask", mustParse(t, "xh5:8.9.1.2.3.4.5"), true, ""},
+
+		// listmask: high6's mask 30 isolates {8,9} from every other
+		// pattern. Seeded: with pair=8 and nil=11 every isolating mask must
+		// clear bits 0 and 1, and vector=9 agrees with pair everywhere
+		// else, so no mask can exclude it.
+		{"listmask", high6, true, ""},
+		{"listmask", high5, false, "no single (mask,value)"},
+		{"listmask", mustParse(t, "xh6:8.11.9.12.13.14.24"), false, "no single (mask,value)"},
+
+		// sumclosed: §4.2's design and only it among the builtins.
+		{"sumclosed", high6, true, ""},
+		{"sumclosed", high5, false, "aliases an integer tag"},
+		{"sumclosed", low3, false, "never sum-closed"},
+		// Seeded: tag 62 is int-adjacent (62+1 carries into 63, the
+		// negative-integer pattern).
+		{"sumclosed", mustParse(t, "xh6:8.9.10.11.12.13.62"), false, "aliases an integer tag"},
+	}
+	for _, c := range cases {
+		err := propByName(t, c.prop).Check(c.spec)
+		if c.accept && err != nil {
+			t.Errorf("%s should accept %s: %v", c.prop, c.spec.Name(), err)
+		}
+		if !c.accept {
+			if err == nil {
+				t.Errorf("%s should reject %s", c.prop, c.spec.Name())
+			} else if !strings.Contains(err.Error(), c.errHas) {
+				t.Errorf("%s on %s: error %q does not mention %q", c.prop, c.spec.Name(), err, c.errHas)
+			}
+		}
+	}
+}
+
+func withTag(ts [tags.NumTypes]uint8, t tags.Type, v uint8) [tags.NumTypes]uint8 {
+	ts[t] = v
+	return ts
+}
+
+func TestParsePropertiesRejectsUnknown(t *testing.T) {
+	if _, err := ParseProperties([]string{"disjoint", "bogus"}); err == nil {
+		t.Fatal("expected error for unknown property")
+	} else {
+		for _, want := range []string{"disjoint", "fixnumarith", "pairnilmask", "listmask", "sumclosed"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q should enumerate property %q", err, want)
+			}
+		}
+	}
+}
+
+// TestCheckSpecRejectsStructurallyInvalid proves the checker is not
+// fooled by specs the enumerator could never emit: structural violations
+// fail before any property runs.
+func TestCheckSpecRejectsStructurallyInvalid(t *testing.T) {
+	props, err := ParseProperties(DefaultPropertyNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []tags.Spec{
+		{Placement: tags.PlaceLow, Bits: 3, Tags: withTag(builtin(t, tags.Low3).Tags, tags.TVector, 4)},  // zero stored bits
+		{Placement: tags.PlaceLow, Bits: 3, Tags: withTag(builtin(t, tags.Low3).Tags, tags.TSymbol, 1)},  // shares pair's tag
+		{Placement: tags.PlaceLow, Bits: 3, Tags: withTag(builtin(t, tags.Low3).Tags, tags.THeader, 6)},  // header not all-ones
+		{Placement: tags.PlaceHigh, Bits: 5, Tags: withTag(builtin(t, tags.High5).Tags, tags.TPair, 31)}, // collides with negInt
+		{Placement: tags.PlaceHigh, Bits: 7, Tags: builtin(t, tags.High5).Tags},                          // width out of range
+	}
+	for _, sp := range bad {
+		if err := CheckSpec(sp, props); err == nil {
+			t.Errorf("CheckSpec should reject %s", sp.Name())
+		}
+	}
+}

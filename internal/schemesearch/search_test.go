@@ -1,0 +1,234 @@
+package schemesearch
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/programs"
+	"repro/internal/tags"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// sharedRunner serves every search test in the package, so repeated
+// sweeps of the same (scheme, config, program) cells hit its cache.
+var (
+	runnerOnce   sync.Once
+	sharedRunner *core.Runner
+)
+
+func testRunner() *core.Runner {
+	runnerOnce.Do(func() { sharedRunner = core.NewRunner() })
+	return sharedRunner
+}
+
+// smallSearch is the bounded request the fast tests share: one program,
+// one variant, a budget that still reaches the low3 respelling.
+func smallSearch() Request {
+	return Request{Budget: 60, TopK: 10, Programs: []string{"comp"}, Variants: []string{"check"}}
+}
+
+// TestSignatureClassesShareCycles pins the cost-equivalence the ranking
+// relies on: two specs with equal signatures simulate to identical cycle
+// counts, because tag values only differ in immediates.
+func TestSignatureClassesShareCycles(t *testing.T) {
+	pairs := [][2]string{
+		{"xl3:1.2.3.5.6.0.7", "xl3:2.1.3.5.6.0.7"}, // swap pair/symbol tags
+		{"xh5:1.2.3.4.5.6.7", "xh5:2.1.3.4.5.6.7"},
+	}
+	p, ok := programs.ByName("comp")
+	if !ok {
+		t.Fatal("no comp program")
+	}
+	for _, pr := range pairs {
+		spA, spB := mustParse(t, pr[0]), mustParse(t, pr[1])
+		sigA, sigB := Signature(spA), Signature(spB)
+		if sigA != sigB {
+			t.Fatalf("%s and %s should share a signature: %q vs %q", pr[0], pr[1], sigA, sigB)
+		}
+		var cycles [2]uint64
+		for i, sp := range []tags.Spec{spA, spB} {
+			k, err := tags.Register(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := testRunner().Run(p, core.Config{Scheme: k, Checking: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cycles[i] = res.Stats.Cycles
+		}
+		if cycles[0] != cycles[1] {
+			t.Errorf("class %q: %s runs %d cycles but %s runs %d", sigA, pr[0], cycles[0], pr[1], cycles[1])
+		}
+	}
+}
+
+// TestSearchReport runs a bounded search end to end and checks the
+// acceptance invariants: every ranked scheme passes the independent
+// checker, totals are consistent, and at least one searched scheme ties
+// or beats the hand-built low3 (its respelling is in range at any
+// budget).
+func TestSearchReport(t *testing.T) {
+	reg := obs.NewRegistry()
+	var events []Progress
+	eng := &Engine{Runner: testRunner(), Metrics: reg, Progress: func(p Progress) { events = append(events, p) }}
+	rep, err := eng.Search(context.Background(), smallSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != core.SchemaVersion || rep.Kind != "search-report" {
+		t.Fatalf("bad envelope: %s %s", rep.Schema, rep.Kind)
+	}
+	if rep.Candidates == 0 || rep.Classes == 0 || len(rep.Ranked) == 0 {
+		t.Fatalf("empty search: %+v", rep)
+	}
+	if len(rep.Ranked) > 10 {
+		t.Fatalf("topK not honored: %d rows", len(rep.Ranked))
+	}
+	props, _ := ParseProperties(DefaultPropertyNames)
+	prev := uint64(0)
+	for i, rs := range rep.Ranked {
+		if rs.Rank != i+1 {
+			t.Errorf("rank %d row carries rank %d", i+1, rs.Rank)
+		}
+		if rs.TotalCycles < prev {
+			t.Errorf("ranking not sorted at %s", rs.Scheme)
+		}
+		prev = rs.TotalCycles
+		sp, err := tags.ParseSpecName(rs.Scheme)
+		if err != nil {
+			t.Fatalf("ranked scheme %q is not a canonical spec: %v", rs.Scheme, err)
+		}
+		if err := CheckSpec(sp, props); err != nil {
+			t.Errorf("ranked scheme %s fails the checker: %v", rs.Scheme, err)
+		}
+		var sum uint64
+		for _, pc := range rs.PerConfig {
+			sum += pc.Cycles
+		}
+		if sum != rs.TotalCycles {
+			t.Errorf("%s: per-config cycles sum %d != total %d", rs.Scheme, sum, rs.TotalCycles)
+		}
+	}
+	if len(rep.Baselines) != 4 {
+		t.Fatalf("want 4 baselines, got %d", len(rep.Baselines))
+	}
+	ok, why := rep.BeatsBaseline("low3")
+	if !ok {
+		t.Errorf("no searched scheme ties low3: %s", why)
+	} else if !strings.Contains(why, "cycles") {
+		t.Errorf("BeatsBaseline witness should name cycles: %q", why)
+	}
+
+	// The advertised metric families must exist with these exact names.
+	snap := reg.Snapshot()
+	if snap.Counters["search_candidates_total"] == 0 {
+		t.Error("search_candidates_total not incremented")
+	}
+	var prunedSeen, phaseSeen bool
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "search_pruned_total{reason=") {
+			prunedSeen = true
+		}
+	}
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, "search_phase_seconds{phase=") {
+			phaseSeen = true
+		}
+	}
+	if !prunedSeen {
+		t.Error("no search_pruned_total{reason=...} counters")
+	}
+	if !phaseSeen {
+		t.Error("no search_phase_seconds{phase=...} histograms")
+	}
+
+	// Progress must cover every phase and end with done.
+	var sawEnum, sawSweep bool
+	for _, e := range events {
+		switch e.Phase {
+		case "enumerate":
+			sawEnum = true
+		case "sweep":
+			sawSweep = true
+		}
+	}
+	if !sawEnum || !sawSweep {
+		t.Errorf("progress events missing phases: enum=%t sweep=%t", sawEnum, sawSweep)
+	}
+	if last := events[len(events)-1]; last.Phase != "done" {
+		t.Errorf("last progress event is %q, want done", last.Phase)
+	}
+}
+
+// TestSearchGoldenTop10 pins the ranked table of the bounded search.
+// Regenerate with: go test ./internal/schemesearch -run Golden -update
+func TestSearchGoldenTop10(t *testing.T) {
+	eng := &Engine{Runner: testRunner()}
+	rep, err := eng.Search(context.Background(), smallSearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# top-%d of %d candidates (%d classes), props=%s, programs=%s, variants=%s\n",
+		rep.TopK, rep.Candidates, rep.Classes,
+		strings.Join(rep.Properties, ","), strings.Join(rep.Programs, ","), strings.Join(rep.Variants, ","))
+	for _, rs := range rep.Ranked {
+		fmt.Fprintf(&b, "%2d %-22s %10d %s\n", rs.Rank, rs.Scheme, rs.TotalCycles, rs.Class)
+	}
+	b.WriteString("baselines:\n")
+	for _, rs := range rep.Baselines {
+		fmt.Fprintf(&b, "   %-22s %10d %s\n", rs.Scheme, rs.TotalCycles, rs.Class)
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "search_top10.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("ranked table drifted (regenerate with -update if intended):\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSearchCancellation proves a search honors its context.
+func TestSearchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := &Engine{Runner: core.NewRunner()} // fresh runner: no cache to satisfy cells instantly
+	_, err := eng.Search(ctx, smallSearch())
+	if err == nil {
+		t.Fatal("search on a canceled context should fail")
+	}
+}
+
+// TestSearchRejectsBadRequests pins the input validation errors.
+func TestSearchRejectsBadRequests(t *testing.T) {
+	eng := &Engine{Runner: testRunner()}
+	for _, req := range []Request{
+		{Properties: []string{"nope"}},
+		{Programs: []string{"nope"}},
+		{Variants: []string{"check+warpdrive"}},
+	} {
+		if _, err := eng.Search(context.Background(), req); err == nil {
+			t.Errorf("request %+v should fail", req)
+		}
+	}
+}

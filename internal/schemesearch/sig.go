@@ -1,0 +1,49 @@
+package schemesearch
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tags"
+)
+
+// Signature buckets a spec into its cost-equivalence class: two specs
+// with the same signature compile to instruction sequences with identical
+// cycle counts on every program and hardware configuration, because
+// concrete tag *values* only appear as immediates. What does change
+// cycles, and therefore goes into the signature:
+//
+//   - placement and width (instruction selection, fixnum range, shifts);
+//   - which types need a header check (their type tests grow a load);
+//   - the heap-pointer-test plan, including the chain order when tags are
+//     non-contiguous (the taken branch's chain position costs cycles);
+//   - sum-closure (generic add compiles to the one-test fast path);
+//   - the alignment-offset pattern (odd-word objects change heap layout
+//     padding and therefore allocation and GC-copy cycles).
+//
+// The sweep simulates one representative per class and every class
+// member inherits its numbers; TestSignatureClassesShareCycles pins the
+// equivalence.
+func Signature(sp tags.Spec) string {
+	s, err := tags.Preview(sp)
+	if err != nil {
+		// Invalid specs never reach the sweep; give them a unique bucket.
+		return "invalid:" + sp.Name()
+	}
+	var hc []string
+	for _, t := range heapTypes {
+		if s.HeaderCheck(t) {
+			hc = append(hc, t.String())
+		}
+	}
+	var odd []string
+	for _, t := range heapTypes {
+		if _, off := s.Align(t); off != 0 {
+			odd = append(odd, t.String())
+		}
+	}
+	return fmt.Sprintf("%s%d|hc=%s|plan=%s|sum=%t|odd=%s",
+		sp.Placement, sp.Bits,
+		strings.Join(hc, ","), tags.HeapTestPlan(s), tags.SumClosed(s),
+		strings.Join(odd, ","))
+}

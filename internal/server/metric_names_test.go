@@ -57,6 +57,12 @@ func TestMetricNamesGolden(t *testing.T) {
 	}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
 	}
+	// A bounded scheme search, so the search_* families are pinned too.
+	if resp, body := postJSON(t, ts.URL+"/v1/search", map[string]any{
+		"budget": 40, "top_k": 3, "programs": []string{"comp"}, "variants": []string{"check"},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d: %s", resp.StatusCode, body)
+	}
 	// The read-only routes.
 	for _, path := range []string{"/v1/programs", "/v1/configs", "/v1/introspect", "/healthz"} {
 		if resp := getJSON(t, ts.URL+path, nil); resp.StatusCode != http.StatusOK {

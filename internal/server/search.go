@@ -1,0 +1,121 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/schemesearch"
+)
+
+// SearchRequest is the body of POST /v1/search: a scheme-search request
+// plus the transport controls every simulating endpoint shares.
+type SearchRequest struct {
+	schemesearch.Request
+	// TimeoutMS overrides the server's default per-request deadline,
+	// clamped to the server's maximum. Searches multiply simulations, so
+	// bound the budget or raise the timeout for deep explorations.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Stream switches the response to Server-Sent Events: one "progress"
+	// event per phase transition and completed sweep cell, then a terminal
+	// "report" event carrying the full search report (or an "error"
+	// event). The same shape as the streaming sweep, so clients share the
+	// reader.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// handleSearch runs the scheme-search pipeline behind the server's
+// admission control and deadline machinery. Sweep cells acquire the
+// global execution slots, so a search queues behind concurrent runs and
+// sweeps instead of oversubscribing the host.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	s.reg.Add("search_requests_total", 1)
+
+	eng := &schemesearch.Engine{
+		Runner:  s.runner,
+		Metrics: s.reg,
+		Workers: s.opts.MaxConcurrent,
+		Acquire: s.acquire,
+		Release: s.releaseSlot,
+	}
+
+	if !req.Stream {
+		rep, err := eng.Search(ctx, req.Request)
+		if err != nil {
+			writeError(w, runStatus(err), "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+		return
+	}
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// Progress events arrive from sweep workers; funnel them through a
+	// channel so a single goroutine owns the connection. The channel is
+	// buffered and sends never block the search: a slow client drops
+	// intermediate progress, never the terminal report.
+	events := make(chan schemesearch.Progress, 64)
+	eng.Progress = func(p schemesearch.Progress) {
+		select {
+		case events <- p:
+		default:
+		}
+	}
+	type outcome struct {
+		rep *schemesearch.Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := eng.Search(ctx, req.Request)
+		done <- outcome{rep, err}
+		close(events)
+	}()
+
+	heartbeat := time.NewTicker(10 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case p, ok := <-events:
+			if !ok {
+				out := <-done
+				if out.err != nil {
+					writeEvent(w, "error", errorBody{Error: out.err.Error()})
+				} else {
+					writeEvent(w, "report", out.rep)
+				}
+				flusher.Flush()
+				return
+			}
+			writeEvent(w, "progress", p)
+			flusher.Flush()
+		case <-heartbeat.C:
+			// Comment line keeps intermediaries from timing the stream out
+			// during long uninterrupted sweep cells.
+			w.Write([]byte(": heartbeat\n\n")) //nolint:errcheck // client gone
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/schemesearch"
+)
+
+// smallSearchBody keeps endpoint tests fast: one program, one variant, a
+// budget that still reaches the low3 respelling.
+func smallSearchBody() map[string]any {
+	return map[string]any{
+		"budget": 60, "top_k": 5,
+		"programs": []string{"comp"}, "variants": []string{"check"},
+	}
+}
+
+// TestSearchEndpoint runs POST /v1/search end to end: a valid bounded
+// request returns a ranked tagsim/v1 search report whose top schemes tie
+// the hand-built low3.
+func TestSearchEndpoint(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	resp, body := postJSON(t, ts.URL+"/v1/search", smallSearchBody())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d: %s", resp.StatusCode, body)
+	}
+	var rep schemesearch.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("bad report: %v", err)
+	}
+	if rep.Schema != "tagsim/v1" || rep.Kind != "search-report" {
+		t.Fatalf("bad envelope %s/%s", rep.Schema, rep.Kind)
+	}
+	if rep.Candidates == 0 || len(rep.Ranked) == 0 || len(rep.Ranked) > 5 {
+		t.Fatalf("bad ranking: %d candidates, %d rows", rep.Candidates, len(rep.Ranked))
+	}
+	if ok, why := rep.BeatsBaseline("low3"); !ok {
+		t.Errorf("search should tie low3: %s", why)
+	}
+
+	// Validation errors are client errors, refused before admission.
+	for _, bad := range []map[string]any{
+		{"properties": []string{"bogus"}},
+		{"programs": []string{"bogus"}},
+		{"variants": []string{"check+warpdrive"}},
+		{"budget": -1},
+	} {
+		if resp, body := postJSON(t, ts.URL+"/v1/search", bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad request %v: status %d, want 400: %s", bad, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestSearchDeadline pins the 504 mapping: an unmeetable deadline cancels
+// the search mid-sweep.
+func TestSearchDeadline(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	body := map[string]any{
+		"budget": 500, "programs": []string{"boyer"}, "variants": []string{"check"},
+		"timeout_ms": 1,
+	}
+	resp, data := postJSON(t, ts.URL+"/v1/search", body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline search status %d, want 504: %s", resp.StatusCode, data)
+	}
+}
+
+// TestSearchStreaming drives the SSE form: progress events (enumerate,
+// sweep) followed by a terminal report event carrying the same document
+// the non-streaming form returns.
+func TestSearchStreaming(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	body := smallSearchBody()
+	body["stream"] = true
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream search status %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+
+	br := bufio.NewReader(resp.Body)
+	var progress []schemesearch.Progress
+	var rep *schemesearch.Report
+	for {
+		ev, err := readSSE(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev.event {
+		case "progress":
+			if rep != nil {
+				t.Fatal("progress event after the terminal report")
+			}
+			var p schemesearch.Progress
+			if err := json.Unmarshal(ev.data, &p); err != nil {
+				t.Fatalf("bad progress payload %s: %v", ev.data, err)
+			}
+			progress = append(progress, p)
+		case "report":
+			var r schemesearch.Report
+			if err := json.Unmarshal(ev.data, &r); err != nil {
+				t.Fatalf("bad report payload %s: %v", ev.data, err)
+			}
+			rep = &r
+		case "error":
+			t.Fatalf("error event: %s", ev.data)
+		default:
+			t.Fatalf("unexpected event %q", ev.event)
+		}
+	}
+	if rep == nil {
+		t.Fatal("no terminal report event")
+	}
+	if len(progress) == 0 {
+		t.Fatal("no progress events")
+	}
+	var sawSweep bool
+	for _, p := range progress {
+		if p.Phase == "sweep" {
+			sawSweep = true
+			if p.Scheme == "" || p.Total == 0 {
+				t.Errorf("sweep progress missing detail: %+v", p)
+			}
+		}
+	}
+	if !sawSweep {
+		t.Error("no sweep progress events")
+	}
+	if len(rep.Ranked) == 0 || rep.Candidates == 0 {
+		t.Errorf("streamed report empty: %+v", rep)
+	}
+}
+
+// TestSearchMetricFamiliesMatchGolden single-sources the search_* family
+// contract: every family pinned in testdata/metric_names.golden with the
+// search_ prefix must appear live after one search request, so adding a
+// family means regenerating the golden, not editing expectations here or
+// in scripts/metrics_smoke.sh (which reads the same file).
+func TestSearchMetricFamiliesMatchGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "metric_names.golden"))
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update via TestMetricNamesGolden)", err)
+	}
+	var want []string
+	for _, line := range strings.Split(strings.TrimSpace(string(golden)), "\n") {
+		if strings.HasPrefix(line, "search_") {
+			want = append(want, line)
+		}
+	}
+	if len(want) < 3 {
+		t.Fatalf("golden pins %d search_* families, want at least candidates/pruned/phase + requests: %v", len(want), want)
+	}
+
+	s, ts := testServer(t, Options{})
+	if resp, body := postJSON(t, ts.URL+"/v1/search", smallSearchBody()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d: %s", resp.StatusCode, body)
+	}
+	snap := s.Runner().Metrics.Snapshot()
+	live := map[string]bool{}
+	for key := range snap.Counters {
+		live[obs.FamilyName(key)] = true
+	}
+	for key := range snap.Histograms {
+		live[obs.FamilyName(key)] = true
+	}
+	for _, fam := range want {
+		if !live[fam] {
+			t.Errorf("golden family %q not live after a search", fam)
+		}
+	}
+}

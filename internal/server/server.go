@@ -7,6 +7,9 @@
 //	POST /v1/sweep      programs × configurations, fanned out over a bounded
 //	                    pool; "stream": true switches the response to
 //	                    Server-Sent Events, one event per completed cell
+//	POST /v1/search     property-checked tag-scheme search: enumerate →
+//	                    check → materialize → sweep → rank; "stream": true
+//	                    delivers progress events then the final report
 //	GET  /v1/programs   the benchmark inventory
 //	GET  /v1/configs    schemes, hardware flags, and the Table 2 presets
 //	GET  /v1/introspect per-cached-image engine internals (block counts,
@@ -131,6 +134,7 @@ func New(o Options) *Server {
 	s.mux.HandleFunc("GET /v1/introspect", s.handleIntrospect)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -204,8 +208,8 @@ func requestID(r *http.Request) string {
 // label values.
 func routeOf(r *http.Request) string {
 	switch r.URL.Path {
-	case "/v1/run", "/v1/sweep", "/v1/programs", "/v1/configs", "/v1/introspect",
-		"/healthz", "/metrics":
+	case "/v1/run", "/v1/sweep", "/v1/search", "/v1/programs", "/v1/configs",
+		"/v1/introspect", "/healthz", "/metrics":
 		return r.Method + " " + r.URL.Path
 	}
 	return "other"

@@ -1,6 +1,10 @@
 package tags
 
-import "repro/internal/mipsx"
+import (
+	"strings"
+
+	"repro/internal/mipsx"
+)
 
 // The emit helpers generate the paper's tag-operation sequences. Each
 // helper stamps the instructions it emits with the proper Category while
@@ -223,6 +227,180 @@ func EmitUntag(a *mipsx.Asm, s Scheme, rd, rs uint8) {
 			a.Andi(rd, rs, int32(s.PtrMaskConst()))
 		}
 	})
+}
+
+// SumClosed reports whether the scheme has the §4.2 closure property: the
+// sum of any two non-integer tags (with a possible carry from the data
+// bits) can never alias an integer tag, and an integer plus a non-integer
+// likewise. When it holds, generic addition may run the machine add first
+// and catch non-integer operands and overflow with a single integer test
+// on the result. Hand-built High6 was designed for this; the property is
+// computed from the tag table so searched schemes earn the same fast path
+// automatically. Only high placements qualify — with low tags the data
+// bits sit above the tag field, so a carry out of the tag corrupts the
+// payload instead of flagging the type.
+func SumClosed(s Scheme) bool {
+	if !s.NeedsMask() {
+		return false
+	}
+	top := uint32(1)<<s.TagBits() - 1
+	var nonInt []uint32
+	for t := TPair; t < NumTypes; t++ {
+		nonInt = append(nonInt, uint32(s.Tag(t)))
+	}
+	for _, t := range nonInt {
+		// int+nonint sums reach tags t-1 .. t+1 (negative integers are
+		// tagged all-ones); none may hit the integer tags 0 or top.
+		if t < 2 || t > top-2 {
+			return false
+		}
+	}
+	for _, a := range nonInt {
+		for _, b := range nonInt {
+			for c := uint32(0); c <= 1; c++ {
+				if sum := (a + b + c) & top; sum == 0 || sum == top {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// heapTagSpan returns the heap-pointer tag values (pair..float, the types
+// the collector traces) sorted and deduplicated, and whether they form a
+// contiguous range no non-pointer tag (code, header; the integer tags 0
+// and all-ones lie outside by construction) intrudes on.
+func heapTagSpan(s Scheme) (tagvals []int32, contiguous bool) {
+	seen := map[int32]bool{}
+	for t := TPair; t <= TFloat; t++ {
+		v := int32(s.Tag(t))
+		if !seen[v] {
+			seen[v] = true
+			tagvals = append(tagvals, v)
+		}
+	}
+	for i := 1; i < len(tagvals); i++ {
+		for j := i; j > 0 && tagvals[j] < tagvals[j-1]; j-- {
+			tagvals[j], tagvals[j-1] = tagvals[j-1], tagvals[j]
+		}
+	}
+	lo, hi := tagvals[0], tagvals[len(tagvals)-1]
+	if int(hi-lo)+1 != len(tagvals) {
+		return tagvals, false
+	}
+	for _, t := range []Type{TCode, THeader} {
+		if v := int32(s.Tag(t)); v >= lo && v <= hi {
+			return tagvals, false
+		}
+	}
+	return tagvals, true
+}
+
+// HeapTestPlan names the instruction shape EmitHeapPtrTest selects for s,
+// so cost models can bucket schemes without emitting code: "range" (two
+// bound checks on the extracted tag), "chain:t1,t2,..." (one compare per
+// heap tag, taken-branch cost depending on the chain position, hence the
+// type order in the name), "nonzero" (stored bits nonzero) or
+// "nonzero-x3" (nonzero with the header pattern excluded).
+func HeapTestPlan(s Scheme) string {
+	if s.NeedsMask() {
+		tagvals, contiguous := heapTagSpan(s)
+		if contiguous {
+			return "range"
+		}
+		names := make([]string, len(tagvals))
+		for i, v := range tagvals {
+			for t := TPair; t <= TFloat; t++ {
+				if int32(s.Tag(t)) == v {
+					names[i] = t.String()
+					break
+				}
+			}
+		}
+		return "chain:" + strings.Join(names, ",")
+	}
+	for t := TPair; t <= TFloat; t++ {
+		if s.Tag(t)&3 == 3 {
+			return "nonzero"
+		}
+	}
+	return "nonzero-x3"
+}
+
+// EmitHeapPtrTest branches to target when the item in r is (branchWhen)
+// or is not (!branchWhen) a heap pointer the garbage collector must
+// trace. Raw addresses, fixnums and code items all fail the test by
+// construction; header words never reach it (the scanner dispatches on
+// the header test first). It clobbers rtmp.
+//
+// High placements extract the tag and range-test it when the pointer tags
+// are contiguous (the hand-built schemes), falling back to a
+// compare-per-tag chain otherwise. Low placements test the two stored
+// bits: when the stored pattern 11 belongs to a heap type (Low3's floats)
+// nonzero-stored means heap pointer; when 11 can only be a header word
+// (Low2) it is excluded explicitly, preserving each hand-built scheme's
+// exact sequence.
+func EmitHeapPtrTest(a *mipsx.Asm, s Scheme, r, rtmp uint8, branchWhen bool, target mipsx.Label) {
+	a.Cat(mipsx.CatTagExtract, mipsx.SubNone)
+	if s.NeedsMask() {
+		tagvals, contiguous := heapTagSpan(s)
+		a.Srli(rtmp, r, int32(s.HWShift()))
+		a.Cat(mipsx.CatTagCheck, mipsx.SubNone)
+		switch {
+		case contiguous && branchWhen:
+			out := a.NewLabel("")
+			a.Blti(rtmp, tagvals[0], out)
+			a.Bgei(rtmp, tagvals[len(tagvals)-1]+1, out)
+			a.Work()
+			a.Jmp(target)
+			a.Bind(out)
+		case contiguous:
+			a.Blti(rtmp, tagvals[0], target)
+			a.Bgei(rtmp, tagvals[len(tagvals)-1]+1, target)
+		case branchWhen:
+			for _, v := range tagvals {
+				a.Beqi(rtmp, v, target)
+			}
+		default:
+			out := a.NewLabel("")
+			for _, v := range tagvals {
+				a.Beqi(rtmp, v, out)
+			}
+			a.Work()
+			a.Jmp(target)
+			a.Bind(out)
+		}
+		return
+	}
+
+	storedThreeIsHeap := false
+	for t := TPair; t <= TFloat; t++ {
+		if s.Tag(t)&3 == 3 {
+			storedThreeIsHeap = true
+		}
+	}
+	a.Andi(rtmp, r, 3)
+	a.Cat(mipsx.CatTagCheck, mipsx.SubNone)
+	if storedThreeIsHeap {
+		if branchWhen {
+			a.Bnei(rtmp, 0, target)
+		} else {
+			a.Beqi(rtmp, 0, target)
+		}
+		return
+	}
+	if branchWhen {
+		out := a.NewLabel("")
+		a.Beqi(rtmp, 0, out)
+		a.Beqi(rtmp, 3, out)
+		a.Work()
+		a.Jmp(target)
+		a.Bind(out)
+	} else {
+		a.Beqi(rtmp, 0, target)
+		a.Beqi(rtmp, 3, target)
+	}
 }
 
 // ShadowTrapCycles is the trap entry/return overhead with shadow-register

@@ -21,9 +21,6 @@ type lowScheme struct {
 	kind    Kind
 	bits    int
 	tagVals [NumTypes]uint8 // full tag (3 bits for Low3, 2 for Low2)
-	// vecOdd is true when vectors/strings start at odd word addresses
-	// (Low3's borrowed third tag bit).
-	vecOdd bool
 }
 
 var low3Scheme = &lowScheme{
@@ -33,7 +30,6 @@ var low3Scheme = &lowScheme{
 		TInt: 0, TPair: 1, TSymbol: 2, TFloat: 3, TVector: 5, TString: 6,
 		TCode: 0, THeader: 7,
 	},
-	vecOdd: true,
 }
 
 var low2Scheme = &lowScheme{
@@ -62,13 +58,18 @@ func (l *lowScheme) NeedsMask() bool      { return false }
 // OffAdjust cancels the stored low tag bits: addr = item - (tag & 3).
 func (l *lowScheme) OffAdjust(t Type) int32 { return -int32(l.tagVals[t] & 3) }
 
+// HeaderCheck reports whether t shares its full tag with another heap
+// type, in which case the pointer tag says only "some heap object" and
+// the type test must read the object header. Pairs never qualify
+// (Validate forbids sharing with the headerless pair).
 func (l *lowScheme) HeaderCheck(t Type) bool {
-	if l.kind != Low2 {
+	if t < firstHeapType || t > lastHeapType {
 		return false
 	}
-	switch t {
-	case TSymbol, TVector, TString, TFloat:
-		return true
+	for u := firstHeapType; u <= lastHeapType; u++ {
+		if u != t && l.tagVals[u] == l.tagVals[t] {
+			return true
+		}
 	}
 	return false
 }
@@ -106,25 +107,21 @@ func (l *lowScheme) TypeOf(item uint32, readWord func(uint32) uint32) Type {
 	if item&3 == 0 {
 		return TInt
 	}
-	if l.kind == Low3 {
-		switch item & 7 {
-		case 1:
-			return TPair
-		case 2:
-			return TSymbol
-		case 3:
-			return TFloat
-		case 5:
-			return TVector
-		case 6:
-			return TString
+	tag := uint8(item & l.HWMask())
+	match, n := THeader, 0
+	for t := firstHeapType; t <= lastHeapType; t++ {
+		if l.tagVals[t] == tag {
+			if n == 0 {
+				match = t
+			}
+			n++
 		}
-		return THeader
 	}
-	switch item & 3 {
-	case 1:
-		return TPair
-	case 2:
+	switch {
+	case n == 1:
+		return match
+	case n > 1:
+		// Shared tag: the header word supplies the concrete type.
 		t, _ := l.HeaderInfo(readWord(l.Addr(item)))
 		return t
 	}
@@ -141,8 +138,12 @@ func (l *lowScheme) HeaderInfo(hdr uint32) (Type, int) {
 	return Type(hdr >> hdrTypeShift & 0xF), int(hdr >> hdrSizeShift)
 }
 
+// Align places a heap object so the address's own bit 2 supplies the
+// tag's borrowed third bit: types whose full tag has bit 2 set start at
+// odd word addresses (Low3's vectors and strings), everything else at
+// 8-byte boundaries.
 func (l *lowScheme) Align(t Type) (alignBytes, offsetBytes uint32) {
-	if l.vecOdd && (t == TVector || t == TString) {
+	if l.bits == 3 && t >= firstHeapType && t <= lastHeapType && l.tagVals[t]&4 != 0 {
 		return 8, 4
 	}
 	return 8, 0

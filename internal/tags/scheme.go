@@ -52,10 +52,12 @@ func (t Type) String() string {
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
 
-// Kind identifies a tag scheme.
-type Kind uint8
+// Kind identifies a tag scheme: one of the four hand-built schemes below,
+// or a dynamic kind assigned by Register for a table-driven searched
+// scheme. Wide enough that a long-running search service never wraps.
+type Kind uint32
 
-// The schemes.
+// The hand-built schemes.
 const (
 	High5 Kind = iota
 	High6
@@ -74,7 +76,10 @@ func (k Kind) String() string {
 	case Low2:
 		return "low2"
 	}
-	return fmt.Sprintf("kind(%d)", uint8(k))
+	if e, ok := lookupKind(k); ok {
+		return e.name
+	}
+	return fmt.Sprintf("kind(%d)", uint32(k))
 }
 
 // HW selects the optional tag hardware of Table 2.
@@ -173,7 +178,7 @@ type Scheme interface {
 	Align(t Type) (alignBytes, offsetBytes uint32)
 }
 
-// New returns the scheme for k.
+// New returns the scheme for k — hand-built or registered.
 func New(k Kind) Scheme {
 	switch k {
 	case High5:
@@ -185,10 +190,14 @@ func New(k Kind) Scheme {
 	case Low2:
 		return low2Scheme
 	}
+	if e, ok := lookupKind(k); ok {
+		return e.scheme
+	}
 	panic(fmt.Sprintf("unknown scheme kind %d", k))
 }
 
-// All returns every scheme, for table-driven tests and ablation sweeps.
+// All returns every hand-built scheme, for table-driven tests and
+// ablation sweeps.
 func All() []Scheme {
 	return []Scheme{high5Scheme, high6Scheme, low3Scheme, low2Scheme}
 }

@@ -30,6 +30,13 @@ done
 # One run so request/latency series exist beyond the prewarm counters.
 curl -fsS -X POST "$BASE/v1/run" -d '{"program":"comp","config":"high5"}' >/dev/null
 
+# One bounded scheme search so the search_* families are live.
+curl -fsS -X POST "$BASE/v1/search" \
+    -d '{"budget":40,"top_k":3,"programs":["comp"],"variants":["check"]}' \
+    >"$OUT/search.json"
+python3 -m json.tool "$OUT/search.json" >/dev/null
+grep -q '"search-report"' "$OUT/search.json"
+
 # JSON form (the default) must parse.
 curl -fsS "$BASE/metrics" >"$OUT/metrics.json"
 python3 -m json.tool "$OUT/metrics.json" >/dev/null
@@ -51,6 +58,12 @@ for f in "$OUT/metrics.prom" "$OUT/metrics2.prom"; do
     grep -q 'run_phase_seconds_bucket{' "$f"
     grep -q 'http_request_seconds_bucket{' "$f"
     grep -q 'le="+Inf"' "$f"
+    # The search_* family list is single-sourced from the server's metric
+    # golden: every pinned family must be live here, so adding one means
+    # regenerating the golden, not editing this script.
+    for fam in $(grep '^search_' internal/server/testdata/metric_names.golden); do
+        grep -q "^# TYPE $fam " "$f" || { echo "missing family $fam in $f"; exit 1; }
+    done
 done
 
 echo "metrics smoke OK: $(wc -l <"$OUT/metrics.prom") prometheus lines, both formats valid"
