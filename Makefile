@@ -68,6 +68,7 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/difftest -run '^$$' -fuzz '^FuzzGenerated$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/difftest -run '^$$' -fuzz '^FuzzSource$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/difftest -run '^$$' -fuzz '^FuzzMemtag$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lispc -run '^$$' -fuzz '^FuzzCompilerDifferential$$' -fuzztime $(FUZZTIME)
 
 # Deterministic seeded campaign through the same oracle (no coverage
@@ -75,6 +76,16 @@ fuzz:
 .PHONY: fuzz-sweep
 fuzz-sweep:
 	$(GO) run ./cmd/tagsimfuzz -seeds 500 -invariants -out fuzz-artifacts
+
+# Memory-tagging safety oracle, both directions on fixed seeds: every
+# generated torture program (use-after-free, out-of-granule, past-extent)
+# must raise a memtag fault on all four engines, and every benchmark
+# program must run clean under every memtag configuration. The pinned
+# reproducer corpus is re-verified too.
+.PHONY: memtag-smoke
+memtag-smoke:
+	$(GO) test ./internal/difftest -run 'Memtag' -count 1
+	$(GO) run ./cmd/tagsimfuzz -memtag -seeds 60 -out fuzz-artifacts
 
 # End-to-end /metrics check against a live prewarmed server: both the
 # JSON and the Prometheus text expositions must be fetchable and valid.

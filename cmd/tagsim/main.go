@@ -74,7 +74,7 @@ func main() {
 	flag.StringVar(&o.program, "program", "", "run one benchmark program")
 	flag.StringVar(&o.scheme, "scheme", "high5", "tag scheme: high5, high6, low3, low2")
 	flag.BoolVar(&o.checking, "checking", false, "enable full run-time type checking")
-	flag.StringVar(&o.hw, "hw", "", "hardware: comma list of mem,tbr,atrap,pclist,pcall,preshift,shadow")
+	flag.StringVar(&o.hw, "hw", "", "hardware: comma list of mem,tbr,atrap,pclist,pcall,preshift,shadow,memtag,memtaghw,mtg<3-6>,mtw<1-8>")
 	flag.IntVar(&o.table, "table", 0, "regenerate paper table (1, 2 or 3)")
 	flag.IntVar(&o.figure, "figure", 0, "regenerate paper figure (1 or 2)")
 	flag.StringVar(&o.ablation, "ablation", "", "run an ablation: arith, preshift, lowtag, dispatch")

@@ -10,8 +10,15 @@
 //	tagsimfuzz -seeds 500                        # seeds 1..500, full spectrum
 //	tagsimfuzz -duration 30s -out artifacts/     # fuzz for 30s, save failures
 //	tagsimfuzz -config high6+check -invariants   # one config + invariant checks
+//	tagsimfuzz -memtag -seeds 200                # memory-safety torture campaign
 //	tagsimfuzz -addr http://localhost:8372       # also replay against tagsimd
 //	tagsimfuzz -minimize artifacts/fail-*.json   # reproduce + shrink a failure
+//
+// With -memtag the generator plants memory-safety violations (use-after-
+// free, out-of-granule forging, reads past the allocation frontier) and the
+// oracle inverts: every program must raise a memtag fault, identically on
+// all four engines, under the memory-tagging spectrum. A program that runs
+// to completion is the failure.
 //
 // Exit status: 0 when the campaign found nothing (or -minimize reproduced and
 // shrank its failure), 1 when failures were found (or the artifact's failure
@@ -35,6 +42,7 @@ type options struct {
 	start     uint64
 	duration  time.Duration
 	config    string
+	memtag    bool
 	invariant bool
 	out       string
 	addr      string
@@ -48,6 +56,7 @@ func main() {
 	flag.Uint64Var(&o.start, "seed-start", 1, "first seed")
 	flag.DurationVar(&o.duration, "duration", 0, "fuzz until this much time has elapsed instead of a fixed seed count")
 	flag.StringVar(&o.config, "config", "", "check only this config spec (default: rotate the full spectrum)")
+	flag.BoolVar(&o.memtag, "memtag", false, "torture mode: generate memory-unsafe programs that must raise a memtag fault")
 	flag.BoolVar(&o.invariant, "invariants", false, "also check hardware-monotonicity and cache-replay invariants per seed")
 	flag.StringVar(&o.out, "out", "", "directory to write JSON failure artifacts into")
 	flag.StringVar(&o.addr, "addr", "", "also replay each program against a live tagsimd at this base URL")
@@ -64,10 +73,17 @@ func main() {
 // fuzz runs the seeded campaign and returns the process exit code.
 func fuzz(o options) int {
 	spectrum := difftest.Spectrum()
+	if o.memtag {
+		spectrum = difftest.MemtagSpectrum()
+	}
 	if o.config != "" {
 		cfg, err := core.ParseConfig(o.config)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tagsimfuzz: bad config %q: %v\n", o.config, err)
+			return 2
+		}
+		if o.memtag && !cfg.HW.Normalized().Memtag {
+			fmt.Fprintf(os.Stderr, "tagsimfuzz: -memtag needs a config with memtag or memtaghw, got %q\n", o.config)
 			return 2
 		}
 		spectrum = []core.Config{cfg}
@@ -85,10 +101,15 @@ func fuzz(o options) int {
 		} else if seed > last {
 			break
 		}
-		src := difftest.Generate(difftest.NewSeeded(seed))
 		cfg := spectrum[int(seed)%len(spectrum)]
+		var src string
+		if o.memtag {
+			src, _ = difftest.GenerateTorture(difftest.NewSeeded(seed), int(cfg.HW.MemtagGranuleBytes()))
+		} else {
+			src = difftest.Generate(difftest.NewSeeded(seed))
+		}
 		checked++
-		if fail := difftest.Check(src, cfg, difftest.Options{}); fail != nil {
+		if fail := check(o.memtag, src, cfg); fail != nil {
 			failures++
 			report(o, seed, src, cfg, fail)
 			continue
@@ -122,12 +143,23 @@ func fuzz(o options) int {
 	return 0
 }
 
+// check routes one program through the oracle matching the campaign mode.
+func check(memtag bool, src string, cfg core.Config) *difftest.Failure {
+	if memtag {
+		return difftest.CheckMemtagTorture(src, cfg, difftest.Options{})
+	}
+	return difftest.Check(src, cfg, difftest.Options{})
+}
+
 // report prints one failure, shrinks it, and writes the artifact if -out is
 // set.
 func report(o options, seed uint64, src string, cfg core.Config, fail *difftest.Failure) {
 	fmt.Fprintf(os.Stderr, "seed %d: %v\nprogram:\n%s\n", seed, fail, src)
 	a := difftest.NewArtifact(seed, src, fail)
-	a.Minimized = shrink(src, cfg, fail, o.budget)
+	if o.memtag {
+		a = difftest.NewTortureArtifact(seed, src, fail)
+	}
+	a.Minimized = shrinkMode(o.memtag, src, cfg, fail, o.budget)
 	if a.Minimized != src {
 		fmt.Fprintf(os.Stderr, "minimized:\n%s\n", a.Minimized)
 	}
@@ -141,10 +173,10 @@ func report(o options, seed uint64, src string, cfg core.Config, fail *difftest.
 	}
 }
 
-// shrink reduces src while it still fails the same way under cfg.
-func shrink(src string, cfg core.Config, fail *difftest.Failure, budget int) string {
+// shrinkMode reduces src while it still fails the same way under cfg.
+func shrinkMode(memtag bool, src string, cfg core.Config, fail *difftest.Failure, budget int) string {
 	return difftest.Minimize(src, func(s string) bool {
-		g := difftest.Check(s, cfg, difftest.Options{})
+		g := check(memtag, s, cfg)
 		return g != nil && g.Kind == fail.Kind
 	}, budget)
 }
@@ -166,7 +198,8 @@ func minimizeArtifact(o options) int {
 		fmt.Fprintf(os.Stderr, "tagsimfuzz: artifact config %q: %v\n", a.Config, err)
 		return 2
 	}
-	fail := difftest.Check(a.Source, cfg, difftest.Options{})
+	torture := a.Mode == "torture"
+	fail := check(torture, a.Source, cfg)
 	if fail == nil {
 		fmt.Printf("artifact verified, but the failure no longer reproduces (fixed?)\n")
 		return 1
@@ -174,7 +207,7 @@ func minimizeArtifact(o options) int {
 	if fail.Kind != a.Kind {
 		fmt.Printf("reproduced with kind %q (artifact recorded %q)\n", fail.Kind, a.Kind)
 	}
-	min := shrink(a.Source, cfg, fail, o.budget)
+	min := shrinkMode(torture, a.Source, cfg, fail, o.budget)
 	fmt.Printf("reproduced: %v\nminimized reproducer:\n%s\n", fail, min)
 	return 0
 }

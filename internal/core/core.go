@@ -34,13 +34,18 @@ type Config struct {
 	Checking bool
 }
 
-// String identifies the configuration compactly.
+// String identifies the configuration compactly, in a spelling ParseConfig
+// accepts. Every flag that changes the machine is shown (memtag geometry
+// at its defaults is elided, and "memtaghw" subsumes "memtag"), so two
+// configurations render identically only when they are behaviorally the
+// same machine; Config.Key() is still the cache identity because it also
+// canonicalizes field combinations String never sees.
 func (c Config) String() string {
 	s := c.Scheme.String()
 	if c.Checking {
 		s += "+check"
 	}
-	hw := c.HW
+	hw := c.HW.Normalized()
 	for _, f := range []struct {
 		on   bool
 		name string
@@ -48,9 +53,16 @@ func (c Config) String() string {
 		{hw.MemIgnoresTags, "mem"},
 		{hw.TagBranch, "tbr"},
 		{hw.ArithTrap, "atrap"},
+		{hw.ParallelCheckList, "pclist"},
 		{hw.ParallelCheckAll, "pcall"},
-		{hw.ParallelCheckList && !hw.ParallelCheckAll, "pclist"},
 		{hw.PreshiftedPairTag, "preshift"},
+		{hw.ShadowRegisters, "shadow"},
+		{hw.Memtag && !hw.MemtagHW, "memtag"},
+		{hw.MemtagHW, "memtaghw"},
+		{hw.Memtag && hw.MemtagGranule != tags.DefaultMemtagGranule,
+			fmt.Sprintf("mtg%d", hw.MemtagGranule)},
+		{hw.Memtag && hw.MemtagBits != tags.DefaultMemtagBits,
+			fmt.Sprintf("mtw%d", hw.MemtagBits)},
 	} {
 		if f.on {
 			s += "+" + f.name

@@ -23,20 +23,37 @@ func TestEngineEquivalence(t *testing.T) {
 	for _, row := range Table2Rows {
 		configs = append(configs, Config{Scheme: tags.High5, HW: row.HW, Checking: true})
 	}
+	// Memory tagging exercises new instruction paths (software check
+	// sequences, LDM/STM, the coloring allocator and recoloring collector),
+	// so both variants must hold the same bit-identity bar.
+	configs = append(configs,
+		Config{Scheme: tags.High5, HW: tags.HW{Memtag: true}},
+		Config{Scheme: tags.High5, HW: tags.HW{Memtag: true, MemtagHW: true}},
+		Config{Scheme: tags.Low3, HW: tags.HW{Memtag: true}, Checking: true},
+		Config{Scheme: tags.Low3, HW: tags.HW{Memtag: true, MemtagHW: true, MemtagGranule: 4, MemtagBits: 2}})
 	if testing.Short() {
 		configs = []Config{Baseline(true),
-			{Scheme: tags.High5, HW: Table2Rows[6].HW, Checking: true}}
+			{Scheme: tags.High5, HW: Table2Rows[6].HW, Checking: true},
+			{Scheme: tags.High5, HW: tags.HW{Memtag: true}},
+			{Scheme: tags.High5, HW: tags.HW{Memtag: true, MemtagHW: true}}}
 	}
 
 	for _, p := range programs.All() {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			for _, cfg := range configs {
+				// Granule padding rounds every allocation up to the memtag
+				// granule, so heaps tuned for the untagged 8-byte-pair
+				// layout scale proportionally under coarse granules.
+				heap := p.HeapWords
+				if gb := int(cfg.HW.MemtagGranuleBytes()); heap > 0 && cfg.HW.Normalized().Memtag && gb > 8 {
+					heap = heap * gb / 8
+				}
 				img, err := rt.Build(p.Source, rt.BuildOptions{
 					Scheme:    cfg.Scheme,
 					HW:        cfg.HW,
 					Checking:  cfg.Checking,
-					HeapWords: p.HeapWords,
+					HeapWords: heap,
 				})
 				if err != nil {
 					t.Fatalf("%s: build: %v", cfg, err)

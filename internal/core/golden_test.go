@@ -49,6 +49,10 @@ func TestGoldenTables(t *testing.T) {
 			v, err := BuildPreshift(r)
 			return str(v, err)
 		}},
+		{"memtag", func() (string, error) {
+			v, err := BuildMemtagCost(r)
+			return str(v, err)
+		}},
 		{"lowtag", func() (string, error) {
 			rows, err := BuildLowTag(r)
 			if err != nil {

@@ -1,39 +1,24 @@
 package core
 
 // Key returns a canonical, collision-free identity for the configuration,
-// covering every field. Config.String() is for display and deliberately
-// compresses (ParallelCheckList disappears behind ParallelCheckAll,
-// ShadowRegisters is not shown at all), so two distinct configurations can
-// render identically; anything that memoizes by configuration — the run
-// cache, the server's result cache — must key on Key instead.
+// covering every field. Config.String() is for display: it now spells out
+// every machine-changing flag, but it elides default memtag geometry and
+// folds "memtag" into "memtaghw", so Key keeps one fixed position per
+// degree of freedom instead; anything that memoizes by configuration — the
+// run cache, the server's result cache — must key on Key.
 //
-// The format is "<scheme>|<bit per field>" with one fixed position per
-// field. TestConfigKeyCoversEveryField walks tags.HW by reflection and
-// fails when a field is added without extending keyHWBits, so new fields
+// The format is "<scheme>|<bit per boolean field><granule><colorbits>",
+// computed over the normalized hardware description so behaviorally
+// identical spellings (explicit default geometry, geometry without memtag)
+// share a key. TestConfigKeyCoversEveryField walks tags.HW by reflection
+// and fails when a field is added without extending keyBits, so new fields
 // cannot silently alias cache entries.
 func (c Config) Key() string {
-	b := make([]byte, 0, 16)
+	b := make([]byte, 0, 20)
 	b = append(b, c.Scheme.String()...)
 	b = append(b, '|')
-	bits := c.keyBits()
-	for _, on := range bits {
-		if on {
-			b = append(b, '1')
-		} else {
-			b = append(b, '0')
-		}
-	}
-	return string(b)
-}
-
-// keyHWBits is the number of fields of tags.HW encoded in Key.
-const keyHWBits = 7
-
-// keyBits lists every boolean degree of freedom of the configuration, in
-// fixed order: Checking first, then each tags.HW field.
-func (c Config) keyBits() [1 + keyHWBits]bool {
-	hw := c.HW
-	return [1 + keyHWBits]bool{
+	hw := c.HW.Normalized()
+	bits := [1 + keyHWBools]bool{
 		c.Checking,
 		hw.MemIgnoresTags,
 		hw.TagBranch,
@@ -42,5 +27,22 @@ func (c Config) keyBits() [1 + keyHWBits]bool {
 		hw.ArithTrap,
 		hw.PreshiftedPairTag,
 		hw.ShadowRegisters,
+		hw.Memtag,
+		hw.MemtagHW,
 	}
+	for _, on := range bits {
+		if on {
+			b = append(b, '1')
+		} else {
+			b = append(b, '0')
+		}
+	}
+	// The two numeric memtag fields are single digits (granule log2 is
+	// 3..6, color width 1..8; both 0 when tagging is off).
+	b = append(b, '0'+hw.MemtagGranule, '0'+hw.MemtagBits)
+	return string(b)
 }
+
+// keyHWBools is the number of boolean fields of tags.HW encoded in Key;
+// the two uint8 geometry fields get digit positions after them.
+const keyHWBools = 9

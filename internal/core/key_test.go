@@ -7,69 +7,153 @@ import (
 	"repro/internal/tags"
 )
 
-// TestConfigKeyCoversEveryField flips every field of the configuration by
+// TestConfigKeyCoversEveryField varies every field of the configuration by
 // reflection and demands a distinct Key. Adding a field to tags.HW without
-// extending Config.keyBits fails here, which is the point: the run cache
-// keys on Key, and a missed field would silently alias cache entries.
+// extending Config.Key fails here, which is the point: the run cache keys
+// on Key, and a missed field would silently alias cache entries. Fields
+// that only mean something together with Memtag are varied on a
+// memtag-enabled base, since Key deliberately normalizes them away when
+// tagging is off.
 func TestConfigKeyCoversEveryField(t *testing.T) {
-	base := Config{Scheme: tags.High5}
-	baseKey := base.Key()
-
+	// known maps each tags.HW field to the two values Key must separate;
+	// every struct field must appear here or the test fails.
+	known := map[string][2]tags.HW{
+		"MemIgnoresTags":    {{}, {MemIgnoresTags: true}},
+		"TagBranch":         {{}, {TagBranch: true}},
+		"ArithTrap":         {{}, {ArithTrap: true}},
+		"ParallelCheckList": {{}, {ParallelCheckList: true}},
+		"ParallelCheckAll":  {{}, {ParallelCheckAll: true}},
+		"PreshiftedPairTag": {{}, {PreshiftedPairTag: true}},
+		"ShadowRegisters":   {{}, {ShadowRegisters: true}},
+		"Memtag":            {{}, {Memtag: true}},
+		"MemtagHW":          {{Memtag: true}, {Memtag: true, MemtagHW: true}},
+		"MemtagGranule":     {{Memtag: true}, {Memtag: true, MemtagGranule: 4}},
+		"MemtagBits":        {{Memtag: true}, {Memtag: true, MemtagBits: 2}},
+	}
 	hwType := reflect.TypeOf(tags.HW{})
-	if hwType.NumField() != keyHWBits {
-		t.Fatalf("tags.HW has %d fields but Config.Key encodes %d — update keyBits",
-			hwType.NumField(), keyHWBits)
+	if hwType.NumField() != len(known) {
+		t.Fatalf("tags.HW has %d fields but the key test knows %d — extend Config.Key and this table",
+			hwType.NumField(), len(known))
 	}
 	for i := 0; i < hwType.NumField(); i++ {
-		f := hwType.Field(i)
-		if f.Type.Kind() != reflect.Bool {
-			t.Fatalf("tags.HW.%s is %s, not bool — Config.Key needs a new encoding for it",
-				f.Name, f.Type)
+		name := hwType.Field(i).Name
+		pair, ok := known[name]
+		if !ok {
+			t.Errorf("tags.HW.%s is not in the key test table — extend Config.Key and this table", name)
+			continue
 		}
-		c := base
-		reflect.ValueOf(&c.HW).Elem().Field(i).SetBool(true)
-		if c.Key() == baseKey {
-			t.Errorf("flipping HW.%s does not change Config.Key()", f.Name)
+		a := Config{Scheme: tags.High5, HW: pair[0]}
+		b := Config{Scheme: tags.High5, HW: pair[1]}
+		if a.Key() == b.Key() {
+			t.Errorf("varying HW.%s does not change Config.Key() (%q)", name, a.Key())
 		}
 	}
 
+	base := Config{Scheme: tags.High5}
 	c := base
 	c.Checking = true
-	if c.Key() == baseKey {
+	if c.Key() == base.Key() {
 		t.Error("flipping Checking does not change Config.Key()")
 	}
 	for _, k := range []tags.Kind{tags.High6, tags.Low3, tags.Low2} {
 		c := base
 		c.Scheme = k
-		if c.Key() == baseKey {
+		if c.Key() == base.Key() {
 			t.Errorf("scheme %s does not change Config.Key()", k)
 		}
 	}
 }
 
-// Config.String compresses for display; Key must not. These two pairs
-// render identically but are different machines.
-func TestConfigKeyDistinguishesStringAliases(t *testing.T) {
-	a := Config{Scheme: tags.High5, HW: tags.HW{ParallelCheckAll: true}}
-	b := Config{Scheme: tags.High5, HW: tags.HW{ParallelCheckAll: true, ParallelCheckList: true}}
-	if a.String() != b.String() {
-		t.Skip("String no longer aliases these; update the test with a new alias pair")
+// TestConfigKeyNormalizes pins the other half of the contract: spellings
+// of the same machine share one cache key.
+func TestConfigKeyNormalizes(t *testing.T) {
+	pairs := [][2]tags.HW{
+		// Explicit default geometry is the same machine as implied defaults.
+		{{Memtag: true}, {Memtag: true, MemtagGranule: tags.DefaultMemtagGranule, MemtagBits: tags.DefaultMemtagBits}},
+		// Geometry (and the check variant) without memtag is inert.
+		{{}, {MemtagHW: true}},
+		{{}, {MemtagGranule: 5, MemtagBits: 2}},
 	}
-	if a.Key() == b.Key() {
-		t.Errorf("Key %q fails to distinguish configs that String aliases as %q", a.Key(), a.String())
+	for _, p := range pairs {
+		a := Config{Scheme: tags.High5, HW: p[0]}
+		b := Config{Scheme: tags.High5, HW: p[1]}
+		if a.Key() != b.Key() {
+			t.Errorf("equivalent machines key differently: %+v → %q, %+v → %q",
+				p[0], a.Key(), p[1], b.Key())
+		}
 	}
+}
 
-	c := Config{Scheme: tags.Low3, HW: tags.HW{ArithTrap: true}}
-	d := c
-	d.HW.ShadowRegisters = true
-	if c.Key() == d.Key() {
-		t.Error("Key fails to distinguish ShadowRegisters, which String never shows")
+// allHWCombos enumerates every tags.HW value reachable from the flag
+// language: all 2^7 classic flag combinations crossed with every memtag
+// variant and geometry.
+func allHWCombos() []tags.HW {
+	var out []tags.HW
+	for mask := 0; mask < 1<<7; mask++ {
+		base := tags.HW{
+			MemIgnoresTags:    mask&1 != 0,
+			TagBranch:         mask&2 != 0,
+			ArithTrap:         mask&4 != 0,
+			ParallelCheckList: mask&8 != 0,
+			ParallelCheckAll:  mask&16 != 0,
+			PreshiftedPairTag: mask&32 != 0,
+			ShadowRegisters:   mask&64 != 0,
+		}
+		out = append(out, base)
+		for _, hwc := range []bool{false, true} {
+			for _, g := range []uint8{0, 3, 4, 5, 6} {
+				for _, w := range []uint8{0, 1, 2, 4, 8} {
+					mt := base
+					mt.Memtag, mt.MemtagHW = true, hwc
+					mt.MemtagGranule, mt.MemtagBits = g, w
+					out = append(out, mt)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestConfigStringRoundTripsEveryCombo is the property ISSUE 9 pins: for
+// every reachable flag combination, the display string parses back to a
+// configuration with the identical cache key. Config.String used to hide
+// ParallelCheckList behind ParallelCheckAll and omit ShadowRegisters
+// entirely, so round-tripping through it silently dropped hardware.
+func TestConfigStringRoundTripsEveryCombo(t *testing.T) {
+	for _, hw := range allHWCombos() {
+		for _, chk := range []bool{false, true} {
+			cfg := Config{Scheme: tags.Low3, HW: hw, Checking: chk}
+			cfg2, err := ParseConfig(cfg.String())
+			if err != nil {
+				t.Fatalf("ParseConfig(%q) (from %+v): %v", cfg.String(), hw, err)
+			}
+			if cfg2.Key() != cfg.Key() {
+				t.Errorf("round trip of %+v via %q: key %q != %q", hw, cfg.String(), cfg2.Key(), cfg.Key())
+			}
+		}
+	}
+}
+
+// TestHWFlagNamesInverse: the flag-name list reproduces the exact struct
+// for every valid combination (HWFlagNames does not normalize, so explicit
+// geometry survives the trip bit-identically).
+func TestHWFlagNamesInverse(t *testing.T) {
+	for _, hw := range allHWCombos() {
+		back, err := ParseHWList(HWFlagNames(hw))
+		if err != nil {
+			t.Fatalf("ParseHWList(HWFlagNames(%+v)): %v", hw, err)
+		}
+		if back != hw {
+			t.Errorf("ParseHWList(HWFlagNames(%+v)) = %+v", hw, back)
+		}
 	}
 }
 
 func TestParseConfigRoundTrip(t *testing.T) {
 	for _, spec := range []string{
 		"high5", "high5+check", "low3+mem", "high6+check+atrap",
+		"high5+memtag", "low2+memtaghw", "high6+check+memtag+mtg4+mtw2",
+		"low3+mem+tbr+memtaghw+mtg6",
 	} {
 		cfg, err := ParseConfig(spec)
 		if err != nil {
@@ -85,22 +169,13 @@ func TestParseConfigRoundTrip(t *testing.T) {
 			t.Errorf("round trip of %q: %q != %q", spec, cfg2.Key(), cfg.Key())
 		}
 	}
-	if _, err := ParseConfig("high5+bogus"); err == nil {
-		t.Error("ParseConfig accepted an unknown flag")
-	}
-	if _, err := ParseConfig("nope"); err == nil {
-		t.Error("ParseConfig accepted an unknown scheme")
-	}
-}
-
-func TestHWFlagNamesInverse(t *testing.T) {
-	hw := tags.HW{MemIgnoresTags: true, ArithTrap: true, ShadowRegisters: true}
-	names := HWFlagNames(hw)
-	back, err := ParseHWList(names)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if back != hw {
-		t.Errorf("ParseHWList(HWFlagNames(%+v)) = %+v", hw, back)
+	for _, bad := range []string{
+		"high5+bogus", "nope", "high5+mtg4", "high5+mtw2", "low3+check+mtg5",
+		"high5+memtag+mtg7", "high5+memtag+mtg2", "high5+memtag+mtw9",
+		"high5+memtag+mtw0", "high5+memtag+mtgx",
+	} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Errorf("ParseConfig(%q) succeeded, want error", bad)
+		}
 	}
 }

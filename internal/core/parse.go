@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/tags"
@@ -50,6 +51,10 @@ var HWFlags = []HWFlagInfo{
 	{"pcall", "parallel tag check on all structure accesses (row 6)"},
 	{"preshift", "pre-shifted pair tag register (§3.1 ablation)"},
 	{"shadow", "shadow registers cutting trap overhead (§6.2.2)"},
+	{"memtag", "memory tagging with software granule checks (MTE-like)"},
+	{"memtaghw", "memory tagging checked in parallel with the access (implies memtag)"},
+	{"mtg<3-6>", "memtag granule size, log2 bytes (default mtg3 = 8 bytes)"},
+	{"mtw<1-8>", "memtag color width in bits (default mtw4, like MTE)"},
 }
 
 // setHWFlag sets the field named by one flag.
@@ -69,12 +74,52 @@ func setHWFlag(hw *tags.HW, name string) error {
 		hw.PreshiftedPairTag = true
 	case "shadow":
 		hw.ShadowRegisters = true
+	case "memtag":
+		hw.Memtag = true
+	case "memtaghw":
+		hw.Memtag = true
+		hw.MemtagHW = true
 	default:
+		if strings.HasPrefix(name, "mtg") {
+			v, err := memtagParam(name, "mtg", 3, 6)
+			if err != nil {
+				return err
+			}
+			hw.MemtagGranule = v
+			return nil
+		}
+		if strings.HasPrefix(name, "mtw") {
+			v, err := memtagParam(name, "mtw", 1, 8)
+			if err != nil {
+				return err
+			}
+			hw.MemtagBits = v
+			return nil
+		}
 		names := make([]string, len(HWFlags))
 		for i, f := range HWFlags {
 			names[i] = f.Name
 		}
 		return fmt.Errorf("unknown hardware flag %q (want one of %s)", name, strings.Join(names, ", "))
+	}
+	return nil
+}
+
+// memtagParam parses a parameterized memtag flag ("mtg4", "mtw2") whose
+// prefix already matched.
+func memtagParam(name, prefix string, lo, hi int) (uint8, error) {
+	v, err := strconv.Atoi(name[len(prefix):])
+	if err != nil || v < lo || v > hi {
+		return 0, fmt.Errorf("bad flag %q: want %s<%d-%d>", name, prefix, lo, hi)
+	}
+	return uint8(v), nil
+}
+
+// validateHW rejects flag combinations that name no machine: memtag
+// geometry without memory tagging itself.
+func validateHW(hw tags.HW) error {
+	if !hw.Memtag && (hw.MemtagGranule != 0 || hw.MemtagBits != 0) {
+		return fmt.Errorf("mtg/mtw require memtag or memtaghw")
 	}
 	return nil
 }
@@ -87,7 +132,7 @@ func ParseHWList(names []string) (tags.HW, error) {
 			return hw, err
 		}
 	}
-	return hw, nil
+	return hw, validateHW(hw)
 }
 
 // ParseHW parses the -hw comma-list form ("mem,tbr,atrap"); the empty
@@ -114,10 +159,18 @@ func HWFlagNames(hw tags.HW) []string {
 		{hw.ParallelCheckAll, "pcall"},
 		{hw.PreshiftedPairTag, "preshift"},
 		{hw.ShadowRegisters, "shadow"},
+		{hw.Memtag && !hw.MemtagHW, "memtag"},
+		{hw.MemtagHW, "memtaghw"},
 	} {
 		if f.on {
 			names = append(names, f.name)
 		}
+	}
+	if hw.MemtagGranule != 0 {
+		names = append(names, fmt.Sprintf("mtg%d", hw.MemtagGranule))
+	}
+	if hw.MemtagBits != 0 {
+		names = append(names, fmt.Sprintf("mtw%d", hw.MemtagBits))
 	}
 	return names
 }
@@ -141,6 +194,9 @@ func ParseConfig(s string) (Config, error) {
 		if err := setHWFlag(&cfg.HW, p); err != nil {
 			return Config{}, fmt.Errorf("config %q: %w", s, err)
 		}
+	}
+	if err := validateHW(cfg.HW); err != nil {
+		return Config{}, fmt.Errorf("config %q: %w", s, err)
 	}
 	return cfg, nil
 }

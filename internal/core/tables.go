@@ -387,6 +387,95 @@ func (t *Table3) String() string {
 	return b.String()
 }
 
+// --- Memory tagging: cost of granule checking --------------------------------
+
+// MemtagCostRow is one program's entry: cycle cost of memory tagging
+// relative to the untagged machine, for the software-check and
+// hardware-check variants, plus where the software variant's added time
+// goes (the explicit check sequences vs. the allocator/collector coloring
+// work both variants share).
+type MemtagCostRow struct {
+	Program string  `json:"program"`
+	Base    uint64  `json:"base_cycles"` // untagged cycles, high5 checking off
+	SW      float64 `json:"sw"`          // % increase, software checks
+	SWCheck float64 `json:"sw_check"`    // memtag-category cycles, % of tagged run
+	HW      float64 `json:"hw"`          // % increase, parallel hardware check
+	HWCheck float64 `json:"hw_check"`    // memtag-category cycles, % of tagged run
+}
+
+// MemtagCost is the memory-safety analogue of Table 1/Table 2: what an
+// MTE-like granule-color check costs on this machine, in software and
+// with the check riding the memory access.
+type MemtagCost struct {
+	Rows    []MemtagCostRow `json:"rows"`
+	Average MemtagCostRow   `json:"average"`
+}
+
+// BuildMemtagCost measures every program under {no memtag, software
+// memtag, hardware memtag} at default geometry on the baseline scheme.
+func BuildMemtagCost(r *Runner) (*MemtagCost, error) {
+	base := Baseline(false)
+	sw := Config{Scheme: tags.High5, HW: tags.HW{Memtag: true}}
+	hw := Config{Scheme: tags.High5, HW: tags.HW{Memtag: true, MemtagHW: true}}
+	all := programs.All()
+	if err := r.Prewarm(all, []Config{base, sw, hw}); err != nil {
+		return nil, err
+	}
+	t := &MemtagCost{}
+	for _, p := range all {
+		b, err := r.Run(p, base)
+		if err != nil {
+			return nil, err
+		}
+		s, err := r.Run(p, sw)
+		if err != nil {
+			return nil, err
+		}
+		h, err := r.Run(p, hw)
+		if err != nil {
+			return nil, err
+		}
+		bc := float64(b.Stats.Cycles)
+		row := MemtagCostRow{
+			Program: p.Name,
+			Base:    b.Stats.Cycles,
+			SW:      100 * (float64(s.Stats.Cycles) - bc) / bc,
+			SWCheck: mipsx.Pct(s.Stats.ByCat[mipsx.CatMemtag], s.Stats.Cycles),
+			HW:      100 * (float64(h.Stats.Cycles) - bc) / bc,
+			HWCheck: mipsx.Pct(h.Stats.ByCat[mipsx.CatMemtag], h.Stats.Cycles),
+		}
+		t.Rows = append(t.Rows, row)
+		t.Average.SW += row.SW
+		t.Average.SWCheck += row.SWCheck
+		t.Average.HW += row.HW
+		t.Average.HWCheck += row.HWCheck
+	}
+	n := float64(len(t.Rows))
+	t.Average.Program = "average"
+	t.Average.SW /= n
+	t.Average.SWCheck /= n
+	t.Average.HW /= n
+	t.Average.HWCheck /= n
+	return t, nil
+}
+
+func (t *MemtagCost) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Memory tagging: %% increase in execution time (high5, checking off)\n")
+	fmt.Fprintf(&b, "%-8s %12s %9s %9s %9s %9s\n",
+		"", "base cycles", "sw", "(chk)", "hw", "(chk)")
+	for _, r := range append(t.Rows, t.Average) {
+		if r.Program == "average" {
+			fmt.Fprintf(&b, "%-8s %12s %9.2f %9.2f %9.2f %9.2f\n",
+				r.Program, "", r.SW, r.SWCheck, r.HW, r.HWCheck)
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %12d %9.2f %9.2f %9.2f %9.2f\n",
+			r.Program, r.Base, r.SW, r.SWCheck, r.HW, r.HWCheck)
+	}
+	return b.String()
+}
+
 // --- Table 2 detail: per-program speedups for one hardware row --------------
 
 // Table2Detail breaks one hardware row down by program.

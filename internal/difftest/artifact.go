@@ -6,6 +6,8 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+
+	"repro/internal/core"
 )
 
 // ArtifactSchema versions the failure-artifact JSON format.
@@ -16,9 +18,14 @@ const ArtifactSchema = "tagsimfuzz-failure/v1"
 // generated) and to triage it (the failure kind, the configuration, and a
 // minimized reproducer when the shrinker ran).
 type Artifact struct {
-	Schema    string `json:"schema"`
-	Seeded    bool   `json:"seeded"`
-	Seed      uint64 `json:"seed,omitempty"`
+	Schema string `json:"schema"`
+	Seeded bool   `json:"seeded"`
+	Seed   uint64 `json:"seed,omitempty"`
+	// Mode names the generator that produced Source: "" for the classic
+	// semantics generator (Generate), "torture" for the memory-safety
+	// torture generator (GenerateTorture, which also needs the granule
+	// geometry from Config to regenerate).
+	Mode      string `json:"mode,omitempty"`
 	Source    string `json:"source"`
 	Minimized string `json:"minimized,omitempty"`
 	Kind      string `json:"kind"`
@@ -45,12 +52,33 @@ func (a *Artifact) Verify() error {
 		return fmt.Errorf("artifact has no source")
 	}
 	if a.Seeded {
-		if regen := Generate(NewSeeded(a.Seed)); regen != a.Source {
+		regen := ""
+		switch a.Mode {
+		case "":
+			regen = Generate(NewSeeded(a.Seed))
+		case "torture":
+			cfg, err := core.ParseConfig(a.Config)
+			if err != nil {
+				return fmt.Errorf("torture artifact has unparseable config %q: %v", a.Config, err)
+			}
+			regen, _ = GenerateTorture(NewSeeded(a.Seed), int(cfg.HW.MemtagGranuleBytes()))
+		default:
+			return fmt.Errorf("unknown artifact mode %q", a.Mode)
+		}
+		if regen != a.Source {
 			return fmt.Errorf("seed %d regenerates a different program:\n%s\nartifact recorded:\n%s",
 				a.Seed, regen, a.Source)
 		}
 	}
 	return nil
+}
+
+// NewTortureArtifact records a memory-safety oracle failure found on a
+// seeded torture program.
+func NewTortureArtifact(seed uint64, src string, f *Failure) *Artifact {
+	a := NewArtifact(seed, src, f)
+	a.Mode = "torture"
+	return a
 }
 
 // Write saves the artifact under dir with a content-addressed name and

@@ -34,6 +34,33 @@ func FuzzGenerated(f *testing.F) {
 	})
 }
 
+// FuzzMemtag drives the memory-safety torture generator from the fuzzer's
+// byte stream: the configuration is drawn from the memtag spectrum first,
+// then the remaining decisions shape a program that is memory-unsafe by
+// construction. The property is the always-fire side of the safety oracle:
+// every generated torture program must raise a memtag fault, identically
+// on all four engines. (The never-fire side runs on the fixed benchmark
+// programs and needs no fuzzing.)
+func FuzzMemtag(f *testing.F) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		r := NewSeeded(seed * 31)
+		var bytes []byte
+		for i := 0; i < 32; i++ {
+			bytes = append(bytes, byte(r.Intn(256)))
+		}
+		f.Add(bytes)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := FromBytes(data)
+		spec := MemtagSpectrum()
+		cfg := spec[r.Intn(len(spec))]
+		src, kind := GenerateTorture(r, int(cfg.HW.MemtagGranuleBytes()))
+		if fail := CheckMemtagTorture(src, cfg, fuzzOptions); fail != nil {
+			t.Fatalf("%s torture under %s: %v\nprogram:\n%s", kind, cfg, fail, src)
+		}
+	})
+}
+
 // FuzzSource feeds raw bytes to the full pipeline as Lisp source text. Most
 // mutations are unreadable or unsupported and stop at the interpreter
 // ("oracle" failures, skipped); inputs the interpreter accepts must then

@@ -11,15 +11,16 @@ package layout
 
 // Global cell indices (word offsets from GlobBase).
 const (
-	GlobFromLo    = iota // current from-space low bound (byte address)
-	GlobFromHi           // current from-space high bound
-	GlobToLo             // to-space low bound
-	GlobToHi             // to-space high bound
-	GlobStaticLo         // static area low bound
-	GlobStaticHi         // static area high bound (end of used static)
-	GlobStackBase        // initial SP (stack grows down from here)
-	GlobGCCount          // collections performed (raw count)
-	GlobGCFree           // collector's to-space allocation frontier
+	GlobFromLo      = iota // current from-space low bound (byte address)
+	GlobFromHi             // current from-space high bound
+	GlobToLo               // to-space low bound
+	GlobToHi               // to-space high bound
+	GlobStaticLo           // static area low bound
+	GlobStaticHi           // static area high bound (end of used static)
+	GlobStackBase          // initial SP (stack grows down from here)
+	GlobGCCount            // collections performed (raw count)
+	GlobGCFree             // collector's to-space allocation frontier
+	GlobMemtagColor        // memory-tagging allocation color cursor (1..maxcolor)
 
 	GlobWords = 16
 )
@@ -45,4 +46,5 @@ var Names = map[string]int{
 	"stack-base": GlobStackBase,
 	"gc-count":   GlobGCCount,
 	"gc-free":    GlobGCFree,
+	"mt-color":   GlobMemtagColor,
 }

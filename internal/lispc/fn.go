@@ -2,6 +2,7 @@ package lispc
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/mipsx"
 	"repro/internal/sexpr"
@@ -123,6 +124,12 @@ func (c *Compiler) compileFunction(info *FnInfo, params []*sexpr.Sym, body []sex
 	}
 
 	a := c.A
+	// The memory-tagging runtime helpers are pure tagging overhead; charge
+	// everything they emit to the memtag category.
+	if strings.HasPrefix(info.Name, "sys-mt-") {
+		a.SetWorkCat(mipsx.CatMemtag)
+		defer a.SetWorkCat(mipsx.CatWork)
+	}
 	a.Work()
 	a.Bind(info.Label)
 	a.Addi(mipsx.RSP, mipsx.RSP, -4*f.frameWords)

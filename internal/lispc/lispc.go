@@ -34,6 +34,11 @@ type Options struct {
 	HW     tags.HW
 	// Checking enables full run-time type checking.
 	Checking bool
+	// Memtag carries the concrete memory-tagging geometry when the build
+	// enables it: heap accesses get granule-color checks (software
+	// sequences, or LDM/STM when the hardware assists), independent of
+	// Checking. The image builder computes the geometry before compilation.
+	Memtag tags.MemtagGeom
 }
 
 // Consts resolves compile-time constants to tagged items. The image

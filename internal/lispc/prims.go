@@ -127,7 +127,9 @@ func primCarCdr(f *fnc, name string, args []sexpr.Value) operand {
 	r := f.reg(o)
 	f.pin(o)
 	t := f.allocTemp()
+	t.pinned = true // the granule check allocates a temp of its own
 	f.emitPairAccess(r, t.reg, 0, word, false)
+	t.pinned = false
 	f.unpin(o)
 	f.free(o)
 	return operand{reg: t.reg, tmp: t}
@@ -154,7 +156,46 @@ func (f *fnc) emitPairAccess(pair, dst uint8, valReg uint8, word int32, store bo
 	} else {
 		tags.EmitLoadField(f.a, s, hw, dst, pair, scratch, tags.TPair, word, parallel)
 	}
+	f.emitMemtagCheckOff(pair, 4*word, tags.TPair)
 }
+
+// memtagSW reports whether software granule-check sequences must be
+// emitted (memory tagging on, no checking hardware). Checks are emitted
+// regardless of Opts.Checking: memory tagging is a safety net below the
+// type system, not part of it.
+func (f *fnc) memtagSW() bool {
+	return f.c.Opts.Memtag.Enabled && !f.c.Opts.Memtag.HWCheck
+}
+
+// emitMemtagCheckOff emits the software granule check for an access at a
+// fixed byte offset from the pointer item in rs, after the access itself.
+// Callers must pin any temp holding the access's result: the check
+// allocates a scratch temp of its own. No-op unless software memtag.
+func (f *fnc) emitMemtagCheckOff(rs uint8, off int32, typ tags.Type) {
+	if !f.memtagSW() {
+		return
+	}
+	mt := f.allocTemp()
+	fail := f.errLabel(errMemtagFault, rs)
+	tags.EmitMemtagCheck(f.a, f.c.Opts.Scheme, f.c.Opts.Memtag, rs, off, typ, mt.reg, scratch, fail)
+	f.a.Work()
+	f.free(operand{reg: mt.reg, tmp: mt})
+}
+
+// emitMemtagCheckIndexed is emitMemtagCheckOff for a vector element access
+// (vector item in rv, fixnum index in ri).
+func (f *fnc) emitMemtagCheckIndexed(rv, ri uint8) {
+	if !f.memtagSW() {
+		return
+	}
+	mt := f.allocTemp()
+	fail := f.errLabel(errMemtagFault, rv)
+	tags.EmitMemtagCheckIndexed(f.a, f.c.Opts.Scheme, f.c.Opts.Memtag, rv, ri, mt.reg, scratch, fail)
+	f.a.Work()
+	f.free(operand{reg: mt.reg, tmp: mt})
+}
+
+const errMemtagFault = mipsx.ErrMemtagFault
 
 func primCadr(f *fnc, name string, args []sexpr.Value) operand {
 	// (cadr x) == (car (cdr x)) etc.; expand innermost-first.
@@ -195,6 +236,12 @@ func primRplac(f *fnc, name string, args []sexpr.Value) operand {
 func primCons(f *fnc, _ string, args []sexpr.Value) operand {
 	if len(args) != 2 {
 		panic(f.errf("cons wants 2 args"))
+	}
+	if f.c.Opts.Memtag.Enabled {
+		// Memory tagging makes allocation granule-align and color the new
+		// cell; the inline bump fast path would skip both, so every cons
+		// takes the runtime allocator.
+		return f.expr(sexpr.List(&sexpr.Sym{Name: "sys-cons"}, args[0], args[1]))
 	}
 	s, hw := f.c.Opts.Scheme, f.c.Opts.HW
 	o1 := f.protect(f.expr(args[0]), args[1])
@@ -648,6 +695,9 @@ func primVref(f *fnc, _ string, args []sexpr.Value) operand {
 	}
 	f.a.Work()
 	f.emitVectorAccess(t.reg, rv, ri, 0, false)
+	t.pinned = true
+	f.emitMemtagCheckIndexed(rv, ri)
+	t.pinned = false
 	f.unpin(oi, ov)
 	f.free(oi)
 	f.free(ov)
@@ -660,8 +710,21 @@ func primVref(f *fnc, _ string, args []sexpr.Value) operand {
 // "indexing in word vectors will be fast"); high-tag indices need one shift.
 func (f *fnc) emitVectorAccess(dst, rv, ri uint8, valReg uint8, store bool) {
 	s, hw := f.c.Opts.Scheme, f.c.Opts.HW
+	mthw := f.c.Opts.Memtag.Enabled && f.c.Opts.Memtag.HWCheck
 	if s.NeedsMask() {
 		f.a.Slli(dst, ri, 2)
+		if mthw {
+			// The granule check rides the access; LDM/STM mask the item
+			// address in hardware, so no untagging is needed. The vector
+			// item is the color base.
+			f.a.Add(dst, dst, rv)
+			if store {
+				f.a.Stm(valReg, dst, 4, rv)
+			} else {
+				f.a.Ldm(dst, dst, 4, rv)
+			}
+			return
+		}
 		if hw.MemIgnoresTags || hw.ParallelCheck(tags.TVector) {
 			f.a.Add(dst, dst, rv)
 			if store {
@@ -685,6 +748,14 @@ func (f *fnc) emitVectorAccess(dst, rv, ri uint8, valReg uint8, store bool) {
 	// Low tags: item index == byte offset.
 	f.a.Add(dst, rv, ri)
 	off := 4 + s.OffAdjust(tags.TVector)
+	if mthw {
+		if store {
+			f.a.Stm(valReg, dst, off, rv)
+		} else {
+			f.a.Ldm(dst, dst, off, rv)
+		}
+		return
+	}
 	if store {
 		f.a.St(valReg, dst, off)
 	} else {
@@ -713,8 +784,9 @@ func primVset(f *fnc, _ string, args []sexpr.Value) operand {
 	}
 	f.a.Work()
 	f.emitVectorAccess(work.reg, rv, ri, rx, true)
-	f.unpin(ox, oi, ov)
 	f.free(operand{reg: work.reg, tmp: work})
+	f.emitMemtagCheckIndexed(rv, ri)
+	f.unpin(ox, oi, ov)
 	f.free(oi)
 	f.free(ov)
 	return ox
@@ -737,6 +809,9 @@ func primVlength(f *fnc, _ string, args []sexpr.Value) operand {
 	}
 	f.a.Work()
 	tags.EmitLoadField(f.a, s, hw, t.reg, r, scratch, tags.TVector, 0, parallel)
+	t.pinned = true
+	f.emitMemtagCheckOff(r, 0, tags.TVector)
+	t.pinned = false
 	f.emitHdrLenFixnum(t.reg, t.reg)
 	f.unpin(o)
 	f.free(o)
@@ -776,6 +851,9 @@ func primSymField(f *fnc, name string, args []sexpr.Value) operand {
 	}
 	f.a.Work()
 	tags.EmitLoadField(f.a, s, hw, t.reg, r, scratch, tags.TSymbol, symFieldWord(name), parallel)
+	t.pinned = true
+	f.emitMemtagCheckOff(r, 4*symFieldWord(name), tags.TSymbol)
+	t.pinned = false
 	f.unpin(o)
 	f.free(o)
 	return operand{reg: t.reg, tmp: t}
@@ -800,6 +878,7 @@ func primSymSetField(f *fnc, name string, args []sexpr.Value) operand {
 	}
 	f.a.Work()
 	tags.EmitStoreField(f.a, s, hw, rv, r, scratch, tags.TSymbol, symFieldWord(name), parallel)
+	f.emitMemtagCheckOff(r, 4*symFieldWord(name), tags.TSymbol)
 	f.unpin(ov, o)
 	f.free(o)
 	return ov

@@ -19,10 +19,11 @@ type Asm struct {
 	labelNames []string
 	labelBound []bool
 
-	cat  Category
-	sub  SubCat
-	rt   bool
-	safe uint32
+	cat     Category
+	sub     SubCat
+	rt      bool
+	safe    uint32
+	workCat Category // category Work resets to; CatWork unless overridden
 }
 
 // NewAsm returns an empty program builder.
@@ -41,8 +42,15 @@ func (a *Asm) CatRT(c Category, s SubCat) {
 	a.cat, a.sub, a.rt = c, s, true
 }
 
-// Work resets the annotation to useful work.
-func (a *Asm) Work() { a.Cat(CatWork, SubNone) }
+// Work resets the annotation to useful work (or to the override installed
+// with SetWorkCat).
+func (a *Asm) Work() { a.Cat(a.workCat, SubNone) }
+
+// SetWorkCat overrides the category Work resets to, so whole stretches of
+// generated code (the memtag coloring helpers) can be charged to a non-work
+// category without touching every emission site. CatWork restores the
+// default.
+func (a *Asm) SetWorkCat(c Category) { a.workCat = c }
 
 // SlotSafe declares registers that are dead on the taken paths of
 // subsequently emitted conditional branches, permitting the scheduler to
@@ -224,6 +232,19 @@ func (a *Asm) Ldc(rd, base uint8, off int32, tag uint8) *Instr {
 // Stc emits a checked store.
 func (a *Asm) Stc(val, base uint8, off int32, tag uint8) *Instr {
 	return a.emit(Instr{Op: STC, Rs2: val, Rs1: base, Imm: off, Tag: tag})
+}
+
+// Ldm emits a memory-tagging checked load: rd = mem[(base+off) & mask],
+// trapping unless the accessed granule is allocated and, when the access
+// leaves the granule of the color-base register, identically colored.
+// colorBase RZero means "color-check against base itself".
+func (a *Asm) Ldm(rd, base uint8, off int32, colorBase uint8) *Instr {
+	return a.emit(Instr{Op: LDM, Rd: rd, Rs1: base, Imm: off, Tag: colorBase})
+}
+
+// Stm emits a memory-tagging checked store.
+func (a *Asm) Stm(val, base uint8, off int32, colorBase uint8) *Instr {
+	return a.emit(Instr{Op: STM, Rs2: val, Rs1: base, Imm: off, Tag: colorBase})
 }
 
 // Addtc emits a trap-checked integer add.

@@ -32,6 +32,7 @@ func (m *Machine) Run() error {
 	mem := m.Mem
 	tagShift, tagMask := m.HW.TagShift, m.HW.TagMask
 	memAddrMask := m.HW.MemAddrMask
+	memtagBase, memtagShift, memtagLimit := m.HW.MemtagBase, m.HW.MemtagShift, m.HW.MemtagLimit
 	isIntItem := m.HW.IsIntItem
 	trapCycles := m.HW.TrapCycles
 	maxCycles := m.MaxCycles
@@ -295,6 +296,75 @@ loop:
 				break loop
 			}
 			mem[addr>>2] = r[d.rs2&31]
+		case LDM, STM:
+			addr := uint32(int32(r[d.rs1&31])+d.imm) & memAddrMask &^ 3
+			if addr < memtagLimit {
+				ca := mem[(memtagBase+(addr>>memtagShift)<<2)>>2]
+				viol := ca == 0
+				if !viol {
+					cb := d.tag
+					if cb == RZero {
+						cb = d.rs1
+					}
+					b := r[cb&31] & memAddrMask &^ 3
+					viol = b>>memtagShift != addr>>memtagShift && b < memtagLimit &&
+						mem[(memtagBase+(b>>memtagShift)<<2)>>2] != ca
+				}
+				if viol {
+					// Granule check failed: enter the memory-safety error path.
+					if m.HW.MemtagFailHandler < 0 {
+						failf, failargs = "memtag granule check failed: item %#x, addr %#x", []any{r[d.rs1&31], addr}
+						break loop
+					}
+					r[RT0] = r[d.rs1&31]
+					r[RT1] = addr
+					cycles += trapCycles
+					st.Traps++
+					if obsv != nil {
+						obsv.Event(Event{Kind: EvTrap, Cycle: cycles, PC: int32(pc),
+							Target: int32(m.HW.MemtagFailHandler), Arg: addr})
+					}
+					pendTarget, pendCount, pendSquash = -1, pendIdle, false
+					pc = m.HW.MemtagFailHandler
+					if maxCycles != 0 && cycles > maxCycles {
+						failf, failargs = "cycle limit %d exceeded", []any{maxCycles}
+						break loop
+					}
+					if cycles >= nextCancel {
+						if cancelErr = ctx.Err(); cancelErr != nil {
+							break loop
+						}
+						nextCancel = cycles + cancelCheckCycles
+					}
+					continue
+				}
+			}
+			if int(addr>>2) >= len(mem) {
+				if d.op == LDM {
+					failf, failargs = "load out of range at %#x", []any{addr}
+				} else {
+					failf, failargs = "store out of range at %#x", []any{addr}
+				}
+				break loop
+			}
+			if d.op == LDM {
+				r[d.rd&31] = mem[addr>>2]
+				next := pc + 1
+				if pendCount == 1 {
+					next = pendTarget
+				}
+				if uint(next) < uint(len(dec)) && dec[next].readMask&d.wmask != 0 {
+					cycles++
+					st.Stalls++
+					st.ByCat[d.cat]++
+					if d.rtCheck {
+						st.ByRTSub[d.sub]++
+					}
+				}
+			} else {
+				mem[addr>>2] = r[d.rs2&31]
+			}
+
 		case LDC, STC:
 			if uint8((r[d.rs1&31]>>tagShift)&tagMask) != d.tag {
 				// Tag mismatch: enter the type-error path.

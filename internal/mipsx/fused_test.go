@@ -1,6 +1,7 @@
 package mipsx
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -58,6 +59,12 @@ func TestFusedMatchesReference(t *testing.T) {
 	tagged := HWConfig{TagShift: 27, TagMask: 31, IsIntItem: isInt27,
 		TrapHandler: -1, CheckFailHandler: -1}
 	plain := HWConfig{TrapHandler: -1, CheckFailHandler: -1}
+	// memtagHW places an 8-byte-granule shadow table at 0x2000 covering
+	// data below it; fail is the violation handler (-1 = fault).
+	memtagHW := func(fail int) HWConfig {
+		return HWConfig{TrapHandler: -1, CheckFailHandler: -1, MemtagFailHandler: fail,
+			MemtagBase: 0x2000, MemtagShift: 3, MemtagLimit: 0x2000}
+	}
 
 	cases := map[string]struct {
 		hw    HWConfig
@@ -179,6 +186,38 @@ func TestFusedMatchesReference(t *testing.T) {
 			a.Sys(SysError)
 			return ""
 		}},
+		"memtag-ok": {memtagHW(-1), func(a *Asm) string {
+			a.Li(10, 0x100)
+			a.Li(11, 1)
+			a.St(11, RZero, 0x2080) // color granule 0x100>>3 = 32
+			a.Li(12, 777)
+			a.Stm(12, 10, 0, 0)
+			a.Ldm(13, 10, 0, 0)
+			a.Add(14, 13, 13) // interlock on the tag-checked load
+			a.Halt()
+			return ""
+		}},
+		"memtag-poisoned-nohandler": {memtagHW(-1), func(a *Asm) string {
+			a.Li(10, 0x100)
+			a.Ldm(12, 10, 0, 0) // granule never colored: fault
+			a.Halt()
+			return ""
+		}},
+		"memtag-mismatch-handler": {memtagHW(0), func(a *Asm) string {
+			handler := a.NewLabel("mthandler")
+			a.Li(10, 0x100)
+			a.Li(11, 1)
+			a.St(11, RZero, 0x2080) // granule of 0x100: color 1
+			a.Li(11, 2)
+			a.St(11, RZero, 0x2084) // granule of 0x108: color 2
+			a.Ldm(12, 10, 8, 0)     // base color 1, accessed color 2: trap
+			a.Halt()
+			a.Bind(handler)
+			a.Mov(20, RT0)
+			a.Mov(21, RT1)
+			a.Halt()
+			return "mthandler"
+		}},
 		"div-zero-fault": {plain, func(a *Asm) string {
 			a.Li(10, 3)
 			a.Div(11, 10, 0)
@@ -205,9 +244,12 @@ func TestFusedMatchesReference(t *testing.T) {
 			}
 			hw := tc.hw
 			if handler != "" {
-				if name == "arith-trap-handler" {
+				switch {
+				case name == "arith-trap-handler":
 					hw.TrapHandler = p.Labels[handler]
-				} else {
+				case strings.HasPrefix(name, "memtag-"):
+					hw.MemtagFailHandler = p.Labels[handler]
+				default:
 					hw.CheckFailHandler = p.Labels[handler]
 				}
 			}
@@ -225,59 +267,81 @@ func TestFusedMatchesReference(t *testing.T) {
 // pre-sizes the per-machine counters from the warm program so steady-state
 // runs never grow them.
 func TestEngineZeroAlloc(t *testing.T) {
-	hw := HWConfig{TrapHandler: -1, CheckFailHandler: -1}
-	for _, engine := range []Engine{EngineFused, EngineTranslated, EngineNative} {
-		t.Run(engine.String(), func(t *testing.T) {
-			a := NewAsm()
-			main := a.NewLabel("main")
-			loop := a.NewLabel("loop")
-			a.Bind(main)
-			a.Li(10, 0x100)
-			a.Li(11, 3)
-			a.St(11, 10, 0)
-			a.Li(12, 0)
-			a.Li(13, 0)
-			a.Bind(loop)
-			a.Ld(14, 10, 0)
-			a.Add(12, 12, 14) // interlock stall every iteration
-			a.Addi(13, 13, 1)
-			a.Blti(13, 100_000, loop)
-			a.Halt()
-			p, err := a.Finish("main")
-			if err != nil {
-				t.Fatal(err)
-			}
-			p.Predecode()
-
-			// Warm the program-wide caches: blocks, closures, superblocks.
-			warm := NewMachine(p, 1024, hw)
-			warm.MaxCycles = 10_000_000
-			if err := warm.RunEngine(engine); err != nil {
-				t.Fatal(err)
-			}
-
-			const runs = 5
-			// AllocsPerRun invokes the function runs+1 times (one warm-up
-			// call), so every invocation needs its own fresh machine.
-			machines := make([]*Machine, runs+1)
-			for i := range machines {
-				machines[i] = NewMachine(p, 1024, hw)
-				machines[i].MaxCycles = 10_000_000
-			}
-			next := 0
-			allocs := testing.AllocsPerRun(runs, func() {
-				m := machines[next]
-				next++
-				if err := m.RunEngine(engine); err != nil {
+	variants := map[string]struct {
+		hw     HWConfig
+		memtag bool
+	}{
+		"plain": {HWConfig{TrapHandler: -1, CheckFailHandler: -1}, false},
+		// Passing granule checks on every iteration must stay allocation-
+		// free too: LDM/STM are hot-path instructions under memtaghw.
+		"memtag": {HWConfig{TrapHandler: -1, CheckFailHandler: -1, MemtagFailHandler: -1,
+			MemtagBase: 0x2000, MemtagShift: 3, MemtagLimit: 0x2000}, true},
+	}
+	for vname, v := range variants {
+		hw := v.hw
+		for _, engine := range []Engine{EngineFused, EngineTranslated, EngineNative} {
+			t.Run(vname+"/"+engine.String(), func(t *testing.T) {
+				a := NewAsm()
+				main := a.NewLabel("main")
+				loop := a.NewLabel("loop")
+				a.Bind(main)
+				a.Li(10, 0x100)
+				a.Li(11, 3)
+				if v.memtag {
+					a.Li(15, 1)
+					a.St(15, RZero, 0x2080) // color the data granule
+					a.Stm(11, 10, 0, 0)
+				} else {
+					a.St(11, 10, 0)
+				}
+				a.Li(12, 0)
+				a.Li(13, 0)
+				a.Bind(loop)
+				if v.memtag {
+					a.Ldm(14, 10, 0, 0)
+				} else {
+					a.Ld(14, 10, 0)
+				}
+				a.Add(12, 12, 14) // interlock stall every iteration
+				a.Addi(13, 13, 1)
+				a.Blti(13, 100_000, loop)
+				a.Halt()
+				p, err := a.Finish("main")
+				if err != nil {
 					t.Fatal(err)
 				}
+				p.Predecode()
+
+				// Warm the program-wide caches: blocks, closures, superblocks.
+				warm := NewMachine(p, 4096, hw)
+				warm.MaxCycles = 10_000_000
+				if err := warm.RunEngine(engine); err != nil {
+					t.Fatal(err)
+				}
+
+				const runs = 5
+				// AllocsPerRun invokes the function runs+1 times (one warm-up
+				// call), so every invocation needs its own fresh machine.
+				machines := make([]*Machine, runs+1)
+				for i := range machines {
+					machines[i] = NewMachine(p, 4096, hw)
+					machines[i].MaxCycles = 10_000_000
+				}
+				next := 0
+				allocs := testing.AllocsPerRun(runs, func() {
+					m := machines[next]
+					next++
+					if err := m.RunEngine(engine); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if allocs != 0 {
+					t.Errorf("%v engine allocated %.1f times per run, want 0", engine, allocs)
+				}
+				if machines[0].Regs[13] != 100_000 {
+					t.Errorf("loop ran %d iterations, want 100000", machines[0].Regs[13])
+				}
 			})
-			if allocs != 0 {
-				t.Errorf("%v engine allocated %.1f times per run, want 0", engine, allocs)
-			}
-			if machines[0].Regs[13] != 100_000 {
-				t.Errorf("loop ran %d iterations, want 100000", machines[0].Regs[13])
-			}
-		})
+		}
 	}
 }

@@ -44,6 +44,8 @@ const (
 	STT   // like ST but the address is masked
 	LDC   // like LDT, but traps to the check-fail handler unless tag(Rs1) == Tag
 	STC   // like STT with the same parallel tag check
+	LDM   // like LDT, but verifies the memory-tagging granule color in parallel
+	STM   // like STT with the same parallel granule check
 	ADDTC // Rd = Rs1+Rs2; traps unless both operands are integer items and no overflow
 	SUBTC
 	FADD // float ops on raw IEEE-754 single bits, modelling an FP coprocessor
@@ -86,6 +88,7 @@ var opNames = [...]string{
 	SLL: "sll", SLLI: "slli", SRL: "srl", SRLI: "srli", SRA: "sra", SRAI: "srai",
 	MUL: "mul", DIV: "div", REM: "rem",
 	LD: "ld", ST: "st", LDT: "ldt", STT: "stt", LDC: "ldc", STC: "stc",
+	LDM: "ldm", STM: "stm",
 	ADDTC: "addtc", SUBTC: "subtc",
 	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv", FLT: "flt",
 	FEQ: "feq", ITOF: "itof", FTOI: "ftoi",
@@ -110,15 +113,16 @@ func (o Op) IsCond() bool { return o >= BEQ && o <= BTNE }
 func (o Op) IsControl() bool { return o >= BEQ && o <= JR }
 
 // IsLoad reports whether o reads memory into Rd.
-func (o Op) IsLoad() bool { return o == LD || o == LDT || o == LDC }
+func (o Op) IsLoad() bool { return o == LD || o == LDT || o == LDC || o == LDM }
 
 // IsStore reports whether o writes memory.
-func (o Op) IsStore() bool { return o == ST || o == STT || o == STC }
+func (o Op) IsStore() bool { return o == ST || o == STT || o == STC || o == STM }
 
 // CanTrap reports whether o may trap (and therefore must not sit in a delay
 // slot, where the resume PC would be ambiguous).
 func (o Op) CanTrap() bool {
-	return o == LDC || o == STC || o == ADDTC || o == SUBTC || o == DIV || o == REM || o == SYS
+	return o == LDC || o == STC || o == LDM || o == STM ||
+		o == ADDTC || o == SUBTC || o == DIV || o == REM || o == SYS
 }
 
 // Cycles is the cost of one execution of o.
@@ -155,11 +159,15 @@ const (
 	// CatSquash counts annulled (squashed) delay-slot cycles. Assigned at
 	// run time only.
 	CatSquash
+	// CatMemtag covers the memory-tagging model: software granule-check
+	// sequences and the allocator/collector coloring loops. Kept out of
+	// TagCycles — memory safety is priced separately from type safety.
+	CatMemtag
 
 	NumCat
 )
 
-var catNames = [NumCat]string{"work", "insert", "remove", "extract", "check", "noop", "squash"}
+var catNames = [NumCat]string{"work", "insert", "remove", "extract", "check", "noop", "squash", "memtag"}
 
 func (c Category) String() string {
 	if c < NumCat {
@@ -208,7 +216,7 @@ type Instr struct {
 	Rs1    uint8
 	Rs2    uint8
 	Imm    int32
-	Tag    uint8 // expected tag for LDC/STC/BTEQ/BTNE
+	Tag    uint8 // expected tag for LDC/STC/BTEQ/BTNE; color-base register for LDM/STM
 	Target int
 	Squash bool // conditional branch annuls its delay slots when not taken
 	// SafeRegs is a bitmask of registers that the scheduler may let
@@ -288,9 +296,16 @@ func (i *Instr) regsRead() (rs [3]uint8, n int) {
 		add(i.Rs1)
 	case LDC:
 		add(i.Rs1)
+	case LDM:
+		add(i.Rs1)
+		add(i.Tag) // color-base register (RZero means "use Rs1")
 	case ST, STT, STC:
 		add(i.Rs1)
 		add(i.Rs2)
+	case STM:
+		add(i.Rs1)
+		add(i.Rs2)
+		add(i.Tag)
 	case BEQ, BNE, BLT, BGE, BLE, BGT:
 		add(i.Rs1)
 		add(i.Rs2)
@@ -311,7 +326,7 @@ func (i *Instr) regWritten() uint8 {
 	case MOV, LI, ADD, ADDI, SUB, AND, ANDI, OR, ORI, XOR, XORI,
 		SLL, SLLI, SRL, SRLI, SRA, SRAI, MUL, DIV, REM,
 		FADD, FSUB, FMUL, FDIV, FLT, FEQ, ITOF, FTOI,
-		LD, LDT, LDC, ADDTC, SUBTC:
+		LD, LDT, LDC, LDM, ADDTC, SUBTC:
 		return i.Rd
 	case JAL, JALR:
 		return RRA

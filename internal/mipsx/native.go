@@ -252,6 +252,17 @@ loop:
 			cycles += sp.trapCycles
 			stats.Traps++
 			pc = m.HW.TrapHandler
+		case nexMemtag:
+			if m.HW.MemtagFailHandler < 0 {
+				pc = int(st.fpc)
+				failf, failargs = "memtag granule check failed: item %#x, addr %#x", []any{st.trapA, st.trapB}
+				break loop
+			}
+			r[RT0] = st.trapA
+			r[RT1] = st.trapB
+			cycles += sp.trapCycles
+			stats.Traps++
+			pc = m.HW.MemtagFailHandler
 		default: // nexFault
 			pc = int(st.fpc)
 			failf, failargs = st.failf, st.failargs

@@ -62,10 +62,12 @@ type nativeProg struct {
 // nsig is the comparable fingerprint of a hardware config; the IsIntItem
 // function is identified by its code pointer.
 type nsig struct {
-	tagShift, tagMask, memAddrMask uint32
-	isIntItem                      uintptr
-	trapHandler, checkFailHandler  int
-	trapCycles                     uint64
+	tagShift, tagMask, memAddrMask       uint32
+	isIntItem                            uintptr
+	trapHandler, checkFailHandler        int
+	trapCycles                           uint64
+	memtagBase, memtagShift, memtagLimit uint32
+	memtagFailHandler                    int
 }
 
 func sigOf(hw *HWConfig) nsig {
@@ -73,6 +75,8 @@ func sigOf(hw *HWConfig) nsig {
 		tagShift: hw.TagShift, tagMask: hw.TagMask, memAddrMask: hw.MemAddrMask,
 		trapHandler: hw.TrapHandler, checkFailHandler: hw.CheckFailHandler,
 		trapCycles: hw.TrapCycles,
+		memtagBase: hw.MemtagBase, memtagShift: hw.MemtagShift,
+		memtagLimit: hw.MemtagLimit, memtagFailHandler: hw.MemtagFailHandler,
 	}
 	if hw.IsIntItem != nil {
 		s.isIntItem = reflect.ValueOf(hw.IsIntItem).Pointer()
@@ -103,6 +107,8 @@ func (p *Program) nativeFor(hw *HWConfig) *nativeProg {
 			tagShift: hw.TagShift, tagMask: hw.TagMask, memAddrMask: hw.MemAddrMask,
 			isIntItem: hw.IsIntItem, trapHandler: hw.TrapHandler,
 			checkFailHandler: hw.CheckFailHandler, trapCycles: hw.TrapCycles,
+			memtagBase: hw.MemtagBase, memtagShift: hw.MemtagShift,
+			memtagLimit: hw.MemtagLimit, memtagFailHandler: hw.MemtagFailHandler,
 		},
 		sig: sigOf(hw),
 	}
@@ -130,7 +136,8 @@ func (p *Program) nblockSlow(b *tblock, np *nativeProg) *nblock {
 // run packer never touch them), so splitting on the step kind is exact.
 func specStep(k uint8) bool {
 	switch k {
-	case uint8(LDC), uint8(STC), uint8(ADDTC), uint8(SUBTC), uint8(LDT), uint8(STT):
+	case uint8(LDC), uint8(STC), uint8(LDM), uint8(STM),
+		uint8(ADDTC), uint8(SUBTC), uint8(LDT), uint8(STT):
 		return true
 	}
 	return false
@@ -238,6 +245,51 @@ func compileSpecStep(s *tstep, sp *nspec, next nfn) nfn {
 			addr := uint32(int32(v)+imm) & amask
 			if addr&3 != 0 || int(addr>>2) >= len(mem) {
 				st.memFault(off, addr, isLoad)
+				return
+			}
+			if isLoad {
+				r[rd] = mem[addr>>2]
+			} else {
+				mem[addr>>2] = r[rs2]
+			}
+			next(r, mem, st)
+		}
+
+	case uint8(LDM), uint8(STM):
+		isLoad := s.kind == uint8(LDM)
+		rd, rs1, rs2, cb, imm, off := s.rd, s.rs1, s.rs2, s.tag, s.imm, s.off
+		if cb == RZero {
+			cb = rs1
+		}
+		amask := sp.memAddrMask &^ 3
+		base, shift, limit := sp.memtagBase, sp.memtagShift, sp.memtagLimit
+		return func(r *[256]uint32, mem []uint32, st *nstate) {
+			item := r[rs1]
+			addr := uint32(int32(item)+imm) & amask
+			if addr < limit {
+				ca := mem[(base+(addr>>shift)<<2)>>2]
+				viol := ca == 0
+				if !viol {
+					ba := r[cb] & amask
+					if ba>>shift != addr>>shift && ba < limit &&
+						mem[(base+(ba>>shift)<<2)>>2] != ca {
+						viol = true
+					}
+				}
+				if viol {
+					st.exit = nexMemtag
+					st.fpc = off
+					st.trapA = item
+					st.trapB = addr
+					return
+				}
+			}
+			if int(addr>>2) >= len(mem) {
+				if isLoad {
+					st.faultAt(off, "load out of range at %#x", addr)
+				} else {
+					st.faultAt(off, "store out of range at %#x", addr)
+				}
 				return
 			}
 			if isLoad {

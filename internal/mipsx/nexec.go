@@ -29,15 +29,22 @@ type nspec struct {
 	trapHandler      int
 	checkFailHandler int
 	trapCycles       uint64
+
+	// Memory-tagging geometry (LDM/STM). memtagLimit zero disables checks.
+	memtagBase        uint32
+	memtagShift       uint32
+	memtagLimit       uint32
+	memtagFailHandler int
 }
 
 // nstate exit codes.
 const (
-	nexNone  uint8 = iota // still running / completed
-	nexFault              // simulator fault: fpc, failf, failargs set
-	nexCheck              // LDC/STC tag mismatch: fpc, trapA (item), trapTag set
-	nexTrap               // ADDTC/SUBTC trap: fpc, trapOp, trapRd, trapA, trapB set
-	nexSide               // superblock edge went cold: sbj, taken set
+	nexNone   uint8 = iota // still running / completed
+	nexFault               // simulator fault: fpc, failf, failargs set
+	nexCheck               // LDC/STC tag mismatch: fpc, trapA (item), trapTag set
+	nexTrap                // ADDTC/SUBTC trap: fpc, trapOp, trapRd, trapA, trapB set
+	nexSide                // superblock edge went cold: sbj, taken set
+	nexMemtag              // LDM/STM granule mismatch: fpc, trapA (item), trapB (addr) set
 )
 
 // nstate carries the exit condition out of a closure chain or a superblock
@@ -55,8 +62,8 @@ type nstate struct {
 	trapOp  uint8  // ADDTC or SUBTC
 	trapTag uint8  // LDC/STC: the tag the access wanted
 	trapRd  uint8  // ADDTC/SUBTC: pre-remap destination register
-	trapA   uint32 // LDC/STC: the item; ADDTC/SUBTC: operand a
-	trapB   uint32 // ADDTC/SUBTC: operand b
+	trapA   uint32 // LDC/STC: the item; ADDTC/SUBTC: operand a; LDM/STM: the item
+	trapB   uint32 // ADDTC/SUBTC: operand b; LDM/STM: the checked address
 }
 
 // faultAt records a simulator fault. The args slice is the only allocation
@@ -261,6 +268,45 @@ dispatch:
 				return si - 1
 			}
 			if s.kind == uint8(LDC) {
+				r[s.rd] = mem[addr>>2]
+			} else {
+				mem[addr>>2] = r[s.rs2]
+			}
+
+		case uint8(LDM), uint8(STM):
+			item := r[s.rs1]
+			addr := uint32(int32(item)+s.imm) & sp.memAddrMask &^ 3
+			if addr < sp.memtagLimit {
+				ca := mem[(sp.memtagBase+(addr>>sp.memtagShift)<<2)>>2]
+				viol := ca == 0
+				if !viol {
+					cb := s.tag
+					if cb == RZero {
+						cb = s.rs1
+					}
+					ba := r[cb] & sp.memAddrMask &^ 3
+					if ba>>sp.memtagShift != addr>>sp.memtagShift && ba < sp.memtagLimit &&
+						mem[(sp.memtagBase+(ba>>sp.memtagShift)<<2)>>2] != ca {
+						viol = true
+					}
+				}
+				if viol {
+					st.exit = nexMemtag
+					st.fpc = s.off
+					st.trapA = item
+					st.trapB = addr
+					return si - 1
+				}
+			}
+			if int(addr>>2) >= len(mem) {
+				if s.kind == uint8(LDM) {
+					st.faultAt(s.off, "load out of range at %#x", addr)
+				} else {
+					st.faultAt(s.off, "store out of range at %#x", addr)
+				}
+				return si - 1
+			}
+			if s.kind == uint8(LDM) {
 				r[s.rd] = mem[addr>>2]
 			} else {
 				mem[addr>>2] = r[s.rs2]

@@ -90,6 +90,7 @@ const (
 	ErrUser         = 9  // (error ...) raised by the user program
 	ErrHeapOverflow = 10 // to-space exhausted during GC copy
 	ErrWrongTypeHW  = 20 // hardware LDC/STC tag-check failure
+	ErrMemtagFault  = 21 // memory-tagging granule check failure (LDM/STM or software)
 )
 
 var errorNames = map[int32]string{
@@ -104,6 +105,7 @@ var errorNames = map[int32]string{
 	ErrUser:         "user-error",
 	ErrHeapOverflow: "heap-overflow",
 	ErrWrongTypeHW:  "wrong-type",
+	ErrMemtagFault:  "memtag-fault",
 }
 
 // ErrorCodeName returns the symbolic name of a SysError code ("not-a-pair",

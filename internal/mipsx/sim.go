@@ -32,6 +32,18 @@ type HWConfig struct {
 	// TrapCycles is the overhead charged on trap entry and on trap
 	// return, modelling pipeline drain and handler dispatch.
 	TrapCycles uint64
+
+	// Memory-tagging geometry for LDM/STM (zero MemtagLimit disables the
+	// check entirely; LDM/STM then behave exactly like LDT/STT). The color
+	// of granule g lives in the word at MemtagBase + 4*g, where
+	// g = addr >> MemtagShift; addresses at or above MemtagLimit (the
+	// stack and the shadow table itself) are never checked.
+	MemtagBase  uint32
+	MemtagShift uint32
+	MemtagLimit uint32
+	// MemtagFailHandler is the instruction index jumped to when an LDM/STM
+	// granule check fails, or -1 to fault.
+	MemtagFailHandler int
 }
 
 // DefaultTrapCycles is the trap entry/return overhead used when TrapCycles
@@ -395,6 +407,29 @@ func (m *Machine) Step() error {
 		if err := m.storeWord(uint32(sx(in.Rs1)+in.Imm)&m.HW.MemAddrMask&^3, r[in.Rs2]); err != nil {
 			return err
 		}
+	case LDM, STM:
+		item := r[in.Rs1]
+		addr := uint32(sx(in.Rs1)+in.Imm) & m.HW.MemAddrMask &^ 3
+		cb := in.Tag
+		if cb == RZero {
+			cb = in.Rs1
+		}
+		if m.memtagViolation(addr, r[cb]) {
+			return m.memtagFail(item, addr)
+		}
+		if in.Op == LDM {
+			v, err := m.loadWord(addr)
+			if err != nil {
+				return err
+			}
+			setRd(v)
+			m.lastLoadReg, m.lastLoad = in.Rd, m.PC
+		} else if err := m.storeWord(addr, r[in.Rs2]); err != nil {
+			return err
+		}
+		m.advance()
+		return nil
+
 	case LDC, STC:
 		if m.tagOf(r[in.Rs1]) != in.Tag {
 			return m.checkFail(r[in.Rs1], in.Tag)
@@ -635,6 +670,49 @@ func (m *Machine) arithTrap(in *Instr, a, b uint32) error {
 	}
 	m.lastLoadReg = RZero
 	m.PC = m.HW.TrapHandler
+	return nil
+}
+
+// memtagViolation applies the granule check of LDM/STM: addr is the masked
+// effective address, base the (unmasked) item the access is relative to. A
+// checked address must land in an allocated (non-zero-colored) granule, and
+// an access that leaves the base item's granule must find the same color
+// there — crossing into a differently-colored neighbor is an overrun.
+func (m *Machine) memtagViolation(addr, base uint32) bool {
+	if addr >= m.HW.MemtagLimit {
+		return false
+	}
+	g := m.HW.MemtagShift
+	ca := m.Mem[(m.HW.MemtagBase+(addr>>g)<<2)>>2]
+	if ca == 0 {
+		return true
+	}
+	b := base & m.HW.MemAddrMask &^ 3
+	if b>>g == addr>>g || b >= m.HW.MemtagLimit {
+		return false
+	}
+	return m.Mem[(m.HW.MemtagBase+(b>>g)<<2)>>2] != ca
+}
+
+// memtagFail enters the memory-safety error path for a failed LDM/STM
+// granule check, mirroring checkFail.
+func (m *Machine) memtagFail(item, addr uint32) error {
+	if m.HW.MemtagFailHandler < 0 {
+		return m.fault("memtag granule check failed: item %#x, addr %#x", item, addr)
+	}
+	m.Regs[RT0] = item
+	m.Regs[RT1] = addr
+	m.Stats.Cycles += m.HW.TrapCycles
+	m.Stats.Traps++
+	if m.Obs != nil {
+		m.Obs.Event(Event{Kind: EvTrap, Cycle: m.Stats.Cycles,
+			PC: int32(m.PC), Target: int32(m.HW.MemtagFailHandler), Arg: addr})
+	}
+	m.lastLoadReg = RZero
+	m.pendTarget = -1
+	m.pendCount = 0
+	m.pendSquash = false
+	m.PC = m.HW.MemtagFailHandler
 	return nil
 }
 

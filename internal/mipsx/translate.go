@@ -61,6 +61,7 @@ func (m *Machine) RunTranslated() error {
 	memAddrMask := m.HW.MemAddrMask
 	isIntItem := m.HW.IsIntItem
 	trapCycles := m.HW.TrapCycles
+	memtagBase, memtagShift, memtagLimit := m.HW.MemtagBase, m.HW.MemtagShift, m.HW.MemtagLimit
 	maxCycles := m.MaxCycles
 	st := &m.Stats
 
@@ -311,6 +312,64 @@ loop:
 					goto stepFault
 				}
 				if s.kind == uint8(LDC) {
+					r[s.rd] = mem[addr>>2]
+				} else {
+					mem[addr>>2] = r[s.rs2]
+				}
+
+			case uint8(LDM), uint8(STM):
+				item := r[s.rs1]
+				addr := uint32(int32(item)+s.imm) & memAddrMask &^ 3
+				if addr < memtagLimit {
+					ca := mem[(memtagBase+(addr>>memtagShift)<<2)>>2]
+					viol := ca == 0
+					if !viol {
+						cb := s.tag
+						if cb == RZero {
+							cb = s.rs1
+						}
+						ba := r[cb] & memAddrMask &^ 3
+						if ba>>memtagShift != addr>>memtagShift && ba < memtagLimit &&
+							mem[(memtagBase+(ba>>memtagShift)<<2)>>2] != ca {
+							viol = true
+						}
+					}
+					if viol {
+						// Granule mismatch: back out the static block
+						// accounting, re-charge the executed prefix, then enter
+						// the memtag-error path exactly as the fused loop does.
+						// (LDM/STM never appear in delay slots — see slotSimple —
+						// so this is always a body step.)
+						bc.body--
+						cycles = m.accountPrefix(int(b.start), int(s.off), cycles-b.bodyCyc)
+						if m.HW.MemtagFailHandler < 0 {
+							pc = int(s.off)
+							failf, failargs = "memtag granule check failed: item %#x, addr %#x", []any{item, addr}
+							break loop
+						}
+						r[RT0] = item
+						r[RT1] = addr
+						cycles += trapCycles
+						st.Traps++
+						pc = m.HW.MemtagFailHandler
+						if maxCycles != 0 && cycles > maxCycles {
+							failf, failargs = "cycle limit %d exceeded", []any{maxCycles}
+							break loop
+						}
+						b = nil
+						continue loop
+					}
+				}
+				if int(addr>>2) >= len(mem) {
+					fpc = int(s.off)
+					if s.kind == uint8(LDM) {
+						failf, failargs = "load out of range at %#x", []any{addr}
+					} else {
+						failf, failargs = "store out of range at %#x", []any{addr}
+					}
+					goto stepFault
+				}
+				if s.kind == uint8(LDM) {
 					r[s.rd] = mem[addr>>2]
 				} else {
 					mem[addr>>2] = r[s.rs2]

@@ -66,10 +66,19 @@ func (g *Registry) RecordRun(program, config string, st *mipsx.Stats) {
 	g.Add("gcs_total", st.GCs)
 	g.Add("gc_words_total", st.GCWords)
 	g.Add("tag_cycles_total", st.TagCycles())
+	g.Add("memtag_cycles_total", st.ByCat[mipsx.CatMemtag])
 	g.Add("cycles_total/"+program+"/"+config, st.Cycles)
 	g.Observe("run_cycles", float64(st.Cycles))
 	g.Observe("run_instrs", float64(st.Instrs))
 	g.Observe("run_tag_pct", mipsx.Pct(st.TagCycles(), st.Cycles))
+	// Memory-tagging families only accumulate when the run actually spent
+	// cycles in the granule-coloring runtime (any memtag config: coloring
+	// is software work even when the checks themselves are hardware), so
+	// the percentage histogram is not diluted by untagged runs.
+	if st.ByCat[mipsx.CatMemtag] > 0 {
+		g.Add("memtag_runs_total", 1)
+		g.Observe("run_memtag_pct", st.CatPct(mipsx.CatMemtag))
+	}
 }
 
 // RecordTrans folds one machine's translation-engine counters into the

@@ -58,10 +58,35 @@ func Build(programSrc string, opts BuildOptions) (*Image, error) {
 	if opts.StackWords == 0 {
 		opts.StackWords = 64 << 10
 	}
+	opts.HW = opts.HW.Normalized()
 	scheme := tags.New(opts.Scheme)
 	pool := newConstPool(scheme)
 	a := mipsx.NewAsm()
-	c := lispc.New(a, lispc.Options{Scheme: scheme, HW: opts.HW, Checking: opts.Checking}, pool)
+
+	// Memory tagging needs the whole memory map — including the shadow
+	// color table base — before compilation, because the geometry is folded
+	// into compiled code as immediates. The static area therefore gets a
+	// fixed budget instead of being measured after the fact; everything
+	// above it is computable up front. The plain build keeps its exact
+	// historical layout (static area packed tight against the heap).
+	var geom tags.MemtagGeom
+	if opts.HW.Memtag {
+		heapA := uint32(memtagStaticBudget)
+		heapBytes := uint32(4 * opts.HeapWords)
+		stackBase := heapA + 2*heapBytes + uint32(4*opts.StackWords)
+		if stackBase >= 1<<26 {
+			return nil, fmt.Errorf("memory plan exceeds the 26-bit fixnum-safe address space")
+		}
+		geom = tags.MemtagGeom{
+			Enabled:     true,
+			HWCheck:     opts.HW.MemtagHW,
+			GranuleLog2: uint32(opts.HW.MemtagGranule),
+			ShadowBase:  stackBase,
+			Limit:       stackBase,
+			MaxColor:    opts.HW.MemtagMaxColor(),
+		}
+	}
+	c := lispc.New(a, lispc.Options{Scheme: scheme, HW: opts.HW, Checking: opts.Checking, Memtag: geom}, pool)
 
 	img := &Image{
 		Scheme:   scheme,
@@ -85,7 +110,11 @@ func Build(programSrc string, opts BuildOptions) (*Image, error) {
 		}
 		return forms, countSourceLines(src), nil
 	}
-	sysForms, sysLines, err := parse("sys", sysSource+sysTrapSource)
+	sysSrc := sysSource
+	if opts.HW.Memtag {
+		sysSrc = sysSourceMemtag(geom)
+	}
+	sysForms, sysLines, err := parse("sys", sysSrc+sysTrapSource)
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +176,9 @@ func Build(programSrc string, opts BuildOptions) (*Image, error) {
 	emitGCGlue(a, c, gcGlue)
 	emitTrapGlue(a, c)
 	emitCheckFailGlue(a)
+	if opts.HW.Memtag && opts.HW.MemtagHW {
+		emitMemtagFailGlue(a)
+	}
 
 	prog, err := a.Finish("__start")
 	if err != nil {
@@ -158,9 +190,16 @@ func Build(programSrc string, opts BuildOptions) (*Image, error) {
 	img.Prog = prog
 	img.Procedures = c.Funcs
 
-	// Memory plan: static | semispace A | semispace B | stack.
+	// Memory plan: static | semispace A | semispace B | stack, followed by
+	// the shadow color table when memory tagging is on.
 	staticEnd := pool.End()
 	heapA := (staticEnd + 7) &^ 7
+	if opts.HW.Memtag {
+		if staticEnd > memtagStaticBudget {
+			return nil, fmt.Errorf("static area (%d bytes) exceeds the %d-byte memory-tagging budget", staticEnd, memtagStaticBudget)
+		}
+		heapA = memtagStaticBudget
+	}
 	heapBytes := uint32(4 * opts.HeapWords)
 	heapB := heapA + heapBytes
 	stackLo := heapB + heapBytes
@@ -169,6 +208,15 @@ func Build(programSrc string, opts BuildOptions) (*Image, error) {
 		return nil, fmt.Errorf("memory plan exceeds the 26-bit fixnum-safe address space")
 	}
 	img.memWords = int(stackBase/4) + 16
+	if opts.HW.Memtag {
+		// The shadow table sits above the stack: one word per granule of
+		// [0, stackBase). This must agree with the geometry computed before
+		// compilation.
+		if stackBase != geom.ShadowBase {
+			return nil, fmt.Errorf("memtag layout drift: shadow base %#x, stack base %#x", geom.ShadowBase, stackBase)
+		}
+		img.memWords = int(stackBase/4) + int(stackBase>>geom.GranuleLog2) + 16
+	}
 	img.heapALo = heapA
 	img.heapWords = opts.HeapWords
 	img.stackBase = stackBase
@@ -183,6 +231,15 @@ func Build(programSrc string, opts BuildOptions) (*Image, error) {
 	setGlob(layout.GlobStaticLo, layout.StaticBase)
 	setGlob(layout.GlobStaticHi, staticEnd)
 	setGlob(layout.GlobStackBase, stackBase)
+	if opts.HW.Memtag {
+		// Color the trap page, globals and the whole static budget 1 so
+		// every static-object access passes the granule check; heap granules
+		// start at 0 (unallocated) and the stack is never granule-checked.
+		for gi := uint32(0); gi < heapA>>geom.GranuleLog2; gi++ {
+			mem[(geom.ShadowBase+(gi<<2))/4] = 1
+		}
+		setGlob(layout.GlobMemtagColor, 1)
+	}
 
 	// Patch function cells of interned symbols so funcall works.
 	for name := range c.Funcs {
@@ -267,8 +324,23 @@ func emitCheckFailGlue(a *mipsx.Asm) {
 	a.Sys(mipsx.SysError)
 }
 
+// emitMemtagFailGlue emits the LDM/STM granule-mismatch path: a memtag-fault
+// error with the offending item (placed in RT0 by the hardware).
+func emitMemtagFailGlue(a *mipsx.Asm) {
+	l := a.NewLabel("sys:memtagfail-glue")
+	a.Work()
+	a.Bind(l)
+	a.Mov(3, mipsx.RT0)
+	a.Li(mipsx.RRet, mipsx.ErrMemtagFault)
+	a.Sys(mipsx.SysError)
+}
+
 // errWrongTypeHW is the error code raised by the hardware check-fail path.
 const errWrongTypeHW = mipsx.ErrWrongTypeHW
+
+// memtagStaticBudget is the fixed static-area reservation under memory
+// tagging (the layout must be known before compilation).
+const memtagStaticBudget = 1 << 19
 
 // NewMachine instantiates a fresh machine for the image: memory template
 // copied, registers initialized, trap vectors wired.
@@ -278,6 +350,13 @@ func (img *Image) NewMachine() *mipsx.Machine {
 		hw.TrapHandler = img.Prog.Labels["sys:trap-glue"]
 	}
 	hw.CheckFailHandler = img.Prog.Labels["sys:checkfail-glue"]
+	if img.HW.Memtag && img.HW.MemtagHW {
+		// Shadow base, limit and stack base coincide by construction.
+		hw.MemtagBase = img.stackBase
+		hw.MemtagShift = uint32(img.HW.MemtagGranule)
+		hw.MemtagLimit = img.stackBase
+		hw.MemtagFailHandler = img.Prog.Labels["sys:memtagfail-glue"]
+	}
 	m := mipsx.NewMachine(img.Prog, img.memWords, hw)
 	copy(m.Mem, img.memTemplate)
 	m.Regs[mipsx.RNil] = img.pool.nilItem

@@ -1,0 +1,195 @@
+package rt
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mipsx"
+	"repro/internal/sexpr"
+	"repro/internal/tags"
+)
+
+// memtagConfigs crosses every scheme with the software and hardware check
+// variants at default geometry.
+func memtagConfigs() []BuildOptions {
+	var out []BuildOptions
+	for _, k := range []tags.Kind{tags.High5, tags.High6, tags.Low3, tags.Low2} {
+		for _, hwc := range []bool{false, true} {
+			out = append(out, BuildOptions{
+				Scheme: k,
+				HW:     tags.HW{Memtag: true, MemtagHW: hwc},
+			})
+		}
+	}
+	return out
+}
+
+// TestMemtagCleanPrograms is the never-fire side of the oracle at the unit
+// level: well-behaved programs produce the same results under memory
+// tagging as without it.
+func TestMemtagCleanPrograms(t *testing.T) {
+	progs := []struct {
+		src, want string
+		needCheck bool // generic arithmetic exists only with checking on
+	}{
+		{`(+ (* 6 7) (- 10 (quotient 9 3)))`, "49", false},
+		{`(defun f (x) (cons x (cons (* x x) nil)))
+(f 5)`, "(5 25)", false},
+		{`(defun fib (n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(fib 15)`, "610", false},
+		{`(append (reverse '(3 2 1)) '(4 5))`, "(1 2 3 4 5)", false},
+		{`(let ((v (make-vector 5 0)) (i 0))
+  (while (< i 5)
+    (vset v i (* i i))
+    (setq i (1+ i)))
+  (+ (vref v 4) (vlength v)))`, "21", false},
+		{`(put 'apple 'color 'red)
+(put 'apple 'size 3)
+(list (get 'apple 'color) (get 'apple 'size))`, "(red 3)", false},
+		{`(let ((x (float 3)) (y 4))
+  (%raw->int (%ftoi (sys-float-bits (+ (* x y) (float 1))))))`, "13", true},
+	}
+	for _, cfg := range memtagConfigs() {
+		for _, chk := range []bool{false, true} {
+			cfg.Checking = chk
+			for _, p := range progs {
+				if p.needCheck && !chk {
+					continue
+				}
+				_, got := runProg(t, p.src, cfg)
+				if got != p.want {
+					t.Errorf("%v memtaghw=%v checking=%v: got %s, want %s",
+						cfg.Scheme, cfg.HW.MemtagHW, chk, got, p.want)
+				}
+			}
+		}
+	}
+}
+
+// TestMemtagCleanGC drives the collector hard under memory tagging: every
+// flip recolors survivors and poisons the retired semispace, and none of
+// that may trip a check on a well-behaved program.
+func TestMemtagCleanGC(t *testing.T) {
+	src := `
+(defvar keep (cons 1 (cons 2 (cons 3 nil))))
+(defun churn (n)
+  (let ((junk nil))
+    (while (> n 0)
+      (setq junk (cons n junk))
+      (when (> n 5) (setq junk nil))
+      (setq n (- n 1))))
+  keep)
+(churn 20000)`
+	for _, cfg := range memtagConfigs() {
+		cfg.HeapWords = 2048
+		img, err := Build(src, cfg)
+		if err != nil {
+			t.Fatalf("%v memtaghw=%v: %v", cfg.Scheme, cfg.HW.MemtagHW, err)
+		}
+		m := img.NewMachine()
+		m.MaxCycles = 500_000_000
+		if err := m.Run(); err != nil {
+			t.Fatalf("%v memtaghw=%v: %v", cfg.Scheme, cfg.HW.MemtagHW, err)
+		}
+		if got := sexpr.String(img.DecodeItem(m.Mem, m.Regs[2])); got != "(1 2 3)" {
+			t.Errorf("%v memtaghw=%v: result %s, want (1 2 3)", cfg.Scheme, cfg.HW.MemtagHW, got)
+		}
+		if m.Stats.GCs == 0 {
+			t.Errorf("%v memtaghw=%v: expected collections with an 8KB heap", cfg.Scheme, cfg.HW.MemtagHW)
+		}
+	}
+}
+
+// runMemtagTorture builds and runs a known-bad program and returns the
+// runtime error (nil if the program ran to completion undetected).
+func runMemtagTorture(t *testing.T, src string, cfg BuildOptions) error {
+	t.Helper()
+	img, err := Build(src, cfg)
+	if err != nil {
+		t.Fatalf("%v memtaghw=%v: %v", cfg.Scheme, cfg.HW.MemtagHW, err)
+	}
+	m := img.NewMachine()
+	m.MaxCycles = 200_000_000
+	return m.Run()
+}
+
+// TestMemtagUseAfterFree is the always-fire side: touching a pair whose
+// address survived a collection must raise a memtag fault on every
+// scheme x check-variant combination.
+func TestMemtagUseAfterFree(t *testing.T) {
+	src := `
+(let ((p (cons 1 2)))
+  (let ((a (%untag p)))
+    (%gc)
+    (car (%mkptr pair a))))`
+	for _, cfg := range memtagConfigs() {
+		err := runMemtagTorture(t, src, cfg)
+		var rte *mipsx.RuntimeError
+		if !errors.As(err, &rte) || rte.Code != mipsx.ErrMemtagFault {
+			t.Errorf("%v memtaghw=%v: use-after-free err = %v, want memtag fault",
+				cfg.Scheme, cfg.HW.MemtagHW, err)
+		}
+	}
+}
+
+// TestMemtagOutOfGranule forges a pointer from one allocation into its
+// neighbor's granule; the color mismatch must fire.
+func TestMemtagOutOfGranule(t *testing.T) {
+	// Two adjacent conses get different colors. A pointer forged at p+4
+	// still bases in p's granule (8-byte default), but its cdr access
+	// lands in q's granule, so the base/accessed colors disagree.
+	src := `
+(let ((p (cons 1 2)))
+  (let ((q (cons 3 4)))
+    (cdr (%mkptr pair (%+ (%untag p) (%i 4))))))`
+	for _, cfg := range memtagConfigs() {
+		err := runMemtagTorture(t, src, cfg)
+		var rte *mipsx.RuntimeError
+		if !errors.As(err, &rte) || rte.Code != mipsx.ErrMemtagFault {
+			t.Errorf("%v memtaghw=%v: out-of-granule err = %v, want memtag fault",
+				cfg.Scheme, cfg.HW.MemtagHW, err)
+		}
+	}
+}
+
+// TestMemtagPastExtent reads far past the allocation frontier, where no
+// granule has ever been colored.
+func TestMemtagPastExtent(t *testing.T) {
+	src := `
+(let ((p (cons 1 2)))
+  (car (%mkptr pair (%+ (%untag p) (%i 4096)))))`
+	for _, cfg := range memtagConfigs() {
+		err := runMemtagTorture(t, src, cfg)
+		var rte *mipsx.RuntimeError
+		if !errors.As(err, &rte) || rte.Code != mipsx.ErrMemtagFault {
+			t.Errorf("%v memtaghw=%v: past-extent err = %v, want memtag fault",
+				cfg.Scheme, cfg.HW.MemtagHW, err)
+		}
+	}
+}
+
+// TestMemtagGeometryVariants runs a GC-heavy program across non-default
+// granule sizes and tag widths.
+func TestMemtagGeometryVariants(t *testing.T) {
+	src := `
+(defun fib (n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(cons (fib 12) (append (reverse '(3 2 1)) '(4)))`
+	want := "(144 1 2 3 4)"
+	for _, hw := range []tags.HW{
+		{Memtag: true, MemtagGranule: 4},
+		{Memtag: true, MemtagGranule: 5, MemtagBits: 2},
+		{Memtag: true, MemtagGranule: 6},
+		{Memtag: true, MemtagBits: 8},
+		{Memtag: true, MemtagHW: true, MemtagGranule: 4},
+		{Memtag: true, MemtagHW: true, MemtagBits: 2},
+	} {
+		cfg := BuildOptions{Scheme: tags.High5, HW: hw, HeapWords: 4096}
+		_, got := runProg(t, src, cfg)
+		if got != want {
+			t.Errorf("granule=%d bits=%d hw=%v: got %s, want %s",
+				hw.MemtagGranule, hw.MemtagBits, hw.MemtagHW, got, want)
+		}
+	}
+}

@@ -4,13 +4,14 @@ import (
 	"fmt"
 
 	"repro/internal/mipsx"
+	"repro/internal/tags"
 )
 
-// sysSource is the system unit: allocation, the two-space copying collector,
-// and the arithmetic trap handler. It is always compiled with run-time
-// checking OFF (as PSL compiled its SYSLISP kernel), and manipulates raw
-// words through the % sub-primitives. Raw integer literals are written
-// (%i n); plain literals would be tagged fixnums.
+// The system unit: allocation, the two-space copying collector, and the
+// arithmetic trap handler. It is always compiled with run-time checking OFF
+// (as PSL compiled its SYSLISP kernel), and manipulates raw words through
+// the % sub-primitives. Raw integer literals are written (%i n); plain
+// literals would be tagged fixnums.
 //
 // The collector is a classic Cheney scan made possible by two invariants of
 // the object model: every non-pair heap object starts with a self-
@@ -19,7 +20,11 @@ import (
 // stack/heap pointers, tag masks) is arranged to look like a fixnum, so the
 // scan leaves it alone. Roots are the register save area filled by the GC
 // entry glue, the active stack, and the static area.
-var sysSource = `
+//
+// The source is assembled from pieces so the memory-tagging build can swap
+// in coloring variants of the allocator and collector (sysSourceMemtag)
+// while the plain build concatenates to exactly the historical text.
+var sysAllocSource = `
 ;; --- allocation ----------------------------------------------------------
 
 (defun sys-cons (a d)
@@ -58,7 +63,9 @@ var sysSource = `
     (%write (%+ p (%i 4)) bits)
     (%setreg hp (%& (%+ p (%i 15)) (%i -8)))
     (%mkptr float p)))
+`
 
+var sysSharedSource = `
 (defun sys-float-bits (x)
   (%read (%+ (%untag x) (%i 4))))
 
@@ -87,7 +94,9 @@ var sysSource = `
     (setq src (%+ src (%i 4)))
     (setq dst (%+ dst (%i 4)))
     (setq n (%- n (%i 1)))))
+`
 
+var sysCopySource = `
 ;; Copy the object w points to into to-space, leave a forwarding item in its
 ;; first word, and return the new item. Copies preserve the address's parity
 ;; mod 8, which keeps the Low3 odd-word alignment of vectors and strings.
@@ -118,7 +127,9 @@ var sysSource = `
           (let ((item (%retag free w)))
             (%write addr item)
             item)))))
+`
 
+var sysScanSource = `
 ;; Forward one root or field: heap pointers into from-space are moved (or
 ;; resolved through their forwarding item); everything else passes through.
 (defun sys-fwd (w)
@@ -143,7 +154,9 @@ var sysSource = `
           (progn
             (%write p (sys-fwd w))
             (setq p (%+ p (%i 4))))))))
+`
 
+var sysGCHead = `
 (defun sys-gc ()
   (%setglob gc-free (%glob to-lo))
   ;; Roots: saved registers r2..r31, the active stack, the static area.
@@ -167,11 +180,168 @@ var sysSource = `
     (%setglob from-hi (%glob to-hi))
     (%setglob to-lo flo)
     (%setglob to-hi fhi))
-  (%write (%+ (%globaddr regsave) (%i 112)) (%glob from-hi)) ; r28 = heap limit
+`
+
+var sysGCTail = `  (%write (%+ (%globaddr regsave) (%i 112)) (%glob from-hi)) ; r28 = heap limit
   (%write (%+ (%globaddr regsave) (%i 116)) (%glob gc-free)) ; r29 = heap pointer
   (%setglob gc-count (%+ (%glob gc-count) (%i 1)))
   (%gcnotify (%>> (%- (%glob gc-free) (%glob from-lo)) (%i 2))))
 `
+
+// sysSource is the plain (non-memory-tagging) system unit, byte-identical
+// to the text the goldens were pinned against.
+var sysSource = sysAllocSource + sysSharedSource + sysCopySource +
+	sysScanSource + sysGCHead + sysGCTail
+
+// sysSourceMemtag assembles the system unit for a memory-tagging build:
+// the allocator granule-aligns and colors every object, the collector
+// recolors copies and poisons the retired semispace (so a stale pointer
+// fires the granule check after one collection), and the shared pieces are
+// reused verbatim. All geometry (granule size, shadow table base, color
+// count) is folded in as integer literals, so the system unit stays free
+// of new sub-primitives.
+func sysSourceMemtag(geom tags.MemtagGeom) string {
+	g := int(geom.GranuleLog2)
+	gb := 1 << g
+	gmask := gb - 1
+	sb := int(geom.ShadowBase)
+	maxc := int(geom.MaxColor)
+
+	helpers := fmt.Sprintf(`
+;; --- memory tagging -------------------------------------------------------
+;; One shadow color word at %d + 4*(addr>>%d) per %d-byte granule. Color 0
+;; means unallocated or reclaimed, so forged and stale pointers land on
+;; zero-colored granules and the granule check fires; live objects cycle
+;; through colors 1..%d.
+
+(defun sys-mt-next ()
+  (let ((c (%%glob mt-color)))
+    (if (%%>= c (%%i %d))
+        (%%setglob mt-color (%%i 1))
+        (%%setglob mt-color (%%+ c (%%i 1))))
+    c))
+
+(defun sys-mt-color (p bytes c)
+  (let ((gp (%%+ (%%i %d) (%%<< (%%>> p (%%i %d)) (%%i 2))))
+        (n (%%>> (%%+ bytes (%%i %d)) (%%i %d))))
+    (while (%%> n (%%i 0))
+      (%%write gp c)
+      (setq gp (%%+ gp (%%i 4)))
+      (setq n (%%- n (%%i 1))))))
+
+(defun sys-mt-pad ()
+  (while (not (%%= (%%& (%%reg hp) (%%i %d)) (%%i 0)))
+    (%%write (%%reg hp) (%%i 0))
+    (%%setreg hp (%%+ (%%reg hp) (%%i 4)))))
+
+(defun sys-mt-padfree (free)
+  (while (not (%%= (%%& free (%%i %d)) (%%i 0)))
+    (%%write free (%%i 0))
+    (setq free (%%+ free (%%i 4))))
+  free)
+
+(defun sys-mt-poison (lo hi)
+  (let ((gp (%%+ (%%i %d) (%%<< (%%>> lo (%%i %d)) (%%i 2))))
+        (ge (%%+ (%%i %d) (%%<< (%%>> hi (%%i %d)) (%%i 2)))))
+    (while (%%< gp ge)
+      (%%write gp (%%i 0))
+      (setq gp (%%+ gp (%%i 4))))))
+`, sb, g, gb, maxc, maxc, sb, g, gmask, g, gmask, gmask, sb, g, sb, g)
+
+	alloc := fmt.Sprintf(`
+;; --- allocation (granule-aligned and colored) ------------------------------
+
+(defun sys-cons (a d)
+  (%%ensure-heap (%%i %d))
+  (sys-mt-pad)
+  (let ((p (%%reg hp)))
+    (%%write p a)
+    (%%write (%%+ p (%%i 4)) d)
+    (%%setreg hp (%%+ p (%%i 8)))
+    (sys-mt-color p (%%i 8) (sys-mt-next))
+    (%%mkptr pair p)))
+
+(defun sys-make-vector (n init)
+  (let ((words (%%+ (%%int->raw n) (%%i 1))))
+    (when (%%< words (%%i 1))
+      (setq words (%%i 1)))
+    (%%ensure-heap (%%+ (%%<< words (%%i 2)) (%%i %d)))
+    (sys-mt-pad)
+    (let ((p (%%reg hp)))
+      (when (not (%%= (%%& p (%%i 7)) (%%aligno vector)))
+        (%%write p (%%i 0))
+        (setq p (%%+ p (%%i 4))))
+      (%%write p (%%mkheader vector words))
+      (let ((q (%%+ p (%%i 4))) (i (%%i 1)))
+        (while (%%< i words)
+          (%%write q init)
+          (setq q (%%+ q (%%i 4)))
+          (setq i (%%+ i (%%i 1))))
+        (%%setreg hp (%%& (%%+ q (%%i 7)) (%%i -8)))
+        (sys-mt-color p (%%- (%%reg hp) p) (sys-mt-next))
+        (%%mkptr vector p)))))
+
+(defun sys-box-float (bits)
+  (%%ensure-heap (%%i %d))
+  (sys-mt-pad)
+  (let ((p (%%reg hp)))
+    (when (not (%%= (%%& p (%%i 7)) (%%aligno float)))
+      (%%write p (%%i 0))
+      (setq p (%%+ p (%%i 4))))
+    (%%write p (%%mkheader float (%%i 2)))
+    (%%write (%%+ p (%%i 4)) bits)
+    (%%setreg hp (%%& (%%+ p (%%i 15)) (%%i -8)))
+    (sys-mt-color p (%%- (%%reg hp) p) (sys-mt-next))
+    (%%mkptr float p)))
+`, 8+gb, 12+gb, 16+gb)
+
+	copySrc := `
+;; Copy the object w points to into to-space, granule-aligned and freshly
+;; colored; leave a forwarding item in its first word and return the new
+;; item. Copies preserve the address's parity mod 8 within the granule,
+;; which keeps the Low3 odd-word alignment of vectors and strings.
+(defun sys-copy (w addr)
+  (let ((first (%read addr))
+        (free (sys-mt-padfree (%glob gc-free))))
+    (if (%headerp first)
+        (progn
+          (when (not (%= (%& free (%i 4)) (%& addr (%i 4))))
+            (%write free (%i 0))
+            (setq free (%+ free (%i 4))))
+          (let ((size (%hdr-size first)) (new free))
+            ;; Alignment padding can make to-space usage exceed
+            ;; from-space usage, so the copy itself must bounds-check.
+            (when (%> (%+ new (%<< size (%i 2))) (%glob to-hi))
+              (error 10 nil))
+            (sys-copy-words addr new size)
+            (%setglob gc-free (%& (%+ (%+ new (%<< size (%i 2))) (%i 7)) (%i -8)))
+            (sys-mt-color new (%<< size (%i 2)) (sys-mt-next))
+            (let ((item (%retag new w)))
+              (%write addr item)
+              item)))
+        (progn
+          (when (%> (%+ free (%i 8)) (%glob to-hi))
+            (error 10 nil))
+          (%write free first)
+          (%write (%+ free (%i 4)) (%read (%+ addr (%i 4))))
+          (%setglob gc-free (%+ free (%i 8)))
+          (sys-mt-color free (%i 8) (sys-mt-next))
+          (let ((item (%retag free w)))
+            (%write addr item)
+            item)))))
+`
+
+	gcPoison := `    ;; Poison the retired semispace: zeroed colors make every stale
+    ;; pointer into it fire the granule check (one-collection quarantine).
+    (sys-mt-poison flo fhi))
+`
+	// sysGCHead closes the flip let with "))\n"; reopen it so the poison
+	// runs inside with flo/fhi still bound.
+	gcHead := sysGCHead[:len(sysGCHead)-len("))\n")] + ")\n"
+
+	return helpers + alloc + sysSharedSource + copySrc + sysScanSource +
+		gcHead + gcPoison + sysGCTail
+}
 
 // sysTrapSource services ADDTC/SUBTC traps by dispatching to the generic
 // arithmetic routines; the glue around it preserves all registers.

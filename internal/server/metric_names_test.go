@@ -32,6 +32,12 @@ func TestMetricNamesGolden(t *testing.T) {
 			t.Fatalf("run status %d: %s", resp.StatusCode, body)
 		}
 	}
+	// A memory-tagging run, so the memtag_* families are pinned too.
+	if resp, body := postJSON(t, ts.URL+"/v1/run", map[string]any{
+		"program": "comp", "config": "high5+memtag",
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("memtag-run status %d: %s", resp.StatusCode, body)
+	}
 	// A failing run (checked car of a fixnum) for the error counter.
 	if resp, _ := postJSON(t, ts.URL+"/v1/run", map[string]any{
 		"source": "(car 1)", "config": "high5+check",

@@ -327,7 +327,7 @@ func TestDiscoveryAndHealth(t *testing.T) {
 
 	var cfgs configsResponse
 	getJSON(t, ts.URL+"/v1/configs", &cfgs)
-	if len(cfgs.Schemes) != 4 || len(cfgs.HWFlags) != 7 {
+	if len(cfgs.Schemes) != 4 || len(cfgs.HWFlags) != 11 {
 		t.Errorf("configs: %d schemes, %d hw flags", len(cfgs.Schemes), len(cfgs.HWFlags))
 	}
 	if len(cfgs.Presets) != len(core.Table2Rows)+1 {

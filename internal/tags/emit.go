@@ -183,11 +183,22 @@ func EmitInsertPtr(a *mipsx.Asm, s Scheme, hw HW, rd, rptr, rtmp uint8, t Type, 
 // during address calculation; the caller must only pass parallel=true when
 // the hardware configuration provides it for t. rtmp is clobbered on
 // high-tag schemes without tag-ignoring memory.
+//
+// When both a parallel tag check and hardware memory tagging are
+// configured, the tag check wins the single memory instruction (LDC); the
+// granule check is skipped at that site, since the ISA has no combined
+// check. The memtag spectra therefore pair memtaghw with software type
+// checking.
 func EmitLoadField(a *mipsx.Asm, s Scheme, hw HW, rd, rs, rtmp uint8, t Type, wordOff int32, parallel bool) {
 	off := 4 * wordOff
 	switch {
 	case parallel:
 		a.Ldc(rd, rs, off, s.Tag(t))
+	case hw.Memtag && hw.MemtagHW:
+		if !s.NeedsMask() {
+			off += s.OffAdjust(t)
+		}
+		a.Ldm(rd, rs, off, 0)
 	case !s.NeedsMask():
 		a.Ld(rd, rs, off+s.OffAdjust(t))
 	case hw.MemIgnoresTags:
@@ -206,6 +217,11 @@ func EmitStoreField(a *mipsx.Asm, s Scheme, hw HW, rval, rs, rtmp uint8, t Type,
 	switch {
 	case parallel:
 		a.Stc(rval, rs, off, s.Tag(t))
+	case hw.Memtag && hw.MemtagHW:
+		if !s.NeedsMask() {
+			off += s.OffAdjust(t)
+		}
+		a.Stm(rval, rs, off, 0)
 	case !s.NeedsMask():
 		a.St(rval, rs, off+s.OffAdjust(t))
 	case hw.MemIgnoresTags:
@@ -216,6 +232,101 @@ func EmitStoreField(a *mipsx.Asm, s Scheme, hw HW, rval, rs, rtmp uint8, t Type,
 		})
 		a.St(rval, rtmp, off)
 	}
+}
+
+// EmitMemtagCheck emits the software memory-tagging granule check for an
+// access at byte offset off from the tagged pointer rs. It is a no-op
+// unless geom enables software checking (the hardware-assisted variant
+// folds the check into LDM/STM for free). The sequence reads the shadow
+// color of the accessed granule and fails when it is zero (unallocated, or
+// poisoned by the collector), and — when off may cross a granule boundary —
+// when it differs from the color of the object's base granule. Both mtmp
+// and scratch are clobbered; the check is emitted after the access it
+// guards, so either may alias the loaded destination's old value but not
+// rs. Every instruction is charged to CatMemtag.
+func EmitMemtagCheck(a *mipsx.Asm, s Scheme, geom MemtagGeom, rs uint8, off int32, t Type, mtmp, scratch uint8, fail mipsx.Label) {
+	if !geom.Enabled || geom.HWCheck {
+		return
+	}
+	g := int32(geom.GranuleLog2)
+	sb := int32(geom.ShadowBase)
+	withCat(a, mipsx.CatMemtag, func() {
+		if off == 0 {
+			// Base-granule access: one shadow lookup, fire on color zero.
+			if s.NeedsMask() {
+				a.And(mtmp, rs, mipsx.RMask)
+				a.Srli(mtmp, mtmp, g)
+			} else {
+				// Low tag bits sit below the granule size, so the granule
+				// number of the base needs no untagging.
+				a.Srli(mtmp, rs, g)
+			}
+			a.Slli(mtmp, mtmp, 2)
+			a.Ld(mtmp, mtmp, sb)
+			a.Beqi(mtmp, 0, fail)
+			return
+		}
+		// The accessed word may sit in a different granule than the object
+		// base (the base is not granule-aligned for a forged pointer), so
+		// the accessed granule's color must be nonzero and must match the
+		// base granule's color.
+		if s.NeedsMask() {
+			a.And(mtmp, rs, mipsx.RMask)
+			a.Addi(scratch, mtmp, off)
+			a.Srli(mtmp, mtmp, g)
+		} else {
+			a.Addi(scratch, rs, off+s.OffAdjust(t))
+			a.Srli(mtmp, rs, g)
+		}
+		a.Srli(scratch, scratch, g)
+		a.Slli(scratch, scratch, 2)
+		a.Ld(scratch, scratch, sb)
+		a.Beqi(scratch, 0, fail)
+		a.Slli(mtmp, mtmp, 2)
+		a.Ld(mtmp, mtmp, sb)
+		a.Bne(mtmp, scratch, fail)
+	})
+}
+
+// EmitMemtagCheckIndexed is EmitMemtagCheck for a vector element access:
+// the accessed address is the element slot of index ri (a fixnum item)
+// within the vector item rv, and its granule color must be nonzero and
+// equal to the color of the vector's base granule (out-of-extent indices
+// land on differently-colored or unallocated granules). Both mtmp and
+// scratch are clobbered; rv and ri are not.
+func EmitMemtagCheckIndexed(a *mipsx.Asm, s Scheme, geom MemtagGeom, rv, ri uint8, mtmp, scratch uint8, fail mipsx.Label) {
+	if !geom.Enabled || geom.HWCheck {
+		return
+	}
+	g := int32(geom.GranuleLog2)
+	sb := int32(geom.ShadowBase)
+	withCat(a, mipsx.CatMemtag, func() {
+		if s.NeedsMask() {
+			a.And(mtmp, rv, mipsx.RMask)
+			a.Slli(scratch, ri, 2)
+			a.Add(mtmp, mtmp, scratch)
+			a.Addi(mtmp, mtmp, 4)
+		} else {
+			// Low-tag fixnum indices are already scaled byte offsets; the
+			// tag bits of rv and the sub-word offset vanish under the
+			// granule shift.
+			a.Add(mtmp, rv, ri)
+			a.Addi(mtmp, mtmp, 4+s.OffAdjust(TVector))
+		}
+		a.Srli(mtmp, mtmp, g)
+		a.Slli(mtmp, mtmp, 2)
+		a.Ld(mtmp, mtmp, sb)
+		a.Beqi(mtmp, 0, fail)
+		if s.NeedsMask() {
+			a.And(scratch, rv, mipsx.RMask)
+			a.Srli(scratch, scratch, g)
+		} else {
+			a.Srli(scratch, rv, g)
+		}
+		a.Slli(scratch, scratch, 2)
+		a.Ld(scratch, scratch, sb)
+		a.Bne(mtmp, scratch, fail)
+	})
 }
 
 // EmitUntag strips the tag of rs into rd, yielding a raw address or datum.
@@ -417,7 +528,8 @@ func HWConfig(s Scheme, hw HW) mipsx.HWConfig {
 		TrapHandler:      -1,
 		CheckFailHandler: -1,
 	}
-	if hw.MemIgnoresTags || hw.ParallelCheckList || hw.ParallelCheckAll || !s.NeedsMask() {
+	if hw.MemIgnoresTags || hw.ParallelCheckList || hw.ParallelCheckAll ||
+		(hw.Memtag && hw.MemtagHW) || !s.NeedsMask() {
 		cfg.MemAddrMask = s.AddrMask()
 	}
 	if hw.ShadowRegisters {

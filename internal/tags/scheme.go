@@ -109,6 +109,100 @@ type HW struct {
 	// trapped operands, cutting trap entry/return overhead sharply.
 	// Only meaningful together with ArithTrap.
 	ShadowRegisters bool
+	// Memtag enables the MTE-like memory-tagging model: the data space is
+	// divided into fixed-size granules, each carrying a small color in a
+	// shadow table; allocations are colored, the collector recolors
+	// survivors and poisons the evacuated semispace, and every compiled
+	// heap-object access verifies the accessed granule (applying the
+	// paper's methodology to memory safety instead of type safety).
+	// Checks are an explicit inline sequence charged to the memtag stats
+	// category unless MemtagHW is also set.
+	Memtag bool
+	// MemtagHW rides the granule check along the memory access itself
+	// (LDM/STM), the memory-safety analogue of the parallel type check of
+	// Table 2 rows 5-6: the check costs zero extra cycles and a failed
+	// check traps. Only meaningful together with Memtag.
+	MemtagHW bool
+	// MemtagGranule is the log2 of the granule size in bytes, 3..6
+	// (8..64 bytes); 0 selects the default of 3. Granules above the
+	// 8-byte allocation alignment force granule-rounded allocation.
+	MemtagGranule uint8
+	// MemtagBits is the color field width in bits, 1..8; 0 selects the
+	// default of 4 (the MTE width). Colors cycle through 1..2^bits-1;
+	// color 0 marks unallocated or freed granules. Out-of-granule
+	// detection needs at least 2 bits (two live colors).
+	MemtagBits uint8
+}
+
+// Memtag geometry defaults (MemtagGranule / MemtagBits value 0).
+const (
+	DefaultMemtagGranule = 3 // 8-byte granules
+	DefaultMemtagBits    = 4 // 15 colors, like MTE
+)
+
+// Normalized returns hw with the memtag fields brought to canonical form:
+// geometry zeroed when tagging is off (so behaviorally identical configs
+// share a cache key), defaults materialized when it is on.
+func (hw HW) Normalized() HW {
+	if !hw.Memtag {
+		hw.MemtagHW = false
+		hw.MemtagGranule = 0
+		hw.MemtagBits = 0
+		return hw
+	}
+	if hw.MemtagGranule == 0 {
+		hw.MemtagGranule = DefaultMemtagGranule
+	}
+	if hw.MemtagBits == 0 {
+		hw.MemtagBits = DefaultMemtagBits
+	}
+	return hw
+}
+
+// MemtagMaxColor is the largest color value under hw's width (the colors
+// allocated granules cycle through are 1..MemtagMaxColor).
+func (hw HW) MemtagMaxColor() uint32 {
+	bits := hw.MemtagBits
+	if bits == 0 {
+		bits = DefaultMemtagBits
+	}
+	if bits > 8 {
+		bits = 8
+	}
+	return 1<<bits - 1
+}
+
+// MemtagGranuleBytes is the granule size in bytes under hw.
+func (hw HW) MemtagGranuleBytes() uint32 {
+	g := hw.MemtagGranule
+	if g == 0 {
+		g = DefaultMemtagGranule
+	}
+	return 1 << g
+}
+
+// MemtagGeom is the concrete memory-tagging geometry of one built image:
+// the hardware flags plus the shadow-table placement the memory planner
+// chose. The compiler embeds these values as immediates in the software
+// check sequences and the coloring helpers, so the plan must be fixed
+// before compilation (rt.Build reserves a fixed static budget under
+// memtag for exactly this reason).
+type MemtagGeom struct {
+	// Enabled mirrors HW.Memtag; the zero MemtagGeom means "no tagging".
+	Enabled bool
+	// HWCheck mirrors HW.MemtagHW: checks ride LDM/STM instead of an
+	// inline sequence.
+	HWCheck bool
+	// GranuleLog2 is the granule size shift (bytes = 1<<GranuleLog2).
+	GranuleLog2 uint32
+	// ShadowBase is the byte address of the shadow color table; granule
+	// addr>>GranuleLog2 is the word at ShadowBase + 4*(addr>>GranuleLog2).
+	ShadowBase uint32
+	// Limit bounds the checked address range: accesses at or above it
+	// (the stack and the shadow itself) are never checked.
+	Limit uint32
+	// MaxColor is the largest color value (colors cycle 1..MaxColor).
+	MaxColor uint32
 }
 
 // ParallelCheck reports whether a parallel-checked access is available for t.

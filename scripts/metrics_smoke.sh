@@ -30,6 +30,10 @@ done
 # One run so request/latency series exist beyond the prewarm counters.
 curl -fsS -X POST "$BASE/v1/run" -d '{"program":"comp","config":"high5"}' >/dev/null
 
+# One memory-tagging run so the memtag_* families are live (the prewarm
+# sweep only covers untagged configs).
+curl -fsS -X POST "$BASE/v1/run" -d '{"program":"comp","config":"high5+memtag"}' >/dev/null
+
 # One bounded scheme search so the search_* families are live.
 curl -fsS -X POST "$BASE/v1/search" \
     -d '{"budget":40,"top_k":3,"programs":["comp"],"variants":["check"]}' \
@@ -62,6 +66,10 @@ for f in "$OUT/metrics.prom" "$OUT/metrics2.prom"; do
     # golden: every pinned family must be live here, so adding one means
     # regenerating the golden, not editing this script.
     for fam in $(grep '^search_' internal/server/testdata/metric_names.golden); do
+        grep -q "^# TYPE $fam " "$f" || { echo "missing family $fam in $f"; exit 1; }
+    done
+    # Same single-sourcing for the memory-tagging families.
+    for fam in $(grep '^memtag_\|^run_memtag_' internal/server/testdata/metric_names.golden); do
         grep -q "^# TYPE $fam " "$f" || { echo "missing family $fam in $f"; exit 1; }
     done
 done
