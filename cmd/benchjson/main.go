@@ -8,7 +8,7 @@
 //
 // With -smoke, it instead runs a short BenchmarkEngine pass and fails if
 // the translated engine is slower than the fused loop, or the native
-// engine slower than the translated one (geometric mean over the
+// engine falls under 1.5x the translated one (geometric mean over the
 // benchmark programs) — the CI guard against an engine regression.
 package main
 
@@ -74,9 +74,9 @@ type Program struct {
 var engines = []string{"native", "translated", "fused", "reference"}
 
 func main() {
-	smoke := flag.Bool("smoke", false, "short BenchmarkEngine run; exit nonzero if translated is slower than fused or native slower than translated")
-	benchtime := flag.String("benchtime", "1x", "go test -benchtime for the archived run")
-	smoketime := flag.String("smoketime", "200ms", "go test -benchtime for -smoke")
+	smoke := flag.Bool("smoke", false, "short BenchmarkEngine run; exit nonzero if translated is slower than fused or native under 1.5x translated")
+	benchtime := flag.String("benchtime", "20x", "go test -benchtime for the archived run (iterations, not wall time: superblock formation and chain warmup amortize over iterations, and a 1x run measures mostly warmup)")
+	smoketime := flag.String("smoketime", "5x", "go test -benchtime for -smoke")
 	out := flag.String("out", "", "output path (default: BENCH_<n>.json for the lowest unused n; -smoke default: no file)")
 	baseline := flag.String("baseline", "", "archived BENCH_<n>.json to compare the run against (default: the highest-numbered existing one)")
 	flag.Parse()
@@ -146,10 +146,12 @@ func runArchive(benchtime, out, baseline string) error {
 }
 
 // runSmoke runs BenchmarkEngine once (native + translated + fused
-// sub-benchmarks share the pass) and fails if the engine ladder inverts in
-// geometric mean — translated slower than fused, or native slower than
-// translated. Individual programs jitter at short benchtimes; the mean
-// does not invert unless an engine actually regressed.
+// sub-benchmarks share the pass) and fails if the engine ladder slips in
+// geometric mean — translated slower than fused, or native under 1.5x
+// translated (the superblock dataflow PR's floor; the full archived runs
+// measure ~1.8x, and the smoke margin absorbs short-benchtime jitter).
+// Individual programs jitter at short benchtimes; the mean does not cross
+// the floor unless an engine actually regressed.
 func runSmoke(benchtime, out string) error {
 	outBuf, err := runBench("^BenchmarkEngine$/^(native|translated|fused)$", benchtime, "")
 	if err != nil {
@@ -186,8 +188,8 @@ func runSmoke(benchtime, out string) error {
 	if trFu < 1.0 {
 		return fmt.Errorf("translated engine slower than fused (geomean %.2fx < 1.0)", trFu)
 	}
-	if naTr < 1.0 {
-		return fmt.Errorf("native engine slower than translated (geomean %.2fx < 1.0)", naTr)
+	if naTr < 1.5 {
+		return fmt.Errorf("native engine geomean %.2fx < 1.5x translated", naTr)
 	}
 	return nil
 }

@@ -440,6 +440,16 @@ func runOne(name string, cfg core.Config, engine mipsx.Engine, o options) error 
 		Output:  m.Output.String(),
 	}
 	rep := core.NewRunReport(p, cfg, res)
+	ranEngine := engine
+	if o.eventsOut != "" {
+		ranEngine = mipsx.EngineReference // -events-out forced the reference run above
+	}
+	rep.Engine = &core.EngineReport{
+		Name:   ranEngine.String(),
+		Trans:  m.Trans,
+		Native: m.Native,
+		Caches: img.Prog.Introspect(),
+	}
 	if o.metricsOut != "" {
 		reg := obs.NewRegistry()
 		reg.RecordRun(p.Name, cfg.String(), &m.Stats)

@@ -53,6 +53,21 @@ type RunReport struct {
 	Categories  []CatCycles `json:"categories"`
 	RTCheckCost []CatCycles `json:"rt_check_cost,omitempty"`
 	Error       *RunError   `json:"error,omitempty"`
+	// Engine, when present, carries the executing engine's per-run
+	// dispatch counters and the program's JIT-cache introspection — the
+	// same superblock/fusion/elision numbers /v1/introspect serves, so a
+	// -json run artifact is self-contained without a live server.
+	Engine *EngineReport `json:"engine,omitempty"`
+}
+
+// EngineReport is the engine-internals section of a RunReport: which
+// engine executed the run, its translated- and native-path counters, and
+// the introspection snapshot of the program's lazily built caches.
+type EngineReport struct {
+	Name   string                    `json:"name"`
+	Trans  mipsx.TransStats          `json:"trans"`
+	Native mipsx.NativeStats         `json:"native"`
+	Caches mipsx.EngineIntrospection `json:"caches"`
 }
 
 // NewRunReport shapes one Result into a RunReport.
@@ -128,6 +143,11 @@ func (r *RunReport) String() string {
 		for _, c := range r.RTCheckCost {
 			fmt.Fprintf(&sb, "  %-10s %10d cycles  %6.2f%%\n", c.Name, c.Cycles, c.Pct)
 		}
+	}
+	if e := r.Engine; e != nil {
+		fmt.Fprintf(&sb, "engine   %s: %d blocks, %d superblocks (%d/%d steps after dataflow, %d checks elided)\n",
+			e.Name, e.Caches.Blocks, e.Caches.SuperBlocks,
+			e.Caches.SBSteps, e.Caches.SBRawSteps, e.Caches.SBElidedChecks)
 	}
 	return sb.String()
 }

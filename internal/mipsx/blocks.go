@@ -78,6 +78,21 @@ const (
 	kMov4                       // register shuffle quad (second-level fusion)
 )
 
+// Superblock-stream kinds, produced only by the dataflow pass over formed
+// superblocks (never in shared block bodies), numbered above the edge
+// kinds. kAndLd is the untag-and-load shape the pass exposes by fusing
+// across former block boundaries; the *NC kinds are checked accesses whose
+// tag or granule check an earlier identical check proved redundant — they
+// keep the access's masking and fault semantics bit-identical and skip
+// only the check itself.
+const (
+	kAndLd uint8 = 113 + iota // register untag (and) folded into the load
+	kLdcNC                    // LDC with a provably redundant tag check elided
+	kStcNC                    // STC with a provably redundant tag check elided
+	kLdmNC                    // LDM with a provably redundant granule check elided
+	kStmNC                    // STM with a provably redundant granule check elided
+)
+
 // Compile-time guard: opcode values must stay below the fused-kind space.
 const _opsFitBelowFusedKinds = uint(64 - int(numOps))
 

@@ -123,6 +123,16 @@ type NativeStats struct {
 	SlowRuns    uint64 `json:"slow_runs"`     // block executions dispatched on the per-block path
 	Steps       uint64 `json:"steps"`         // dispatch steps executed in completed block bodies
 	FusedSteps  uint64 `json:"fused_steps"`   // of those, fused superinstructions (two source instrs)
+	// ElidedChecks counts dynamically skipped host-side checks: tag or
+	// granule checks the superblock dataflow pass proved redundant, times
+	// the runs of the elements containing them. The simulated statistics
+	// still charge every one of them (block accounting is static), so
+	// this is purely a host-speed counter.
+	ElidedChecks uint64 `json:"elided_checks"`
+	// RegCacheSpills counts register spills at superblock chain exit
+	// sites (register-caching closure chains write their cached
+	// architectural registers back on every exit).
+	RegCacheSpills uint64 `json:"regcache_spills"`
 }
 
 // Accumulate adds o's counters into n.
@@ -137,4 +147,6 @@ func (n *NativeStats) Accumulate(o *NativeStats) {
 	n.SlowRuns += o.SlowRuns
 	n.Steps += o.Steps
 	n.FusedSteps += o.FusedSteps
+	n.ElidedChecks += o.ElidedChecks
+	n.RegCacheSpills += o.RegCacheSpills
 }

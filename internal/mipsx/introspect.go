@@ -34,6 +34,18 @@ type EngineIntrospection struct {
 	NativeBlocks    int `json:"native_blocks"`
 	SuperBlocks     int `json:"superblocks"`
 	SuperBlockElems int `json:"superblock_elems"`
+	// Superblock dataflow-pass totals across all formed streams: the unit
+	// count before optimization, the steps that survived it, the check
+	// sites removed or weakened (tag and granule checks proved redundant
+	// by the availability analysis), and the redundant pure steps dropped.
+	SBRawSteps     int `json:"sb_raw_steps"`
+	SBSteps        int `json:"sb_steps"`
+	SBElidedChecks int `json:"sb_elided_checks"`
+	SBDroppedSteps int `json:"sb_dropped_steps"`
+	// Register-cache chain coverage: streams compiled into caching chains
+	// (opt-in, see SBOpt.RegCache) and the steps they specialize.
+	SBChains        int `json:"sb_chains"`
+	SBChainCovSteps int `json:"sb_chain_cov_steps"`
 	// TranslateUS and NativeCompileUS are the cumulative wall time the
 	// lazy JIT phases have consumed for this program, in microseconds.
 	TranslateUS     float64 `json:"translate_us"`
@@ -74,6 +86,14 @@ func (p *Program) Introspect() EngineIntrospection {
 			for _, sb := range *lp {
 				ei.SuperBlocks++
 				ei.SuperBlockElems += len(sb.elems)
+				ei.SBRawSteps += int(sb.rawSteps)
+				ei.SBSteps += len(sb.steps)
+				ei.SBElidedChecks += int(sb.elidedChecks)
+				ei.SBDroppedSteps += int(sb.droppedSteps)
+				if sb.chain != nil {
+					ei.SBChains++
+					ei.SBChainCovSteps += int(sb.chainCov)
+				}
 			}
 		}
 	}

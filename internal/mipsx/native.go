@@ -106,7 +106,20 @@ loop:
 		// path below faults exactly where the translated engine would.
 		if sb := bn.sb.Load(); sb != nil && (maxCycles == 0 || cycles+sb.maxCyc <= maxCycles) {
 			st.exit = nexNone
-			idx := execSteps(sb.steps, r, mem, sp, st)
+			var idx int
+			if ch := sb.chain; ch != nil {
+				// Register-caching chain: the cached registers ride the
+				// call arguments and spill back at every exit.
+				ch(r, mem, st, r[sb.ca], r[sb.cb])
+				m.Native.RegCacheSpills += 2
+				if st.exit == nexNone {
+					idx = -1
+				} else {
+					idx = int(st.sidx)
+				}
+			} else {
+				idx = execSteps(sb.steps, r, mem, sp, st)
+			}
 			if idx < 0 {
 				m.markSBExit(sb, int32(len(sb.elems)))
 				cycles += sb.fullCyc
@@ -147,6 +160,10 @@ loop:
 				bc = m.growBctr(b.id)
 				bc.body++
 				cycles += e.cycBefore + b.bodyCyc
+				// The exiting element's body ran in full, elided checks
+				// skipped; runs counted at expansion only cover the
+				// elements before the exit site.
+				m.Native.ElidedChecks += uint64(e.elided)
 				// A conditional edge already resolved the branch; an
 				// indirect-jump edge resolved nothing the terminator
 				// cannot recompute from the registers.
@@ -158,12 +175,27 @@ loop:
 				for int(j)+1 < len(sb.elems) && sb.elems[j+1].stepLo <= int32(idx) {
 					j++
 				}
-				m.markSBExit(sb, j)
 				e := &sb.elems[j]
+				if int32(idx) < e.slotLo {
+					// The dataflow pass fuses body steps across termFall
+					// element boundaries, so a fused step indexed in
+					// element j can fault in its second half's pc, which
+					// belongs to a later element. The faulting pc decides:
+					// every element the pc skips past was fully executed
+					// (spanning only crosses fall-through boundaries,
+					// whose terminators cost no cycles and cover no
+					// instructions). Slots never fuse across elements, so
+					// the slot path below is exempt.
+					for int(j)+1 < len(sb.elems) && !e.b.coversPC(st.fpc) {
+						j++
+						e = &sb.elems[j]
+					}
+				}
+				m.markSBExit(sb, j)
 				b = e.b
 				bc = m.growBctr(b.id)
 				cycles += e.cycBefore
-				if int32(idx) >= e.slotLo {
+				if int32(idx) >= e.slotLo && int32(idx) < e.stepHi {
 					// A delay slot faulted after the hot branch: body and
 					// direction accounting happen on the slot-fault path.
 					bc.body++

@@ -54,6 +54,7 @@ type nstate struct {
 	taken bool  // nexSide: the branch direction actually taken
 	sbj   int32 // nexSide: index of the superblock element whose edge went cold
 	fpc   int32 // source pc of the offending instruction (nexFault/nexCheck/nexTrap)
+	sidx  int32 // aborting step index, set by register-caching chains (sbchain.go)
 
 	failf    string
 	failargs []any
@@ -113,6 +114,20 @@ const kEdgeJrA uint8 = 95
 // the hottest dispatch in a superblock stream. Same field conventions as
 // kEdge.
 const kEdgeOp0 uint8 = 99
+
+// kEdgeSrliBnei fuses the software tag-check idiom's tag extract into its
+// compare edge: rd ← rs1 >> imm (a body write of the edge's own element,
+// performed unconditionally, exactly as the separate srli step would),
+// then the bnei edge tests the extracted value against imm2. rd2/rs3 as
+// in kEdge.
+const kEdgeSrliBnei uint8 = 111
+
+// kEdgeBneiAnd fuses a bnei edge with the *next* element's leading and
+// (the untag that follows a passed software tag check): the guard runs
+// first — rs1/imm/rd2/rs3 as in kEdge — and only when it passes is
+// rd ← tag & rs2 performed, so a side exit leaves the next element's
+// state untouched for the per-block path.
+const kEdgeBneiAnd uint8 = 112
 
 // edgeKind picks the edge pseudo-step kind for a conditional branch.
 func edgeKind(op Op) uint8 {
@@ -555,6 +570,60 @@ dispatch:
 			mem[w+2] = r[uint8(v>>16)]
 			mem[w+3] = r[uint8(v>>24)]
 
+		case kAndLd:
+			r[s.rd] = r[s.rs1] & r[s.rs2]
+			addr := uint32(int32(r[s.rs3]) + s.imm2)
+			if addr&3 != 0 || int(addr>>2) >= len(mem) {
+				st.memFault(s.off+1, addr, true)
+				return si - 1
+			}
+			r[s.rd2] = mem[addr>>2]
+
+		case kLdcNC, kStcNC:
+			// LDC/STC minus the tag check an earlier identical check
+			// proved redundant; address masking and fault semantics are
+			// bit-identical to the checked kinds.
+			addr := uint32(int32(r[s.rs1])+s.imm) & sp.memAddrMask
+			if addr&3 != 0 {
+				if s.kind == kLdcNC {
+					st.faultAt(s.off, "misaligned load at %#x", addr)
+				} else {
+					st.faultAt(s.off, "misaligned store at %#x", addr)
+				}
+				return si - 1
+			}
+			if int(addr>>2) >= len(mem) {
+				if s.kind == kLdcNC {
+					st.faultAt(s.off, "load out of range at %#x", addr)
+				} else {
+					st.faultAt(s.off, "store out of range at %#x", addr)
+				}
+				return si - 1
+			}
+			if s.kind == kLdcNC {
+				r[s.rd] = mem[addr>>2]
+			} else {
+				mem[addr>>2] = r[s.rs2]
+			}
+
+		case kLdmNC, kStmNC:
+			// LDM/STM minus the granule check; never produced across a
+			// store (granule colors live in memory).
+			addr := uint32(int32(r[s.rs1])+s.imm) & sp.memAddrMask &^ 3
+			if int(addr>>2) >= len(mem) {
+				if s.kind == kLdmNC {
+					st.faultAt(s.off, "load out of range at %#x", addr)
+				} else {
+					st.faultAt(s.off, "store out of range at %#x", addr)
+				}
+				return si - 1
+			}
+			if s.kind == kLdmNC {
+				r[s.rd] = mem[addr>>2]
+			} else {
+				mem[addr>>2] = r[s.rs2]
+			}
+
 		case kEdge:
 			var taken bool
 			switch Op(s.rd) {
@@ -676,6 +745,21 @@ dispatch:
 				st.exit, st.taken, st.sbj = nexSide, taken, int32(s.rd2)
 				return si - 1
 			}
+
+		case kEdgeSrliBnei:
+			v := r[s.rs1] >> (uint32(s.imm) & 31)
+			r[s.rd] = v
+			if taken := int32(v) != s.imm2; taken != (s.rs3 != 0) {
+				st.exit, st.taken, st.sbj = nexSide, taken, int32(s.rd2)
+				return si - 1
+			}
+
+		case kEdgeBneiAnd:
+			if taken := int32(r[s.rs1]) != s.imm; taken != (s.rs3 != 0) {
+				st.exit, st.taken, st.sbj = nexSide, taken, int32(s.rd2)
+				return si - 1
+			}
+			r[s.rd] = r[s.tag] & r[s.rs2]
 
 		default:
 			st.faultAt(s.off, "bad opcode %v", Op(s.kind))

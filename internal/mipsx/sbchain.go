@@ -1,0 +1,1222 @@
+package mipsx
+
+// Register-caching closure chains for superblock streams — the register
+// cache half of the superblock dataflow layer (sbflow.go holds the
+// elision/refusion half).
+//
+// execSteps dispatches an optimized stream through one switch: every step
+// pays an indirect jump from a single dispatch site whose target changes
+// every iteration, plus the loads of its tstep fields. compileChain
+// instead compiles the stream once, at formation, into a chain of Go
+// closures: each node captures its operands as immutable locals and calls
+// its successor directly.
+//
+// Measured verdict: the chains are bit-identical but SLOWER than the
+// switch — about 40% on the 10-program suite — so they are opt-in
+// (SBOpt.RegCache), kept for the ablation record and as the negative
+// result it is. The reason is structural to Go, not fixable by tuning:
+// a closure's body is compiled once per syntactic closure, so the
+// `next(...)` call inside, say, the MOV node is ONE machine-level call
+// site shared by every MOV node in every chain — exactly as megamorphic
+// as the switch's jump, with no computed-goto/threaded-code replication
+// to give the branch predictor per-site history. What remains is the cost
+// delta per step: call + return + argument shuffling versus a predicted
+// jump-table dispatch, and the closure-environment field loads cost the
+// same as the tstep field loads they replace. The register cache itself
+// (a and b riding in call arguments) cannot win that back, because the
+// register file is L1-resident and store-forwarded on any modern host.
+//
+// The chain threads the stream's two hottest architectural registers
+// through the calls as the parameters a and b instead of going through the
+// shared register array. A node whose operand or destination is a cached
+// register reads or writes the parameter; the cached-register tests are
+// captured booleans, constant for the life of the closure and free after
+// their first prediction. The cache spills back to the register array at
+// every exit from the chain — the tail node on a complete run, and every
+// abort site (side exit, fault, check, trap, memtag) before it fills in
+// st — so the register array is consistent whenever control leaves the
+// stream, exactly as with execSteps. Exit-site spills are counted in
+// NativeStats.RegCacheSpills.
+//
+// Steps the compiler does not specialize run in segment nodes: a maximal
+// run of unspecialized steps executes through execSteps with the cache
+// spilled before and reloaded after, preserving exact semantics for every
+// kind the switch handles. A stream with less than half its steps
+// specialized gets no chain at all (compileChain returns nil) and keeps
+// dispatching through execSteps.
+//
+// Abort protocol: a node that stops the stream spills the cache, fills in
+// st exactly as execSteps would (exit kind, fpc, mailbox fields) plus
+// st.sidx — the flat index of the stopping step — and returns without
+// calling the rest of the chain. The runner reads st.sidx where the
+// execSteps path would use the returned index.
+
+// sbfn is one node of a register-caching chain; a and b carry the cached
+// registers.
+type sbfn func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32)
+
+// cloc locates one step operand: a cached register (a or b) or a register
+// array slot.
+type cloc struct {
+	a, b bool
+	reg  uint8
+}
+
+func (c cloc) get(r *[256]uint32, a, b uint32) uint32 {
+	if c.a {
+		return a
+	}
+	if c.b {
+		return b
+	}
+	return r[c.reg]
+}
+
+// pickCached picks the two distinct registers the stream references most,
+// the ones worth holding in locals across the chain.
+func pickCached(steps []tstep) (uint8, uint8) {
+	var cnt [33]int
+	add := func(reg uint8) {
+		if reg > 0 && reg < uint8(len(cnt)) {
+			cnt[reg]++
+		}
+	}
+	for i := range steps {
+		chainRegRefs(&steps[i], add)
+	}
+	best := func(not uint8) uint8 {
+		var r uint8 = 1
+		if not == 1 {
+			r = 2
+		}
+		for i := uint8(1); i < uint8(len(cnt)); i++ {
+			if i != not && cnt[i] > cnt[r] {
+				r = i
+			}
+		}
+		return r
+	}
+	ca := best(0)
+	return ca, best(ca)
+}
+
+// chainRegRefs reports the register fields of one step to add, for the
+// cached-register frequency count. Only kinds chainStep specializes are
+// counted — caching helps nowhere else — and only fields that hold
+// registers for that kind.
+func chainRegRefs(s *tstep, add func(uint8)) {
+	switch s.kind {
+	case uint8(LI):
+		add(s.rd)
+	case uint8(MOV), uint8(ADDI), uint8(ANDI), uint8(ORI), uint8(XORI),
+		uint8(SLLI), uint8(SRLI), uint8(SRAI), uint8(LD), uint8(LDT),
+		uint8(LDC), kLdcNC:
+		add(s.rd)
+		add(s.rs1)
+	case uint8(ST), uint8(STT), uint8(STC), kStcNC:
+		add(s.rs1)
+		add(s.rs2)
+	case uint8(ADD), uint8(SUB), uint8(AND), uint8(OR), uint8(XOR),
+		uint8(SLL), uint8(SRL), uint8(SRA):
+		add(s.rd)
+		add(s.rs1)
+		add(s.rs2)
+	case kSrliAndi, kMovMov, kMovLd, kLdMov, kLdLd, kLdSrli, kMovSrli,
+		kLdAddi, kOrAddi, kSlliSrai:
+		add(s.rd)
+		add(s.rs1)
+		add(s.rd2)
+		add(s.rs3)
+	case kAndiLd, kAddiLd:
+		add(s.rd)
+		add(s.rs1)
+		add(s.rd2)
+		add(s.rs3)
+	case kAndLd:
+		add(s.rd)
+		add(s.rs1)
+		add(s.rs2)
+		add(s.rd2)
+		add(s.rs3)
+	case kMov3:
+		add(s.rd)
+		add(s.rs1)
+		add(s.rd2)
+		add(s.rs3)
+		add(s.rs2)
+		add(s.tag)
+	case kMov4:
+		add(s.rd)
+		add(s.rs1)
+		add(s.rd2)
+		add(s.rs3)
+		add(s.rs2)
+		add(s.tag)
+		add(uint8(s.imm))
+		add(uint8(s.imm >> 8))
+	case kStSt:
+		add(s.rs1)
+		add(s.rs2)
+		add(s.rs3)
+		add(s.tag)
+	case kLdSt, kMovSt, kAddiSt:
+		add(s.rd)
+		add(s.rs1)
+		add(s.rs3)
+		add(s.tag)
+	case kStLd, kStMov:
+		add(s.rs1)
+		add(s.rs2)
+		add(s.rd2)
+		add(s.rs3)
+	case kStLi:
+		add(s.rs1)
+		add(s.rs2)
+		add(s.rd2)
+	case kLiOr:
+		add(s.rd)
+		add(s.rd2)
+		add(s.rs3)
+		add(s.tag)
+	case kLd3, kSt3:
+		add(s.rs1)
+		add(uint8(s.imm2))
+		add(uint8(s.imm2 >> 8))
+		add(uint8(s.imm2 >> 16))
+	case kLd4, kSt4:
+		add(s.rs1)
+		add(uint8(s.imm2))
+		add(uint8(s.imm2 >> 8))
+		add(uint8(s.imm2 >> 16))
+		add(uint8(s.imm2 >> 24))
+	case kEdgeOp0 + uint8(BEQ-BEQ), kEdgeOp0 + uint8(BNE-BEQ),
+		kEdgeOp0 + uint8(BLT-BEQ), kEdgeOp0 + uint8(BGE-BEQ),
+		kEdgeOp0 + uint8(BLE-BEQ), kEdgeOp0 + uint8(BGT-BEQ):
+		add(s.rs1)
+		add(s.rs2)
+	case kEdgeOp0 + uint8(BEQI-BEQ), kEdgeOp0 + uint8(BNEI-BEQ),
+		kEdgeOp0 + uint8(BLTI-BEQ), kEdgeOp0 + uint8(BGEI-BEQ),
+		kEdgeOp0 + uint8(BTEQ-BEQ), kEdgeOp0 + uint8(BTNE-BEQ),
+		kEdgeJr, kEdgeJrL:
+		add(s.rs1)
+	case kEdgeJrA:
+		add(s.rs1)
+		add(s.rd)
+		add(s.rs2)
+	case kEdgeSrliBnei:
+		add(s.rd)
+		add(s.rs1)
+	case kEdgeBneiAnd:
+		add(s.rs1)
+		add(s.rd)
+		add(s.tag)
+		add(s.rs2)
+	}
+}
+
+// chainable mirrors chainStep's specialized set; used only to extend
+// segment nodes over runs of unspecialized steps (a mismatch in either
+// direction costs coverage, never correctness).
+func chainable(k uint8) bool {
+	switch k {
+	case uint8(MOV), uint8(LI), uint8(ADD), uint8(ADDI), uint8(SUB),
+		uint8(AND), uint8(ANDI), uint8(OR), uint8(ORI), uint8(XOR),
+		uint8(XORI), uint8(SLL), uint8(SLLI), uint8(SRL), uint8(SRLI),
+		uint8(SRA), uint8(SRAI), uint8(LD), uint8(ST), uint8(LDT),
+		uint8(STT), uint8(LDC), uint8(STC),
+		kSrliAndi, kMovMov, kMov3, kMov4, kAndiLd, kAddiLd, kAndLd,
+		kLdLd, kStSt, kMovLd, kLdMov, kLdSt, kStLd, kStMov, kMovSt,
+		kAddiSt, kLdSrli, kMovSrli, kLdAddi, kStLi, kLiOr, kOrAddi,
+		kSlliSrai, kLd3, kLd4, kSt3, kSt4, kLdcNC, kStcNC,
+		kEdgeJr, kEdgeJrL, kEdgeJrA, kEdgeSrliBnei, kEdgeBneiAnd:
+		return true
+	}
+	return k >= kEdgeOp0 && k < kEdgeOp0+uint8(BTNE-BEQ)+1
+}
+
+// compileChain compiles an optimized stream into a register-caching chain.
+// Returns a nil chain when less than half the steps could be specialized
+// (the stream then keeps dispatching through execSteps). cov is the
+// specialized step count, for introspection.
+func compileChain(steps []tstep, sp *nspec) (fn sbfn, ca, cb uint8, cov int32) {
+	ca, cb = pickCached(steps)
+	sca, scb := ca, cb
+	next := sbfn(func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+		r[sca], r[scb] = a, b
+	})
+	i := len(steps)
+	for i > 0 {
+		if f := chainStep(&steps[i-1], int32(i-1), ca, cb, sp, next); f != nil {
+			next = f
+			cov++
+			i--
+			continue
+		}
+		lo := i - 1
+		for lo > 0 && !chainable(steps[lo-1].kind) {
+			lo--
+		}
+		next = segNode(steps, lo, i, ca, cb, sp, next)
+		i = lo
+	}
+	if int(cov)*2 < len(steps) {
+		return nil, ca, cb, cov
+	}
+	return next, ca, cb, cov
+}
+
+// segNode wraps a run of unspecialized steps: spill the cache, dispatch
+// the run through execSteps, reload.
+func segNode(steps []tstep, lo, hi int, ca, cb uint8, sp *nspec, next sbfn) sbfn {
+	seg := steps[lo:hi]
+	base := int32(lo)
+	return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+		r[ca], r[cb] = a, b
+		if n := execSteps(seg, r, mem, sp, st); n >= 0 {
+			st.sidx = base + int32(n)
+			return
+		}
+		next(r, mem, st, r[ca], r[cb])
+	}
+}
+
+// chainStep builds the specialized node for one step, or nil when the kind
+// is left to a segment node. Each case reproduces the corresponding
+// execSteps case bit for bit, with operand access routed through the
+// cached registers.
+func chainStep(s *tstep, idx int32, ca, cb uint8, sp *nspec, next sbfn) sbfn {
+	loc := func(reg uint8) cloc { return cloc{reg == ca, reg == cb, reg} }
+	x1, x2, x3, xt := loc(s.rs1), loc(s.rs2), loc(s.rs3), loc(s.tag)
+	d1, d2 := loc(s.rd), loc(s.rd2)
+	imm, imm2, off := s.imm, s.imm2, s.off
+	hot := s.rs3 != 0
+	ej := int32(s.rd2)
+
+	switch s.kind {
+	case uint8(MOV):
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v := x1.get(r, a, b)
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			next(r, mem, st, a, b)
+		}
+	case uint8(LI):
+		v := uint32(imm)
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			next(r, mem, st, a, b)
+		}
+	case uint8(ADD), uint8(SUB), uint8(AND), uint8(OR), uint8(XOR),
+		uint8(SLL), uint8(SRL), uint8(SRA):
+		op := s.kind
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v1, v2 := x1.get(r, a, b), x2.get(r, a, b)
+			var v uint32
+			switch op {
+			case uint8(ADD):
+				v = uint32(int32(v1) + int32(v2))
+			case uint8(SUB):
+				v = uint32(int32(v1) - int32(v2))
+			case uint8(AND):
+				v = v1 & v2
+			case uint8(OR):
+				v = v1 | v2
+			case uint8(XOR):
+				v = v1 ^ v2
+			case uint8(SLL):
+				v = v1 << (v2 & 31)
+			case uint8(SRL):
+				v = v1 >> (v2 & 31)
+			default:
+				v = uint32(int32(v1) >> (v2 & 31))
+			}
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			next(r, mem, st, a, b)
+		}
+	case uint8(ADDI), uint8(ANDI), uint8(ORI), uint8(XORI),
+		uint8(SLLI), uint8(SRLI), uint8(SRAI):
+		op := s.kind
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v1 := x1.get(r, a, b)
+			var v uint32
+			switch op {
+			case uint8(ADDI):
+				v = uint32(int32(v1) + imm)
+			case uint8(ANDI):
+				v = v1 & uint32(imm)
+			case uint8(ORI):
+				v = v1 | uint32(imm)
+			case uint8(XORI):
+				v = v1 ^ uint32(imm)
+			case uint8(SLLI):
+				v = v1 << (uint32(imm) & 31)
+			case uint8(SRLI):
+				v = v1 >> (uint32(imm) & 31)
+			default:
+				v = uint32(int32(v1) >> (uint32(imm) & 31))
+			}
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			next(r, mem, st, a, b)
+		}
+	case uint8(LD):
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			addr := uint32(int32(x1.get(r, a, b)) + imm)
+			if addr&3 != 0 || int(addr>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off, addr, true)
+				st.sidx = idx
+				return
+			}
+			v := mem[addr>>2]
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			next(r, mem, st, a, b)
+		}
+	case uint8(ST):
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			addr := uint32(int32(x1.get(r, a, b)) + imm)
+			if addr&3 != 0 || int(addr>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off, addr, false)
+				st.sidx = idx
+				return
+			}
+			mem[addr>>2] = x2.get(r, a, b)
+			next(r, mem, st, a, b)
+		}
+	case uint8(LDT):
+		amask := sp.memAddrMask
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			addr := uint32(int32(x1.get(r, a, b))+imm) & amask &^ 3
+			var v uint32
+			if int(addr>>2) < len(mem) {
+				v = mem[addr>>2]
+			}
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			next(r, mem, st, a, b)
+		}
+	case uint8(STT):
+		amask := sp.memAddrMask
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			addr := uint32(int32(x1.get(r, a, b))+imm) & amask &^ 3
+			if int(addr>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.faultAt(off, "store out of range at %#x", addr)
+				st.sidx = idx
+				return
+			}
+			mem[addr>>2] = x2.get(r, a, b)
+			next(r, mem, st, a, b)
+		}
+	case uint8(LDC), uint8(STC):
+		isLd := s.kind == uint8(LDC)
+		tag8 := s.tag
+		shift, mask, amask := sp.tagShift, sp.tagMask, sp.memAddrMask
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v := x1.get(r, a, b)
+			if uint8((v>>shift)&mask) != tag8 {
+				r[ca], r[cb] = a, b
+				st.exit = nexCheck
+				st.fpc = off
+				st.trapA = v
+				st.trapTag = tag8
+				st.sidx = idx
+				return
+			}
+			addr := uint32(int32(v)+imm) & amask
+			if addr&3 != 0 || int(addr>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off, addr, isLd)
+				st.sidx = idx
+				return
+			}
+			if isLd {
+				u := mem[addr>>2]
+				if d1.a {
+					a = u
+				} else if d1.b {
+					b = u
+				} else {
+					r[d1.reg] = u
+				}
+			} else {
+				mem[addr>>2] = x2.get(r, a, b)
+			}
+			next(r, mem, st, a, b)
+		}
+	case kLdcNC, kStcNC:
+		isLd := s.kind == kLdcNC
+		amask := sp.memAddrMask
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			addr := uint32(int32(x1.get(r, a, b))+imm) & amask
+			if addr&3 != 0 || int(addr>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off, addr, isLd)
+				st.sidx = idx
+				return
+			}
+			if isLd {
+				u := mem[addr>>2]
+				if d1.a {
+					a = u
+				} else if d1.b {
+					b = u
+				} else {
+					r[d1.reg] = u
+				}
+			} else {
+				mem[addr>>2] = x2.get(r, a, b)
+			}
+			next(r, mem, st, a, b)
+		}
+
+	case kSrliAndi:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v := x1.get(r, a, b) >> (uint32(imm) & 31)
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			w := x3.get(r, a, b) & uint32(imm2)
+			if d2.a {
+				a = w
+			} else if d2.b {
+				b = w
+			} else {
+				r[d2.reg] = w
+			}
+			next(r, mem, st, a, b)
+		}
+	case kMovMov:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v := x1.get(r, a, b)
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			w := x3.get(r, a, b)
+			if d2.a {
+				a = w
+			} else if d2.b {
+				b = w
+			} else {
+				r[d2.reg] = w
+			}
+			next(r, mem, st, a, b)
+		}
+	case kMov3, kMov4:
+		dm, xm := loc(s.rs2), loc(s.tag)
+		four := s.kind == kMov4
+		d4, x4 := loc(uint8(s.imm)), loc(uint8(s.imm>>8))
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v := x1.get(r, a, b)
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			v = x3.get(r, a, b)
+			if d2.a {
+				a = v
+			} else if d2.b {
+				b = v
+			} else {
+				r[d2.reg] = v
+			}
+			v = xm.get(r, a, b)
+			if dm.a {
+				a = v
+			} else if dm.b {
+				b = v
+			} else {
+				r[dm.reg] = v
+			}
+			if four {
+				v = x4.get(r, a, b)
+				if d4.a {
+					a = v
+				} else if d4.b {
+					b = v
+				} else {
+					r[d4.reg] = v
+				}
+			}
+			next(r, mem, st, a, b)
+		}
+	case kAndiLd, kAddiLd:
+		isAnd := s.kind == kAndiLd
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v := x1.get(r, a, b)
+			if isAnd {
+				v &= uint32(imm)
+			} else {
+				v = uint32(int32(v) + imm)
+			}
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			addr := uint32(int32(x3.get(r, a, b)) + imm2)
+			if addr&3 != 0 || int(addr>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off+1, addr, true)
+				st.sidx = idx
+				return
+			}
+			u := mem[addr>>2]
+			if d2.a {
+				a = u
+			} else if d2.b {
+				b = u
+			} else {
+				r[d2.reg] = u
+			}
+			next(r, mem, st, a, b)
+		}
+	case kAndLd:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v := x1.get(r, a, b) & x2.get(r, a, b)
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			addr := uint32(int32(x3.get(r, a, b)) + imm2)
+			if addr&3 != 0 || int(addr>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off+1, addr, true)
+				st.sidx = idx
+				return
+			}
+			u := mem[addr>>2]
+			if d2.a {
+				a = u
+			} else if d2.b {
+				b = u
+			} else {
+				r[d2.reg] = u
+			}
+			next(r, mem, st, a, b)
+		}
+	case kLdLd:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			a1 := uint32(int32(x1.get(r, a, b)) + imm)
+			if a1&3 != 0 || int(a1>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off, a1, true)
+				st.sidx = idx
+				return
+			}
+			v := mem[a1>>2]
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			a2 := uint32(int32(x3.get(r, a, b)) + imm2)
+			if a2&3 != 0 || int(a2>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off+1, a2, true)
+				st.sidx = idx
+				return
+			}
+			u := mem[a2>>2]
+			if d2.a {
+				a = u
+			} else if d2.b {
+				b = u
+			} else {
+				r[d2.reg] = u
+			}
+			next(r, mem, st, a, b)
+		}
+	case kStSt:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			a1 := uint32(int32(x1.get(r, a, b)) + imm)
+			if a1&3 != 0 || int(a1>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off, a1, false)
+				st.sidx = idx
+				return
+			}
+			mem[a1>>2] = x2.get(r, a, b)
+			a2 := uint32(int32(x3.get(r, a, b)) + imm2)
+			if a2&3 != 0 || int(a2>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off+1, a2, false)
+				st.sidx = idx
+				return
+			}
+			mem[a2>>2] = xt.get(r, a, b)
+			next(r, mem, st, a, b)
+		}
+	case kMovLd:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v := x1.get(r, a, b)
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			a2 := uint32(int32(x3.get(r, a, b)) + imm2)
+			if a2&3 != 0 || int(a2>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off+1, a2, true)
+				st.sidx = idx
+				return
+			}
+			u := mem[a2>>2]
+			if d2.a {
+				a = u
+			} else if d2.b {
+				b = u
+			} else {
+				r[d2.reg] = u
+			}
+			next(r, mem, st, a, b)
+		}
+	case kLdMov:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			a1 := uint32(int32(x1.get(r, a, b)) + imm)
+			if a1&3 != 0 || int(a1>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off, a1, true)
+				st.sidx = idx
+				return
+			}
+			v := mem[a1>>2]
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			w := x3.get(r, a, b)
+			if d2.a {
+				a = w
+			} else if d2.b {
+				b = w
+			} else {
+				r[d2.reg] = w
+			}
+			next(r, mem, st, a, b)
+		}
+	case kLdSt:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			a1 := uint32(int32(x1.get(r, a, b)) + imm)
+			if a1&3 != 0 || int(a1>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off, a1, true)
+				st.sidx = idx
+				return
+			}
+			v := mem[a1>>2]
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			a2 := uint32(int32(x3.get(r, a, b)) + imm2)
+			if a2&3 != 0 || int(a2>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off+1, a2, false)
+				st.sidx = idx
+				return
+			}
+			mem[a2>>2] = xt.get(r, a, b)
+			next(r, mem, st, a, b)
+		}
+	case kStLd:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			a1 := uint32(int32(x1.get(r, a, b)) + imm)
+			if a1&3 != 0 || int(a1>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off, a1, false)
+				st.sidx = idx
+				return
+			}
+			mem[a1>>2] = x2.get(r, a, b)
+			a2 := uint32(int32(x3.get(r, a, b)) + imm2)
+			if a2&3 != 0 || int(a2>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off+1, a2, true)
+				st.sidx = idx
+				return
+			}
+			u := mem[a2>>2]
+			if d2.a {
+				a = u
+			} else if d2.b {
+				b = u
+			} else {
+				r[d2.reg] = u
+			}
+			next(r, mem, st, a, b)
+		}
+	case kStMov:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			a1 := uint32(int32(x1.get(r, a, b)) + imm)
+			if a1&3 != 0 || int(a1>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off, a1, false)
+				st.sidx = idx
+				return
+			}
+			mem[a1>>2] = x2.get(r, a, b)
+			w := x3.get(r, a, b)
+			if d2.a {
+				a = w
+			} else if d2.b {
+				b = w
+			} else {
+				r[d2.reg] = w
+			}
+			next(r, mem, st, a, b)
+		}
+	case kMovSt, kAddiSt:
+		isMov := s.kind == kMovSt
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v := x1.get(r, a, b)
+			if !isMov {
+				v = uint32(int32(v) + imm)
+			}
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			a2 := uint32(int32(x3.get(r, a, b)) + imm2)
+			if a2&3 != 0 || int(a2>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off+1, a2, false)
+				st.sidx = idx
+				return
+			}
+			mem[a2>>2] = xt.get(r, a, b)
+			next(r, mem, st, a, b)
+		}
+	case kLdSrli, kLdAddi:
+		isSrli := s.kind == kLdSrli
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			a1 := uint32(int32(x1.get(r, a, b)) + imm)
+			if a1&3 != 0 || int(a1>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off, a1, true)
+				st.sidx = idx
+				return
+			}
+			v := mem[a1>>2]
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			w := x3.get(r, a, b)
+			if isSrli {
+				w >>= uint32(imm2) & 31
+			} else {
+				w = uint32(int32(w) + imm2)
+			}
+			if d2.a {
+				a = w
+			} else if d2.b {
+				b = w
+			} else {
+				r[d2.reg] = w
+			}
+			next(r, mem, st, a, b)
+		}
+	case kMovSrli:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v := x1.get(r, a, b)
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			w := x3.get(r, a, b) >> (uint32(imm2) & 31)
+			if d2.a {
+				a = w
+			} else if d2.b {
+				b = w
+			} else {
+				r[d2.reg] = w
+			}
+			next(r, mem, st, a, b)
+		}
+	case kStLi:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			a1 := uint32(int32(x1.get(r, a, b)) + imm)
+			if a1&3 != 0 || int(a1>>2) >= len(mem) {
+				r[ca], r[cb] = a, b
+				st.memFault(off, a1, false)
+				st.sidx = idx
+				return
+			}
+			mem[a1>>2] = x2.get(r, a, b)
+			w := uint32(imm2)
+			if d2.a {
+				a = w
+			} else if d2.b {
+				b = w
+			} else {
+				r[d2.reg] = w
+			}
+			next(r, mem, st, a, b)
+		}
+	case kLiOr:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v := uint32(imm)
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			w := x3.get(r, a, b) | xt.get(r, a, b)
+			if d2.a {
+				a = w
+			} else if d2.b {
+				b = w
+			} else {
+				r[d2.reg] = w
+			}
+			next(r, mem, st, a, b)
+		}
+	case kOrAddi:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v := x1.get(r, a, b) | x2.get(r, a, b)
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			w := uint32(int32(x3.get(r, a, b)) + imm2)
+			if d2.a {
+				a = w
+			} else if d2.b {
+				b = w
+			} else {
+				r[d2.reg] = w
+			}
+			next(r, mem, st, a, b)
+		}
+	case kSlliSrai:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v := x1.get(r, a, b) << (uint32(imm) & 31)
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			w := uint32(int32(x3.get(r, a, b)) >> (uint32(imm2) & 31))
+			if d2.a {
+				a = w
+			} else if d2.b {
+				b = w
+			} else {
+				r[d2.reg] = w
+			}
+			next(r, mem, st, a, b)
+		}
+
+	case kLd3, kLd4:
+		four := s.kind == kLd4
+		v0, v1, v2 := loc(uint8(s.imm2)), loc(uint8(s.imm2>>8)), loc(uint8(s.imm2>>16))
+		v3 := loc(uint8(s.imm2 >> 24))
+		last := 2
+		if four {
+			last = 3
+		}
+		sptr := s
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			aa := uint32(int32(x1.get(r, a, b)) + imm)
+			w := int(aa >> 2)
+			if aa&3 != 0 || w+last >= len(mem) {
+				r[ca], r[cb] = a, b
+				if !memRunSlowExec(sptr, r, mem, st) {
+					st.sidx = idx
+					return
+				}
+				next(r, mem, st, r[ca], r[cb])
+				return
+			}
+			u := mem[w]
+			if v0.a {
+				a = u
+			} else if v0.b {
+				b = u
+			} else {
+				r[v0.reg] = u
+			}
+			u = mem[w+1]
+			if v1.a {
+				a = u
+			} else if v1.b {
+				b = u
+			} else {
+				r[v1.reg] = u
+			}
+			u = mem[w+2]
+			if v2.a {
+				a = u
+			} else if v2.b {
+				b = u
+			} else {
+				r[v2.reg] = u
+			}
+			if four {
+				u = mem[w+3]
+				if v3.a {
+					a = u
+				} else if v3.b {
+					b = u
+				} else {
+					r[v3.reg] = u
+				}
+			}
+			next(r, mem, st, a, b)
+		}
+	case kSt3, kSt4:
+		four := s.kind == kSt4
+		v0, v1, v2 := loc(uint8(s.imm2)), loc(uint8(s.imm2>>8)), loc(uint8(s.imm2>>16))
+		v3 := loc(uint8(s.imm2 >> 24))
+		last := 2
+		if four {
+			last = 3
+		}
+		sptr := s
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			aa := uint32(int32(x1.get(r, a, b)) + imm)
+			w := int(aa >> 2)
+			if aa&3 != 0 || w+last >= len(mem) {
+				r[ca], r[cb] = a, b
+				if !memRunSlowExec(sptr, r, mem, st) {
+					st.sidx = idx
+					return
+				}
+				next(r, mem, st, r[ca], r[cb])
+				return
+			}
+			mem[w] = v0.get(r, a, b)
+			mem[w+1] = v1.get(r, a, b)
+			mem[w+2] = v2.get(r, a, b)
+			if four {
+				mem[w+3] = v3.get(r, a, b)
+			}
+			next(r, mem, st, a, b)
+		}
+
+	case kEdgeOp0 + uint8(BEQ-BEQ), kEdgeOp0 + uint8(BNE-BEQ),
+		kEdgeOp0 + uint8(BLT-BEQ), kEdgeOp0 + uint8(BGE-BEQ),
+		kEdgeOp0 + uint8(BLE-BEQ), kEdgeOp0 + uint8(BGT-BEQ):
+		op := Op(s.kind-kEdgeOp0) + BEQ
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v1, v2 := x1.get(r, a, b), x2.get(r, a, b)
+			var taken bool
+			switch op {
+			case BEQ:
+				taken = v1 == v2
+			case BNE:
+				taken = v1 != v2
+			case BLT:
+				taken = int32(v1) < int32(v2)
+			case BGE:
+				taken = int32(v1) >= int32(v2)
+			case BLE:
+				taken = int32(v1) <= int32(v2)
+			default:
+				taken = int32(v1) > int32(v2)
+			}
+			if taken != hot {
+				r[ca], r[cb] = a, b
+				st.exit, st.taken, st.sbj, st.sidx = nexSide, taken, ej, idx
+				return
+			}
+			next(r, mem, st, a, b)
+		}
+	case kEdgeOp0 + uint8(BEQI-BEQ), kEdgeOp0 + uint8(BNEI-BEQ),
+		kEdgeOp0 + uint8(BLTI-BEQ), kEdgeOp0 + uint8(BGEI-BEQ):
+		op := Op(s.kind-kEdgeOp0) + BEQ
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v1 := int32(x1.get(r, a, b))
+			var taken bool
+			switch op {
+			case BEQI:
+				taken = v1 == imm
+			case BNEI:
+				taken = v1 != imm
+			case BLTI:
+				taken = v1 < imm
+			default:
+				taken = v1 >= imm
+			}
+			if taken != hot {
+				r[ca], r[cb] = a, b
+				st.exit, st.taken, st.sbj, st.sidx = nexSide, taken, ej, idx
+				return
+			}
+			next(r, mem, st, a, b)
+		}
+	case kEdgeOp0 + uint8(BTEQ-BEQ), kEdgeOp0 + uint8(BTNE-BEQ):
+		wantEq := s.kind == kEdgeOp0+uint8(BTEQ-BEQ)
+		tag8 := s.tag
+		shift, mask := sp.tagShift, sp.tagMask
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			eq := uint8((x1.get(r, a, b)>>shift)&mask) == tag8
+			if taken := eq == wantEq; taken != hot {
+				r[ca], r[cb] = a, b
+				st.exit, st.taken, st.sbj, st.sidx = nexSide, taken, ej, idx
+				return
+			}
+			next(r, mem, st, a, b)
+		}
+
+	case kEdgeJr:
+		want := uint32(imm)
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			if x1.get(r, a, b) != want {
+				r[ca], r[cb] = a, b
+				st.exit, st.sbj, st.sidx = nexSide, ej, idx
+				return
+			}
+			next(r, mem, st, a, b)
+		}
+	case kEdgeJrA:
+		want := uint32(imm)
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			if x1.get(r, a, b) != want {
+				r[ca], r[cb] = a, b
+				st.exit, st.sbj, st.sidx = nexSide, ej, idx
+				return
+			}
+			v := uint32(int32(x2.get(r, a, b)) + imm2)
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			next(r, mem, st, a, b)
+		}
+	case kEdgeJrL:
+		want := uint32(imm)
+		lr := loc(RRA)
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			if x1.get(r, a, b) != want {
+				r[ca], r[cb] = a, b
+				st.exit, st.sbj, st.sidx = nexSide, ej, idx
+				return
+			}
+			if lr.a {
+				a = uint32(imm2)
+			} else if lr.b {
+				b = uint32(imm2)
+			} else {
+				r[lr.reg] = uint32(imm2)
+			}
+			next(r, mem, st, a, b)
+		}
+	case kEdgeSrliBnei:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			v := x1.get(r, a, b) >> (uint32(imm) & 31)
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			if taken := int32(v) != imm2; taken != hot {
+				r[ca], r[cb] = a, b
+				st.exit, st.taken, st.sbj, st.sidx = nexSide, taken, ej, idx
+				return
+			}
+			next(r, mem, st, a, b)
+		}
+	case kEdgeBneiAnd:
+		return func(r *[256]uint32, mem []uint32, st *nstate, a, b uint32) {
+			if taken := int32(x1.get(r, a, b)) != imm; taken != hot {
+				r[ca], r[cb] = a, b
+				st.exit, st.taken, st.sbj, st.sidx = nexSide, taken, ej, idx
+				return
+			}
+			v := xt.get(r, a, b) & x2.get(r, a, b)
+			if d1.a {
+				a = v
+			} else if d1.b {
+				b = v
+			} else {
+				r[d1.reg] = v
+			}
+			next(r, mem, st, a, b)
+		}
+	}
+	return nil
+}

@@ -93,6 +93,11 @@ type sbElem struct {
 	// Half-open step ranges of this element in the flat stream: body steps
 	// in [stepLo, slotLo), delay-slot steps in [slotLo, stepHi).
 	stepLo, slotLo, stepHi int32
+	// elided counts the check sites the dataflow pass removed from this
+	// element's steps; each element run skipped that many host-side
+	// checks, counted into NativeStats.ElidedChecks at expansion (the
+	// simulated statistics are static per element and never change).
+	elided uint16
 }
 
 // sblock is one formed superblock. Per-machine execution counters index by
@@ -118,6 +123,20 @@ type sblock struct {
 	// reforms counts how many stale predecessors this stream has replaced
 	// (see maybeReform).
 	reforms int32
+	// chain is the stream compiled into a register-caching closure chain
+	// (sbchain.go), with ca/cb the two cached registers; nil unless the
+	// SBOpt.RegCache opt-in is set and the stream has enough specialized
+	// coverage, in which case the runner dispatches steps through
+	// execSteps. chainCov counts the specialized steps, for introspection.
+	chain    sbfn
+	ca, cb   uint8
+	chainCov int32
+	// Static dataflow-pass results, for introspection: check sites
+	// removed or weakened, redundant pure steps dropped, and the unit
+	// count before optimization.
+	elidedChecks int32
+	droppedSteps int32
+	rawSteps     int32
 }
 
 // hotOutcome picks the direction a superblock would follow out of b on
@@ -253,29 +272,33 @@ func (p *Program) formSuperblock(m *Machine, head *tblock, np *nativeProg) *sblo
 	}
 
 	sb := &sblock{idx: int32(len(old))}
+	dec := p.dec
+	var units []sbUnit
+	bodyUnits := func(b *tblock, elem int) {
+		for pc := int(b.start); pc < int(b.start)+int(b.bodyLen); pc++ {
+			if d := &dec[pc]; d.op != NOP {
+				units = append(units, sbUnit{s: singleStep(d, pc), elem: int32(elem)})
+			}
+		}
+	}
 	var cyc, maxCyc uint64
 	for j, w := range path {
 		t := &w.b.term
 		e := sbElem{
 			b: w.b, hotTaken: w.hotTaken, hasDir: w.hasDir,
-			jrTgt: w.jrTgt, jrStall: w.jrStall,
-			cycBefore: cyc, stepLo: int32(len(sb.steps)),
+			jrTgt: w.jrTgt, jrStall: w.jrStall, cycBefore: cyc,
 		}
-		for i := range w.b.steps {
-			if s := &w.b.steps[i]; s.kind != uint8(NOP) {
-				sb.steps = append(sb.steps, *s)
-			}
-		}
+		bodyUnits(w.b, j)
 		switch t.kind {
 		case termCond:
 			hot := uint8(0)
 			if w.hotTaken {
 				hot = 1
 			}
-			sb.steps = append(sb.steps, tstep{
+			units = append(units, sbUnit{s: tstep{
 				kind: edgeKind(t.op), rd: uint8(t.op), rs1: t.rs1, rs2: t.rs2,
 				tag: t.tag, imm: t.imm, rd2: uint8(j), rs3: hot, off: t.pc,
-			})
+			}, elem: int32(j)})
 		case termJumpInd:
 			// Guard first, then the link write: the jump register is read
 			// before a jalr clobbers RA, exactly as in the fused loop. A
@@ -288,46 +311,22 @@ func (p *Program) formSuperblock(m *Machine, head *tblock, np *nativeProg) *sblo
 				es.kind = kEdgeJrL
 				es.imm2 = int32(uint32(int(t.pc)+1+delaySlots) << 2)
 			}
-			sb.steps = append(sb.steps, es)
+			units = append(units, sbUnit{s: es, elem: int32(j)})
 		case termJump:
 			if t.link {
-				sb.steps = append(sb.steps, tstep{
+				units = append(units, sbUnit{s: tstep{
 					kind: uint8(LI), n: 1, rd: RRA,
 					imm: int32(uint32(int(t.pc)+1+delaySlots) << 2), off: t.pc,
-				})
+				}, elem: int32(j)})
 			}
 		}
-		e.slotLo = int32(len(sb.steps))
 		if t.kind != termFall && !w.o.annul && !t.slotsNop {
-			// The delay-slot pair gets the same peephole fusion block
-			// bodies get; a fused slot step still attributes each half's
-			// faults to the right source pc.
-			if s, ok := fusePair(t.slot1, t.slot2, int(t.pc)+1); ok {
-				sb.steps = append(sb.steps, s)
-			} else {
-				for i := range t.slots {
-					if s := &t.slots[i]; s.kind != uint8(NOP) {
-						sb.steps = append(sb.steps, *s)
-					}
+			for i := range t.slots {
+				if s := &t.slots[i]; s.kind != uint8(NOP) {
+					units = append(units, sbUnit{s: *s, elem: int32(j), slot: true})
 				}
 			}
 		}
-		// A jr edge followed by a lone ADDI slot folds into one kEdgeJrA
-		// step. The slot already executes only when the guard passes (a
-		// side exit re-runs the whole block on the ordinary path), and an
-		// ADDI cannot fault, so the merge changes neither semantics nor
-		// attribution — it removes the dispatch the return sequence's
-		// stack adjustment would cost on every function return.
-		if t.kind == termJumpInd && !t.link &&
-			int(e.slotLo) == len(sb.steps)-1 && sb.steps[e.slotLo].kind == uint8(ADDI) {
-			sl := sb.steps[e.slotLo]
-			ed := &sb.steps[e.slotLo-1]
-			ed.kind = kEdgeJrA
-			ed.rd, ed.rs2, ed.imm2 = sl.rd, sl.rs1, sl.imm
-			ed.n += sl.n
-			sb.steps = sb.steps[:e.slotLo]
-		}
-		e.stepHi = int32(len(sb.steps))
 		sb.elems = append(sb.elems, e)
 		cyc += w.b.bodyCyc + w.o.cyc
 		worst := t.taken.cyc
@@ -342,20 +341,29 @@ func (p *Program) formSuperblock(m *Machine, head *tblock, np *nativeProg) *sblo
 		sb.nextPC = npcOf(w.o, w.isJr, w.jrTgt)
 	}
 	if terminal != nil {
-		e := sbElem{b: terminal, cycBefore: cyc, stepLo: int32(len(sb.steps))}
-		for i := range terminal.steps {
-			if s := &terminal.steps[i]; s.kind != uint8(NOP) {
-				sb.steps = append(sb.steps, *s)
-			}
-		}
-		e.slotLo = int32(len(sb.steps))
-		e.stepHi = e.slotLo
-		sb.elems = append(sb.elems, e)
+		sb.elems = append(sb.elems, sbElem{b: terminal, cycBefore: cyc})
+		bodyUnits(terminal, len(path))
 		cyc += terminal.bodyCyc
 		maxCyc += terminal.bodyCyc
 		sb.termB = terminal
 	}
 	sb.fullCyc, sb.maxCyc = cyc, maxCyc
+
+	// The dataflow pass: elision, cross-element refusion, edge fusion.
+	sopt := CurSBOpt()
+	opt := optimizeUnits(units, len(sb.elems), &np.spec, sopt)
+	sb.steps = opt.steps
+	sb.elidedChecks = opt.elidedChecks
+	sb.droppedSteps = opt.droppedSteps
+	sb.rawSteps = opt.rawUnits
+	for j := range sb.elems {
+		e := &sb.elems[j]
+		e.stepLo, e.slotLo, e.stepHi = opt.stepLo[j], opt.slotLo[j], opt.stepHi[j]
+		e.elided = opt.elided[j]
+	}
+	if sopt.RegCache {
+		sb.chain, sb.ca, sb.cb, sb.chainCov = compileChain(sb.steps, &np.spec)
+	}
 	sb.exitBase = np.exitLen.Load()
 	np.exitLen.Store(sb.exitBase + int32(len(sb.elems)) + 1)
 
@@ -474,7 +482,10 @@ func (m *Machine) maybeReform(sb *sblock, j int32) {
 // reconstructs exact per-instruction statistics. An execution that left at
 // element j ran every element before j, so element k's run count is the
 // suffix sum of the exits past it. Called at flush before the per-block
-// expansion.
+// expansion. Each element run also executed that element's optimized
+// steps, so its elided host-side checks accumulate into the engine
+// counters here (they have no effect on the simulated statistics, which
+// are static per element).
 func (m *Machine) expandSBCtrs() {
 	np := m.Prog.nat.Load()
 	if np == nil {
@@ -509,6 +520,9 @@ func (m *Machine) expandSBCtrs() {
 			e := &sb.elems[k-1-base]
 			c := m.growBctr(e.b.id)
 			c.body += runs
+			if e.elided != 0 {
+				m.Native.ElidedChecks += runs * uint64(e.elided)
+			}
 			if e.hasDir {
 				if e.hotTaken {
 					c.taken += runs

@@ -1277,6 +1277,14 @@ flush:
 	return nil
 }
 
+// coversPC reports whether pc lies in the block's body. Used by the
+// native engine's fault path to attribute a fault inside a fused stream
+// step that spans a fall-through element boundary to the element whose
+// block actually contains the faulting instruction.
+func (b *tblock) coversPC(pc int32) bool {
+	return pc >= b.start && pc < b.start+b.bodyLen
+}
+
 // accountPrefix re-charges instructions [start, j] one at a time after a
 // block body bailed out mid-flight: execution counts, per-instruction
 // cycles, and the load interlock between adjacent prefix instructions

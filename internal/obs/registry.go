@@ -110,6 +110,8 @@ func (g *Registry) RecordNative(ns *mipsx.NativeStats) {
 	g.Add("native_superblock_side_exits_total", ns.SBSideExits)
 	g.Add("native_steps_total", ns.Steps)
 	g.Add("native_fused_steps_total", ns.FusedSteps)
+	g.Add("native_elided_checks_total", ns.ElidedChecks)
+	g.Add("native_regcache_spills_total", ns.RegCacheSpills)
 }
 
 // Snapshot is a point-in-time copy of a Registry, shaped for JSON.

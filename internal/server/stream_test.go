@@ -385,6 +385,27 @@ func TestIntrospectEndpoint(t *testing.T) {
 	if na.Engine.NativeCompileUS <= 0 {
 		t.Errorf("native compile time %.1fus, want > 0", na.Engine.NativeCompileUS)
 	}
+	// The superblock dataflow pass's static results ride along: every
+	// formed stream reports its pre-optimization unit count, and the
+	// optimized stream can only be shorter. comp on low3 is long enough
+	// that formation always kicks in and the pass always finds redundant
+	// pure recomputations to drop.
+	if na.Engine.SuperBlocks == 0 {
+		t.Errorf("no superblocks in %+v", na.Engine)
+	}
+	if na.Engine.SBRawSteps == 0 || na.Engine.SBSteps == 0 {
+		t.Errorf("no superblock dataflow totals in %+v", na.Engine)
+	}
+	if na.Engine.SBSteps > na.Engine.SBRawSteps {
+		t.Errorf("optimized steps %d exceed raw units %d", na.Engine.SBSteps, na.Engine.SBRawSteps)
+	}
+	if na.Engine.SBDroppedSteps == 0 {
+		t.Errorf("dataflow pass dropped no steps: %+v", na.Engine)
+	}
+	// Register-cache chains are opt-in and off here.
+	if na.Engine.SBChains != 0 || na.Native.RegCacheSpills != 0 {
+		t.Errorf("unexpected register-cache chains in default build: %+v", na.Engine)
+	}
 }
 
 // TestRetryAfterComputed pins the overload hint: with no observed runs

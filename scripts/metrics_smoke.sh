@@ -34,6 +34,11 @@ curl -fsS -X POST "$BASE/v1/run" -d '{"program":"comp","config":"high5"}' >/dev/
 # sweep only covers untagged configs).
 curl -fsS -X POST "$BASE/v1/run" -d '{"program":"comp","config":"high5+memtag"}' >/dev/null
 
+# One native-engine run so the native_* families count real work (they
+# exist at zero for every run, but this exercises superblock formation,
+# elision and the exit-site expansion end to end).
+curl -fsS -X POST "$BASE/v1/run" -d '{"program":"comp","config":"high5+check","engine":"native"}' >/dev/null
+
 # One bounded scheme search so the search_* families are live.
 curl -fsS -X POST "$BASE/v1/search" \
     -d '{"budget":40,"top_k":3,"programs":["comp"],"variants":["check"]}' \
@@ -70,6 +75,11 @@ for f in "$OUT/metrics.prom" "$OUT/metrics2.prom"; do
     done
     # Same single-sourcing for the memory-tagging families.
     for fam in $(grep '^memtag_\|^run_memtag_' internal/server/testdata/metric_names.golden); do
+        grep -q "^# TYPE $fam " "$f" || { echo "missing family $fam in $f"; exit 1; }
+    done
+    # And for the native-engine families (superblocks, fusion, elision,
+    # register-cache spills) exercised by the native run above.
+    for fam in $(grep '^native_' internal/server/testdata/metric_names.golden); do
         grep -q "^# TYPE $fam " "$f" || { echo "missing family $fam in $f"; exit 1; }
     done
 done
